@@ -1,0 +1,90 @@
+"""A6 — future work (section 8): other data sets, static and dynamic.
+
+Runs the headline AM comparison over controlled data-set families and
+a dynamic insert/delete/query workload.  The family geometry decides
+bite effectiveness (EXPERIMENTS.md A3): 'diagonal' is the best case,
+'uniform' the worst.
+"""
+
+import numpy as np
+
+from repro.bulk import bulk_load
+from repro.core import compare_methods
+from repro.core.api import make_extension
+from repro.gist import validate_tree
+from repro.workload.datasets import (
+    DATASET_FAMILIES,
+    make_dynamic_workload,
+    run_dynamic_workload,
+)
+
+from conftest import emit
+
+METHODS = ["rtree", "xjb", "jb"]
+DIM = 5
+
+
+def test_dataset_families(profile, benchmark):
+    n = min(profile.num_blobs, 20_000)
+    num_queries = min(profile.num_queries, 100)
+    k = profile.neighbors
+
+    lines = [f"AM losses across data-set families (n={n}, D={DIM}, "
+             f"k={k}, {num_queries} queries)",
+             f"{'family':<13}{'R EC':>7}{'XJB EC':>8}{'JB EC':>7}"
+             f"{'JB red.':>9}{'R leafIO':>10}{'JB leafIO':>10}"]
+    reductions = {}
+    for family, factory in sorted(DATASET_FAMILIES.items()):
+        pts = factory(n, DIM, seed=0)
+        rng = np.random.default_rng(1)
+        queries = pts[rng.choice(n, num_queries, replace=False)]
+        reports = compare_methods(pts, queries, k=k, methods=METHODS,
+                                  page_size=profile.page_size)
+        r, xjb, jb = (reports[m] for m in METHODS)
+        red = 1.0 - jb.excess_coverage_leaf \
+            / max(r.excess_coverage_leaf, 1e-9)
+        reductions[family] = red
+        lines.append(f"{family:<13}{r.excess_coverage_leaf:>7.0f}"
+                     f"{xjb.excess_coverage_leaf:>8.0f}"
+                     f"{jb.excess_coverage_leaf:>7.0f}{red:>8.0%}"
+                     f"{r.total_leaf_ios:>10}{jb.total_leaf_ios:>10}")
+    lines.append("")
+    lines.append("the bite mechanism's payoff tracks the data geometry; "
+                 "'diagonal' is its best case, 'uniform' its worst")
+    emit("Ablation dataset families", "\n".join(lines))
+
+    assert reductions["diagonal"] >= reductions["uniform"]
+    for family, red in reductions.items():
+        assert red >= -0.10, family
+
+    pts = DATASET_FAMILIES["clusters"](5000, DIM, seed=0)
+    benchmark(bulk_load, make_extension("xjb", DIM), pts,
+              page_size=profile.page_size)
+
+
+def test_dynamic_workload(profile, benchmark):
+    n = min(profile.num_blobs, 10_000)
+    k = min(profile.neighbors, 50)
+    pts = DATASET_FAMILIES["clusters"](n, DIM, seed=2)
+    ops = make_dynamic_workload(pts, num_ops=400, k=k, seed=3)
+
+    lines = [f"Dynamic workload (n={n}, 400 mixed ops, k={k})",
+             f"{'method':<8}{'inserts':>8}{'deletes':>8}"
+             f"{'mean query leaf I/Os':>22}{'valid':>7}"]
+    means = {}
+    for m in METHODS:
+        tree = bulk_load(make_extension(m, DIM), pts[:n // 2],
+                         page_size=profile.page_size)
+        result = run_dynamic_workload(tree, pts, ops, k)
+        validate_tree(tree)
+        means[m] = result.mean_query_leaf_ios
+        lines.append(f"{m:<8}{result.inserts:>8}{result.deletes:>8}"
+                     f"{means[m]:>22.2f}{'yes':>7}")
+    lines.append("")
+    lines.append("the custom AMs survive dynamic maintenance (the "
+                 "paper's future-work item 1) with exact results")
+    emit("Dynamic workload", "\n".join(lines))
+
+    tree = bulk_load(make_extension("rtree", DIM), pts[:n // 2],
+                     page_size=profile.page_size)
+    benchmark(run_dynamic_workload, tree, pts, ops[:50], k)

@@ -1,0 +1,53 @@
+"""A3 — ablation: indexed dimensionality vs bite effectiveness.
+
+This is the key calibration finding of the reproduction (see
+EXPERIMENTS.md): corner bites eliminate a large share of the R-tree's
+excess coverage at low effective dimensionality (D=2-3) and almost none
+at D=5 on our synthetic corpus — nearest-neighbor spheres in 5-D mostly
+graze tiles marginally, which no volume-reducing BP can filter.  The
+paper's dramatic JB results at D=5 therefore imply its real Blobworld
+vectors had very low effective dimensionality inside the indexed five.
+"""
+
+from repro.core import compare_methods
+
+from conftest import emit
+
+DIMS = [2, 3, 4, 5]
+
+
+def test_dimensionality_vs_bite_effectiveness(corpus, workload, profile,
+                                              benchmark):
+    lines = ["Bite effectiveness vs indexed dimensionality "
+             f"(k={workload.k})",
+             f"{'D':>3}{'R-tree EC':>11}{'JB EC':>8}{'EC reduction':>14}"
+             f"{'h(R)':>6}{'h(JB)':>7}"]
+    reductions = {}
+    for dims in DIMS:
+        data = corpus.reduced(dims)
+        queries = data[workload.focus_rids[:workload.num_queries // 2]]
+        reports = compare_methods(data, queries, k=workload.k,
+                                  methods=["rtree", "jb"],
+                                  page_size=profile.page_size)
+        r, jb = reports["rtree"], reports["jb"]
+        reduction = 1.0 - jb.excess_coverage_leaf \
+            / max(r.excess_coverage_leaf, 1e-9)
+        reductions[dims] = reduction
+        lines.append(f"{dims:>3}{r.excess_coverage_leaf:>11.0f}"
+                     f"{jb.excess_coverage_leaf:>8.0f}"
+                     f"{reduction:>13.0%}{r.height:>6}{jb.height:>7}")
+    lines.append("")
+    lines.append("finding: the corner-bite mechanism is a low-effective-"
+                 "dimensionality optimization; the paper's D=5 factors "
+                 "require data that is locally 2-3 dimensional")
+    emit("Ablation dimensionality", "\n".join(lines))
+
+    # Bites always help (weakly), and help much more at D<=3.
+    for dims in DIMS:
+        assert reductions[dims] >= -0.05
+    assert max(reductions[2], reductions[3]) > reductions[5]
+
+    data2 = corpus.reduced(2)
+    from repro.core import build_index
+    tree2 = build_index(data2, "jb", page_size=profile.page_size)
+    benchmark(tree2.knn, data2[0], workload.k)

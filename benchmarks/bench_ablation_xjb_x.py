@@ -1,0 +1,55 @@
+"""A1 — ablation: sweeping XJB's X (sections 5.3, 6, 8).
+
+Paper: X=10 was chosen because larger values grew the tree another
+level and "lower values of X demonstrated worse workload performance";
+automatic X selection is listed as future work (implemented here as
+repro.core.xjb.select_x).
+"""
+
+from repro.amdb import profile_workload
+from repro.core import build_index
+from repro.core.xjb import select_x
+
+from conftest import emit
+
+X_VALUES = [0, 2, 4, 6, 10, 16, 24, 32]
+
+
+def test_xjb_x_sweep(vectors, workload, profile, benchmark):
+    auto = select_x(len(vectors), vectors.shape[1], profile.page_size)
+    queries = workload.queries[:workload.num_queries // 2]
+
+    lines = [f"XJB X sweep ({len(vectors)} blobs, k={workload.k}; "
+             f"auto-selected X={auto})",
+             f"{'X':>4}{'height':>8}{'index fanout':>14}"
+             f"{'leaf I/Os':>11}{'inner I/Os':>12}{'total':>8}"]
+    results = {}
+    for x in X_VALUES:
+        tree = build_index(vectors, "xjb", page_size=profile.page_size,
+                           x=x)
+        prof = profile_workload(tree, queries, workload.k)
+        results[x] = (tree.height, prof.total_leaf_ios,
+                      prof.total_inner_ios)
+        lines.append(f"{x:>4}{tree.height:>8}{tree.index_capacity:>14}"
+                     f"{prof.total_leaf_ios:>11}"
+                     f"{prof.total_inner_ios:>12}"
+                     f"{prof.total_ios:>8}")
+    lines.append("")
+    lines.append("paper: X=10 was the largest X before another level at "
+                 "221k blobs; leaf I/Os shrink with X, inner I/Os grow")
+    emit("Ablation XJB X sweep", "\n".join(lines))
+
+    # More bites never hurt leaf I/Os (same tree shape) and heights are
+    # monotone nondecreasing in X.
+    heights = [results[x][0] for x in X_VALUES]
+    assert heights == sorted(heights)
+    assert results[X_VALUES[-1]][1] <= results[0][1]
+    # The selector's choice must respect its one-extra-level contract.
+    rtree_height = build_index(vectors, "rtree",
+                               page_size=profile.page_size).height
+    auto_tree = build_index(vectors, "xjb",
+                            page_size=profile.page_size, x=auto)
+    assert auto_tree.height <= rtree_height + 1
+
+    benchmark(build_index, vectors[:5000], "xjb",
+              page_size=profile.page_size, x=10)

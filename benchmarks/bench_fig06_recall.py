@@ -1,0 +1,51 @@
+"""E1 — Figure 6: recall of low-dimensional queries vs full Blobworld.
+
+Paper: recall (against the top-40 images of a full 218-D query) rises
+sharply up to the 5-D curve; 5-D and 6-D are nearly identical; more
+retrieved blobs always help.  The paper settles on 5-D vectors and
+200-blob retrievals.
+"""
+
+import numpy as np
+
+from repro.blobworld import BlobworldEngine
+from repro.amdb.charts import line_chart
+from repro.workload import recall_curve
+
+from conftest import emit
+
+DIMS = [1, 2, 3, 4, 5, 6, 10, 20]
+RETRIEVED = [50, 100, 200, 400, 800]
+
+
+def test_fig06_recall_curves(corpus, query_blobs, benchmark):
+    points = recall_curve(corpus, query_blobs, DIMS, RETRIEVED)
+    by_key = {(p.dims, p.retrieved): p.mean_recall for p in points}
+
+    lines = ["Figure 6: mean recall vs full Blobworld query "
+             f"({len(query_blobs)} queries, top-40 images)",
+             "retrieved " + "".join(f"{d:>7}D" for d in DIMS)]
+    for r in RETRIEVED:
+        lines.append(f"{r:>9} " + "".join(
+            f"{by_key[(d, r)]:>8.3f}" for d in DIMS))
+    lines.append("")
+    gain_5_to_6 = by_key[(6, 200)] - by_key[(5, 200)]
+    lines.append(f"recall gain from adding a 6th dimension @200: "
+                 f"{gain_5_to_6:+.3f} (paper: 'negligible improvement')")
+    emit("Figure 6 recall", "\n".join(lines))
+    emit("Figure 6 chart", line_chart(
+        "Recall vs retrieved blobs (series = dimensionality)",
+        RETRIEVED,
+        {f"{d}D": [by_key[(d, r)] for r in RETRIEVED]
+         for d in (1, 2, 5, 20)}))
+
+    # Paper shape: monotone in D; sharp rise to 5-D; 5~6 nearly equal.
+    for r in RETRIEVED:
+        series = [by_key[(d, r)] for d in DIMS]
+        assert series[DIMS.index(5)] >= series[0]
+    assert by_key[(5, 200)] - by_key[(1, 200)] > 0.2
+    assert abs(gain_5_to_6) < 0.08
+
+    # Timed kernel: one reduced-space query at the paper's setting.
+    engine = BlobworldEngine(corpus)
+    benchmark(engine.reduced_query, query_blobs[0], 5, 200, 40)

@@ -1,0 +1,44 @@
+"""E3/E4 — Figures 7-8: losses of the traditional AMs (R, SR, SS).
+
+Paper: excess coverage dominates all three bulk-loaded trees; the
+SS-tree performs more unnecessary leaf I/Os than the R-tree or SR-tree
+perform in total; the SR-tree's spheres save a little leaf-level excess
+coverage relative to the R-tree.
+"""
+
+from repro.amdb import format_comparison
+from repro.amdb.charts import loss_figure
+from repro.core import compare_methods
+
+from conftest import emit
+
+METHODS = ["rtree", "srtree", "sstree"]
+
+
+def test_fig07_08_traditional_ams(vectors, workload, profile, benchmark):
+    reports = compare_methods(vectors, workload.queries, k=workload.k,
+                              methods=METHODS,
+                              page_size=profile.page_size)
+    ordered = [reports[m] for m in METHODS]
+
+    emit("Figure 7 traditional AM losses (percent of leaf I/Os)",
+         format_comparison(ordered, relative=True))
+    emit("Figure 8 traditional AM losses (leaf I/O counts)",
+         format_comparison(ordered))
+    emit("Figure 7/8 chart",
+         loss_figure("Leaf-level losses by AM (I/Os)", ordered))
+
+    r, sr, ss = (reports[m] for m in METHODS)
+    # Excess coverage dominates every bulk-loaded tree.
+    for rep in ordered:
+        assert rep.excess_coverage_leaf >= rep.utilization_loss
+        assert rep.excess_coverage_leaf >= rep.clustering_loss
+    # SS-tree is by far the worst; its leaf EC tops the others' EC.
+    assert ss.excess_coverage_leaf > 1.5 * r.excess_coverage_leaf
+    assert ss.total_leaf_ios > r.total_leaf_ios
+    # SR-tree comparable to the R-tree, saving a little leaf EC.
+    assert sr.excess_coverage_leaf <= r.excess_coverage_leaf * 1.05
+
+    from repro.core import build_index
+    ss_tree = build_index(vectors, "sstree", page_size=profile.page_size)
+    benchmark(ss_tree.knn, workload.queries[0], workload.k)

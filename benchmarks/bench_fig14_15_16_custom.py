@@ -1,0 +1,64 @@
+"""E6/E7/E8 — Figures 14-16: losses of the customized AMs (X=10 XJB).
+
+Paper: aMAP matches the R-tree at the leaves but pays more inner I/Os
+(its BP is twice the size, halving fanout); JB's leaf excess coverage is
+negligible at the cost of a much taller tree; XJB sits between, keeping
+most of the leaf-level filtering two levels shorter.
+
+Our measured deviation (documented in EXPERIMENTS.md): on the synthetic
+corpus the leaf-EC *ordering* (jb <= xjb <= amap <= rtree) reproduces,
+but the magnitude of the bite savings at D=5 is far smaller than the
+paper reports; see bench_ablation_dimensionality for the regime where
+the paper's factors appear.
+"""
+
+from repro.amdb import format_comparison
+from repro.amdb.charts import bar_chart, loss_figure
+from repro.constants import XJB_DEFAULT_X
+from repro.core import compare_methods
+
+from conftest import emit
+
+METHODS = ["rtree", "amap", "xjb", "jb"]
+
+
+def test_fig14_15_16_custom_ams(vectors, workload, profile, benchmark):
+    reports = compare_methods(
+        vectors, workload.queries, k=workload.k, methods=METHODS,
+        page_size=profile.page_size,
+        method_options={"xjb": {"x": XJB_DEFAULT_X}})
+    ordered = [reports[m] for m in METHODS]
+
+    emit("Figure 14 custom AM losses (percent of leaf I/Os)",
+         format_comparison(ordered, relative=True))
+    emit("Figure 15 custom AM losses (leaf I/O counts)",
+         format_comparison(ordered))
+
+    lines = [f"Figure 16: total workload I/Os ({workload.num_queries} "
+             f"queries, k={workload.k}, X={XJB_DEFAULT_X})",
+             f"{'method':<8}{'leaf I/Os':>11}{'inner I/Os':>12}"
+             f"{'total':>9}{'height':>8}"]
+    for m in METHODS:
+        r = reports[m]
+        lines.append(f"{m:<8}{r.total_leaf_ios:>11}{r.total_inner_ios:>12}"
+                     f"{r.total_ios:>9}{r.height:>8}")
+    emit("Figure 16 custom AM total I/Os", "\n".join(lines))
+    emit("Figure 14/15 chart",
+         loss_figure("Leaf-level losses by custom AM (I/Os)", ordered))
+    emit("Figure 16 chart",
+         bar_chart("Total workload I/Os", 
+                   {m: float(reports[m].total_ios) for m in METHODS}))
+
+    r, amap, xjb, jb = (reports[m] for m in METHODS)
+    # Leaf-level excess coverage ordering (Figures 14-15).
+    assert jb.excess_coverage_leaf <= xjb.excess_coverage_leaf + 1e-9
+    assert xjb.excess_coverage_leaf <= r.excess_coverage_leaf + 1e-9
+    assert amap.excess_coverage_leaf <= r.excess_coverage_leaf + 1e-9
+    # aMAP's doubled BP size costs structure (section 6).
+    assert amap.num_inner >= r.num_inner
+    # Height ordering (section 6).
+    assert r.height <= xjb.height <= jb.height
+
+    from repro.core import build_index
+    jb_tree = build_index(vectors, "jb", page_size=profile.page_size)
+    benchmark(jb_tree.knn, workload.queries[0], workload.k)

@@ -1,0 +1,74 @@
+"""E9 — section 5/6 structural claims: heights, fanout, root slack.
+
+Paper: the R-tree root held 24 children with space for about 80; the JB
+tree grew from height 3 to 6; XJB (X=10) reached height 4; JB queries
+average barely more than two leaf I/Os.  Heights depend on corpus size,
+so the table reports both measured heights at the benchmark scale and
+arithmetic projections at the paper's 221,231 blobs.
+"""
+
+import math
+
+from repro.amdb import profile_workload
+from repro.constants import NUMBER_SIZE, PAPER_SCALE, XJB_DEFAULT_X
+from repro.core import build_index
+from repro.core.xjb import _index_height
+from repro.storage.page import entries_per_page
+
+from conftest import emit
+
+METHODS = ["rtree", "amap", "xjb", "jb"]
+
+
+def _pred_numbers(method, d):
+    if method == "rtree":
+        return 2 * d
+    if method == "amap":
+        return 4 * d
+    if method == "xjb":
+        return 2 * d + (d + 1) * XJB_DEFAULT_X
+    return (2 + 2 ** d) * d
+
+
+def _projected_height(method, num_blobs, d=5, page=8192):
+    leaf_fanout = entries_per_page(page, (d + 1) * NUMBER_SIZE)
+    leaves = math.ceil(num_blobs / leaf_fanout)
+    entry = _pred_numbers(method, d) * NUMBER_SIZE + NUMBER_SIZE
+    return _index_height(leaves, entries_per_page(page, entry))
+
+
+def test_heights_and_fanout(vectors, workload, profile, benchmark):
+    lines = [f"Tree structure at {len(vectors)} blobs "
+             f"(paper: {PAPER_SCALE.num_blobs})",
+             f"{'method':<8}{'height':>7}{'paper-scale h':>14}"
+             f"{'root children':>14}{'index fanout':>13}"
+             f"{'leaf IO/q':>10}"]
+    heights = {}
+    trees = {}
+    for m in METHODS:
+        tree = build_index(vectors, m, page_size=profile.page_size)
+        trees[m] = tree
+        prof = profile_workload(tree, workload.queries[:50], workload.k)
+        heights[m] = tree.height
+        per_q = prof.total_leaf_ios / max(prof.num_queries, 1)
+        lines.append(
+            f"{m:<8}{tree.height:>7}"
+            f"{_projected_height(m, PAPER_SCALE.num_blobs):>14}"
+            f"{tree.root_fanout():>14}{tree.index_capacity:>13}"
+            f"{per_q:>10.1f}")
+    lines.append("")
+    lines.append("paper: h(rtree)=3, h(xjb)=4, h(jb)=6; R-tree root had "
+                 "24 children with space for ~80; JB ~2 leaf I/Os/query")
+    emit("Tree heights and fanout", "\n".join(lines))
+
+    # Measured ordering and the paper-scale projections.
+    assert heights["rtree"] <= heights["xjb"] <= heights["jb"]
+    assert _projected_height("rtree", PAPER_SCALE.num_blobs) == 3
+    assert _projected_height("xjb", PAPER_SCALE.num_blobs) == 4
+    assert _projected_height("jb", PAPER_SCALE.num_blobs) >= 5
+    # Root slack (section 5): the R-tree root is far from full.
+    rtree = trees["rtree"]
+    assert rtree.root_fanout() < 0.8 * rtree.index_capacity
+
+    benchmark(build_index, vectors[:5000], "rtree",
+              page_size=profile.page_size)

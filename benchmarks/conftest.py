@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures: one corpus and workload per session.
+
+Scale is selected by the ``REPRO_SCALE`` environment variable (see
+``repro.constants.SCALE_PROFILES``); each bench regenerates one of the
+paper's tables or figures and registers its table with :func:`emit`,
+which both saves it under ``benchmarks/results/`` and prints it in the
+pytest terminal summary.
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.blobworld import build_corpus
+from repro.constants import active_profile
+from repro.workload import make_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES = []
+
+
+def emit(title: str, text: str) -> None:
+    """Register a reproduction table for display and archival."""
+    _TABLES.append((title, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")[:80]
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, text in _TABLES:
+        terminalreporter.write_sep("=", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def corpus(profile):
+    return build_corpus(num_blobs=profile.num_blobs,
+                        num_images=profile.num_images, seed=0)
+
+
+@pytest.fixture(scope="session")
+def vectors(corpus):
+    return corpus.reduced(5)
+
+
+@pytest.fixture(scope="session")
+def workload(vectors, profile):
+    return make_workload(vectors, profile.num_queries,
+                         k=profile.neighbors, seed=1)
+
+
+@pytest.fixture(scope="session")
+def query_blobs(corpus, profile):
+    """Blob indices used as query foci for recall experiments."""
+    num = max(10, profile.num_queries // 10)
+    return corpus.sample_query_blobs(num, seed=2).tolist()

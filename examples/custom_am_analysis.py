@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The paper's design loop: analyze, diagnose, customize (Figure 5).
+
+Profiles a standard R-tree under an amdb-style analysis, shows that
+excess coverage dominates the losses (section 4), then builds the
+paper's customized access methods and compares — reproducing the
+analysis workflow that led to the JB and XJB designs.
+
+Run:  python examples/custom_am_analysis.py
+"""
+
+import numpy as np
+
+from repro.amdb import format_comparison, format_loss_table
+from repro.blobworld import build_corpus
+from repro.core import compare_methods
+from repro.workload import make_workload
+
+
+def main():
+    print("=== setup: corpus, 5-D vectors, NN workload "
+          "(sections 3-3.1) ===")
+    corpus = build_corpus(num_blobs=12_000, num_images=1_900, seed=0)
+    vectors = corpus.reduced(5)
+    workload = make_workload(vectors, num_queries=60, k=200, seed=1)
+    print(f"  {corpus.num_blobs} blobs, {workload.num_queries} queries, "
+          f"k={workload.k}; every blob retrieved "
+          f"{workload.expected_retrievals_per_item(corpus.num_blobs):.1f}x "
+          "on average")
+
+    print("\n=== step 1: analyze the traditional AMs (section 4) ===")
+    reports = compare_methods(
+        vectors, workload.queries, k=workload.k,
+        methods=["rtree", "sstree", "srtree"])
+    print(format_loss_table(reports["rtree"]))
+    print()
+    print(format_comparison(list(reports.values()), relative=True))
+    print("\n  diagnosis: bulk loading killed utilization and clustering "
+          "loss;\n  excess coverage from sloppy BPs is what remains — "
+          "especially for\n  the SS-tree's spheres over STR's "
+          "rectangular tiles.")
+
+    print("\n=== step 2: customized bounding predicates (section 5) ===")
+    custom = compare_methods(
+        vectors, workload.queries, k=workload.k,
+        methods=["rtree", "amap", "xjb", "jb"])
+    print(format_comparison(list(custom.values())))
+    print("\n  the dual-rectangle aMAP BP helps the leaves a little but "
+          "doubles\n  predicate size; JB and XJB trade tree height for "
+          "corner-tight BPs\n  (see Table 3 sizes and the height row).")
+
+    print("\n=== step 3: the trade-off the paper lands on (section 6) ===")
+    for name in ("rtree", "xjb", "jb"):
+        r = custom[name]
+        print(f"  {name:6s}: {r.leaf_ios_per_query:5.1f} leaf I/Os/query, "
+              f"{r.total_ios / r.num_queries:6.1f} total I/Os/query, "
+              f"height {r.height}")
+    print("\n  XJB keeps most of JB's leaf-level filtering at two fewer "
+          "levels,\n  so its inner nodes fit in memory — the paper's "
+          "recommendation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The full Blobworld pipeline, end to end (paper Figures 1-4).
+
+Generates synthetic images, runs the real processing chain — pixel
+features, EM segmentation with MDL model selection, connected-component
+blob extraction, 218-bin color descriptors — then indexes the blobs and
+answers an image-region query, printing an ASCII rendering of the query
+blob's neighborhood.
+
+Run:  python examples/image_search_pipeline.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.amdb.visualize import render_leaf_ascii
+from repro.blobworld import BlobworldEngine, build_pipeline_corpus
+from repro.core import build_index
+
+
+def main():
+    print("=== 1. pixels -> blobs: synthesize and segment images "
+          "(Figure 1) ===")
+    t0 = time.time()
+    corpus = build_pipeline_corpus(num_images=40, seed=0, image_size=40)
+    print(f"  segmented 40 images into {corpus.num_blobs} blobs "
+          f"({time.time() - t0:.1f}s; EM + MDL, no hand pruning)")
+
+    print("\n=== 2. blob descriptions -> access method (Figure 5) ===")
+    vectors = corpus.reduced(3)
+    tree = build_index(vectors, method="xjb", page_size=2048)
+    print(f"  indexed {corpus.num_blobs} blobs: height {tree.height}, "
+          f"{tree.num_nodes()} nodes")
+
+    print("\n=== 3. query by example region (Figures 2-4) ===")
+    engine = BlobworldEngine(corpus)
+    query_blob = 0
+    images = engine.am_query(tree, query_blob, num_blobs=30, dims=3,
+                             top_images=8)
+    own = int(corpus.image_ids[query_blob])
+    print(f"  query blob {query_blob} (from image {own})")
+    print(f"  best-matching images: {images}")
+    print(f"  query's own image retrieved: {own in images}")
+
+    print("\n=== 4. the geometry the paper studies: a 2-D look at "
+          "indexed blobs ===")
+    two_d = corpus.reduced(2)
+    neighborhood = two_d[np.argsort(
+        ((two_d - two_d[query_blob]) ** 2).sum(axis=1))[:40]]
+    print("  40 nearest blobs in 2-D SVD space "
+          "(note the empty MBR corners JB/XJB exploit):")
+    print(render_leaf_ascii(neighborhood, width=56, height=16))
+
+
+if __name__ == "__main__":
+    main()

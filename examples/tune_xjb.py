@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Automatic X selection for XJB (the paper's future-work item).
+
+Section 5.3: "X should be set to be as large as possible without causing
+the index to add another level"; section 8 asks for "a means for the
+best X to be automatically selected".  This example runs the selector
+across scales and verifies its choice against actually built trees.
+
+Run:  python examples/tune_xjb.py
+"""
+
+from repro.blobworld import build_corpus
+from repro.constants import PAPER_SCALE
+from repro.core import build_index
+from repro.core.xjb import select_x
+
+
+def main():
+    print("=== the selector's choice across corpus scales "
+          "(D=5, 8 KB pages) ===")
+    print(f"{'blobs':>10} {'auto X':>7}")
+    for n in (5_000, 20_000, 60_000, PAPER_SCALE.num_blobs):
+        x = select_x(n, dim=5, page_size=8192)
+        marker = "  <- the paper's corpus" \
+            if n == PAPER_SCALE.num_blobs else ""
+        print(f"{n:>10} {x:>7}{marker}")
+    print(f"\n  (the paper hand-picked X=10 at {PAPER_SCALE.num_blobs} "
+          "blobs)")
+
+    print("\n=== verify against built trees ===")
+    corpus = build_corpus(num_blobs=20_000, num_images=3_200, seed=0)
+    vectors = corpus.reduced(5)
+    rtree = build_index(vectors, "rtree")
+    auto_x = select_x(len(vectors), dim=5, page_size=8192)
+    print(f"  R-tree height: {rtree.height}")
+    print(f"{'X':>4} {'height':>7} {'index fanout':>13} "
+          f"{'within budget':>14}")
+    for x in sorted({0, 2, 4, 8, auto_x, 16, 32}):
+        tree = build_index(vectors, "xjb", x=x)
+        ok = tree.height <= rtree.height + 1
+        note = "  <- auto" if x == auto_x else ""
+        print(f"{x:>4} {tree.height:>7} {tree.index_capacity:>13} "
+              f"{str(ok):>14}{note}")
+
+
+if __name__ == "__main__":
+    main()

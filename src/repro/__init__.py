@@ -1,0 +1,65 @@
+"""Reproduction of "Creating a Customized Access Method for Blobworld"
+(Thomas, Carson & Hellerstein, ICDE 2000).
+
+The package rebuilds the paper's whole stack from scratch:
+
+- :mod:`repro.gist` — a Generalized Search Tree framework with paged,
+  byte-budgeted nodes and exact best-first nearest-neighbor search;
+- :mod:`repro.ams` — the traditional access methods the paper evaluates
+  (R-tree, SS-tree, SR-tree);
+- :mod:`repro.core` — the paper's customized access methods (aMAP, JB,
+  XJB) and the high-level build/analyze/compare API;
+- :mod:`repro.bulk` — STR bulk loading;
+- :mod:`repro.amdb` — the amdb-style loss analysis framework (excess
+  coverage / utilization / clustering losses against an optimal
+  clustering from hypergraph partitioning);
+- :mod:`repro.blobworld` — a synthetic Blobworld: image generation,
+  EM segmentation, 218-bin color descriptors, quadratic-form distance,
+  SVD reduction, and the two-stage query pipeline;
+- :mod:`repro.storage` — pages, codecs, buffer pool, and the disk cost
+  model behind the paper's flat-scan break-even analysis;
+- :mod:`repro.workload` — workload generation and recall evaluation.
+
+Quickstart::
+
+    from repro.blobworld import build_corpus
+    from repro.core import build_index, analyze_workload
+
+    corpus = build_corpus(num_blobs=20_000, num_images=3_200)
+    vectors = corpus.reduced(5)
+    tree = build_index(vectors, method="xjb")
+    hits = tree.knn(vectors[0], k=200)
+"""
+
+from repro.constants import (
+    DEFAULT_PAGE_SIZE,
+    INDEX_DIMENSIONS,
+    NEIGHBORS_PER_QUERY,
+    PAPER_SCALE,
+    SCALE_PROFILES,
+    ScaleProfile,
+    active_profile,
+)
+from repro.core import (
+    EXTENSIONS,
+    analyze_workload,
+    build_index,
+    compare_methods,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "INDEX_DIMENSIONS",
+    "NEIGHBORS_PER_QUERY",
+    "PAPER_SCALE",
+    "SCALE_PROFILES",
+    "ScaleProfile",
+    "active_profile",
+    "EXTENSIONS",
+    "analyze_workload",
+    "build_index",
+    "compare_methods",
+    "__version__",
+]

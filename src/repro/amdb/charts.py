@@ -1,0 +1,107 @@
+"""Terminal chart rendering for the reproduction figures.
+
+The paper's Figures 7/8/14/15/16 are grouped bar charts of losses per
+access method.  These helpers render equivalent charts as text so the
+benchmark output carries the figures, not just the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def bar_chart(title: str, values: Dict[str, float], width: int = 46,
+              unit: str = "") -> str:
+    """A horizontal bar chart, one bar per labeled value."""
+    if not values:
+        return title
+    top = max(max(values.values()), 1e-12)
+    label_w = max(len(k) for k in values)
+    lines = [title]
+    for label, value in values.items():
+        filled = int(round(width * value / top))
+        bar = "█" * filled if filled else "▏"
+        lines.append(f"  {label:<{label_w}} {bar} {value:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(title: str, groups: Dict[str, Dict[str, float]],
+                      width: int = 40, unit: str = "") -> str:
+    """Grouped bars: ``groups[series][category] -> value``.
+
+    Renders one block per category with a bar per series — the layout
+    of the paper's loss figures (categories = loss kinds, series =
+    access methods).
+    """
+    lines = [title]
+    categories: List[str] = []
+    for series in groups.values():
+        for cat in series:
+            if cat not in categories:
+                categories.append(cat)
+    top = max((v for s in groups.values() for v in s.values()),
+              default=0.0)
+    top = max(top, 1e-12)
+    label_w = max(len(name) for name in groups)
+    for cat in categories:
+        lines.append(f"  {cat}:")
+        for name, series in groups.items():
+            value = series.get(cat, 0.0)
+            filled = int(round(width * value / top))
+            bar = "█" * filled if filled else "▏"
+            lines.append(f"    {name:<{label_w}} {bar} "
+                         f"{value:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(title: str, xs: Sequence[float],
+               series: Dict[str, Sequence[float]], height: int = 12,
+               width: int = 60) -> str:
+    """A simple multi-series scatter/line chart (Figure 6's layout).
+
+    Values are scaled into a character grid; each series plots with its
+    own marker, listed in the legend.
+    """
+    markers = "ox+*#@%&"
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals or len(xs) < 2:
+        return title
+    lo, hi = min(all_vals), max(all_vals)
+    span = max(hi - lo, 1e-12)
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = max(x_hi - x_lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, vals) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        legend.append(f"{mark}={name}")
+        for x, v in zip(xs, vals):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((v - lo) / span * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = [title, f"  y: {lo:.3g} .. {hi:.3g}   " + "  ".join(legend)]
+    lines.extend("  |" + "".join(row) + "|" for row in grid)
+    lines.append("   " + "-" * width)
+    lines.append(f"   x: {x_lo:g} .. {x_hi:g}")
+    return "\n".join(lines)
+
+
+def loss_figure(title: str, reports, relative: bool = False) -> str:
+    """Figure 7/8/14/15-style chart from LossReport objects."""
+    groups = {}
+    for report in reports:
+        if relative:
+            fr = report.leaf_loss_fractions
+            groups[report.tree_name] = {
+                "excess coverage (%)": 100 * fr["excess_coverage"],
+                "utilization (%)": 100 * fr["utilization"],
+                "clustering (%)": 100 * fr["clustering"],
+            }
+        else:
+            groups[report.tree_name] = {
+                "excess coverage": report.excess_coverage_leaf,
+                "utilization": report.utilization_loss,
+                "clustering": report.clustering_loss,
+            }
+    return grouped_bar_chart(title, groups)

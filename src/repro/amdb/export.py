@@ -1,0 +1,70 @@
+"""Machine-readable export of analysis results (JSON / CSV).
+
+The plain-text tables suit terminals; external analysis (notebooks,
+spreadsheets, regression tracking) wants structured data.  Exports are
+stable dictionaries round-trippable through ``json``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Sequence
+
+from repro.amdb.metrics import LossReport
+
+
+def report_to_dict(report: LossReport,
+                   include_per_query: bool = False) -> dict:
+    """A JSON-serializable view of one loss report."""
+    out = {
+        "method": report.tree_name,
+        "num_queries": report.num_queries,
+        "height": report.height,
+        "num_leaves": report.num_leaves,
+        "num_inner": report.num_inner,
+        "total_leaf_ios": report.total_leaf_ios,
+        "total_inner_ios": report.total_inner_ios,
+        "total_ios": report.total_ios,
+        "excess_coverage_leaf": report.excess_coverage_leaf,
+        "excess_coverage_inner": report.excess_coverage_inner,
+        "utilization_loss": report.utilization_loss,
+        "clustering_loss": report.clustering_loss,
+        "optimal_leaf_ios": report.optimal_leaf_ios,
+        "leaf_loss_fractions": report.leaf_loss_fractions,
+    }
+    if include_per_query:
+        out["per_query"] = {name: arr.tolist()
+                            for name, arr in report.per_query.items()}
+    return out
+
+
+def reports_to_json(reports: Dict[str, LossReport],
+                    include_per_query: bool = False, **json_kwargs) -> str:
+    """Serialize a method->report mapping as a JSON document."""
+    payload = {name: report_to_dict(r, include_per_query)
+               for name, r in reports.items()}
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", True)
+    return json.dumps(payload, **json_kwargs)
+
+
+_CSV_COLUMNS = [
+    "method", "num_queries", "height", "num_leaves", "num_inner",
+    "total_leaf_ios", "total_inner_ios", "total_ios",
+    "excess_coverage_leaf", "excess_coverage_inner",
+    "utilization_loss", "clustering_loss", "optimal_leaf_ios",
+]
+
+
+def reports_to_csv(reports: Sequence[LossReport]) -> str:
+    """One CSV row per access method."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_COLUMNS,
+                            lineterminator="\n")
+    writer.writeheader()
+    for report in reports:
+        row = report_to_dict(report)
+        writer.writerow({col: row[col] for col in _CSV_COLUMNS})
+    return buffer.getvalue()

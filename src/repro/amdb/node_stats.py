@@ -1,0 +1,88 @@
+"""Per-node loss attribution (amdb's node-level analysis view).
+
+Amdb's GUI lets the AM designer click through to the *nodes* behind the
+aggregate losses.  This module reproduces the data side: for each leaf,
+how often the workload read it, how often that read was useless (excess
+coverage), and the node's geometry — so the worst-offending bounding
+predicates can be inspected directly (the workflow that surfaced the
+empty-corner observation of Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.amdb.profiler import WorkloadProfile
+
+
+@dataclass
+class NodeLoss:
+    """Access statistics for one leaf node over a workload."""
+
+    page_id: int
+    num_entries: int
+    utilization: float
+    accesses: int
+    productive_accesses: int
+
+    @property
+    def empty_accesses(self) -> int:
+        return self.accesses - self.productive_accesses
+
+    @property
+    def empty_fraction(self) -> float:
+        return self.empty_accesses / self.accesses if self.accesses else 0.0
+
+
+def node_losses(profile: WorkloadProfile) -> List[NodeLoss]:
+    """Leaf-level access statistics, sorted by empty accesses (desc)."""
+    accesses: Dict[int, int] = {}
+    productive: Dict[int, int] = {}
+    for trace in profile.traces:
+        result_leaves = profile.result_leaves(trace)
+        for page in set(trace.leaf_accesses):
+            accesses[page] = accesses.get(page, 0) + 1
+            if page in result_leaves:
+                productive[page] = productive.get(page, 0) + 1
+
+    losses = [
+        NodeLoss(page_id=page,
+                 num_entries=profile.leaf_sizes.get(page, 0),
+                 utilization=profile.leaf_utilization.get(page, 0.0),
+                 accesses=count,
+                 productive_accesses=productive.get(page, 0))
+        for page, count in accesses.items()
+    ]
+    losses.sort(key=lambda n: (-n.empty_accesses, n.page_id))
+    return losses
+
+
+def format_worst_offenders(losses: List[NodeLoss],
+                           top: int = 10) -> str:
+    """A table of the leaves causing the most excess coverage."""
+    lines = [f"{'page':>6}{'entries':>9}{'util':>7}{'reads':>7}"
+             f"{'empty':>7}{'empty %':>9}"]
+    for n in losses[:top]:
+        lines.append(f"{n.page_id:>6}{n.num_entries:>9}"
+                     f"{n.utilization:>7.2f}{n.accesses:>7}"
+                     f"{n.empty_accesses:>7}{n.empty_fraction:>8.0%}")
+    return "\n".join(lines)
+
+
+def excess_coverage_concentration(losses: List[NodeLoss],
+                                  fraction: float = 0.5) -> float:
+    """Fraction of leaves responsible for ``fraction`` of the empty
+    accesses — how concentrated the BP problem is (small = a few bad
+    predicates; the actionable case for a designer)."""
+    total_empty = sum(n.empty_accesses for n in losses)
+    if total_empty == 0:
+        return 0.0
+    running = 0
+    for i, n in enumerate(losses):
+        running += n.empty_accesses
+        if running >= fraction * total_empty:
+            return (i + 1) / max(len(losses), 1)
+    return 1.0

@@ -1,0 +1,137 @@
+"""Optimal leaf clustering via heuristic hypergraph partitioning.
+
+Amdb derives its clustering-loss baseline from a hypergraph partition:
+vertices are data items, each query's result set is a hyperedge, and the
+objective is to pack items into blocks of (target utilization x leaf
+capacity) entries while minimizing the total number of blocks each query
+spans — the I/Os an ideally clustered tree would spend.  Amdb uses the
+multilevel partitioner hMETIS [Karypis et al. 97]; truly optimal
+clustering is NP-hard, so any good heuristic serves (paper section 2.2).
+
+Ours seeds blocks with an STR space-filling pass over the item keys —
+already strong for NN workloads — and refines with greedy
+consolidation moves: for each query spanning several blocks, try to move
+its stragglers into its majority block whenever the move helps the
+workload globally and capacity permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bulk.str_pack import str_order
+
+
+@dataclass
+class Clustering:
+    """A capacity-constrained assignment of items to blocks."""
+
+    #: rid -> block index
+    assignment: Dict[int, int]
+    block_capacity: int
+    num_blocks: int
+
+    def spans(self, rids: Sequence[int]) -> int:
+        """Number of distinct blocks the given items occupy."""
+        return len({self.assignment[r] for r in rids})
+
+
+def optimal_clustering(keys: np.ndarray, rids: Sequence[int],
+                       query_results: Sequence[Sequence[int]],
+                       block_capacity: int, passes: int = 3,
+                       slack_blocks: float = 0.05) -> Clustering:
+    """Partition items into blocks minimizing total query span.
+
+    ``keys`` are the item vectors (used for the spatial seed),
+    ``query_results`` the result rid lists of the workload's queries.
+    ``slack_blocks`` adds a margin of extra blocks so refinement moves
+    have room; extra blocks can only improve the objective.
+    """
+    if block_capacity < 1:
+        raise ValueError("block capacity must be >= 1")
+    rids = list(rids)
+    n = len(rids)
+    if len(keys) != n:
+        raise ValueError(f"{len(keys)} keys but {n} rids")
+    if n == 0:
+        return Clustering({}, block_capacity, 0)
+
+    rid_index = {rid: i for i, rid in enumerate(rids)}
+    num_blocks = max(1, int(np.ceil(n / block_capacity)
+                            * (1.0 + slack_blocks)))
+
+    # -- spatial seed: STR order, cut into consecutive blocks -------------
+    order = str_order(np.asarray(keys, dtype=np.float64), block_capacity)
+    assign = np.empty(n, dtype=np.intp)
+    for pos, item in enumerate(order):
+        assign[item] = min(pos // block_capacity, num_blocks - 1)
+    block_sizes = np.bincount(assign, minlength=num_blocks)
+
+    # -- incidence structures ------------------------------------------------
+    # queries as index arrays; per-item query membership lists
+    queries = [np.array([rid_index[r] for r in res if r in rid_index],
+                        dtype=np.intp)
+               for res in query_results]
+    item_queries: List[List[int]] = [[] for _ in range(n)]
+    for qi, members in enumerate(queries):
+        for item in members:
+            item_queries[item].append(qi)
+
+    # per-query block membership counters
+    query_counts: List[Dict[int, int]] = []
+    for members in queries:
+        counts: Dict[int, int] = {}
+        for item in members:
+            b = int(assign[item])
+            counts[b] = counts.get(b, 0) + 1
+        query_counts.append(counts)
+
+    def move_gain(item: int, dst: int) -> int:
+        """Reduction in total span if ``item`` moves to block ``dst``."""
+        src = int(assign[item])
+        gain = 0
+        for qi in item_queries[item]:
+            counts = query_counts[qi]
+            if counts.get(src, 0) == 1:
+                gain += 1          # leaving empties src for this query
+            if counts.get(dst, 0) == 0:
+                gain -= 1          # arriving opens a new block
+        return gain
+
+    def apply_move(item: int, dst: int) -> None:
+        src = int(assign[item])
+        assign[item] = dst
+        block_sizes[src] -= 1
+        block_sizes[dst] += 1
+        for qi in item_queries[item]:
+            counts = query_counts[qi]
+            counts[src] -= 1
+            if counts[src] == 0:
+                del counts[src]
+            counts[dst] = counts.get(dst, 0) + 1
+
+    # -- refinement: consolidate each multi-block query ------------------------
+    for _ in range(passes):
+        moved = 0
+        for qi, members in enumerate(queries):
+            counts = query_counts[qi]
+            if len(counts) <= 1:
+                continue
+            majority = max(counts, key=lambda b: counts[b])
+            for item in members:
+                src = int(assign[item])
+                if src == majority:
+                    continue
+                if block_sizes[majority] >= block_capacity:
+                    break
+                if move_gain(item, majority) > 0:
+                    apply_move(item, majority)
+                    moved += 1
+        if moved == 0:
+            break
+
+    assignment = {rid: int(assign[rid_index[rid]]) for rid in rids}
+    return Clustering(assignment, block_capacity, num_blocks)

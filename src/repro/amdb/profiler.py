@@ -1,0 +1,150 @@
+"""Workload profiling: per-query page access traces.
+
+The profiler registers as an access listener on the tree's page file, so
+it sees exactly the page reads the query work performs (maintenance
+reads are uncounted by design; see :mod:`repro.gist.tree`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+@dataclass
+class QueryTrace:
+    """What one nearest-neighbor query touched and returned."""
+
+    qid: int
+    query: np.ndarray
+    #: leaf page ids read, in access order
+    leaf_accesses: List[int] = field(default_factory=list)
+    #: inner page ids read (root included), in access order
+    inner_accesses: List[int] = field(default_factory=list)
+    #: the k results as (distance, rid), nearest first
+    results: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def result_rids(self) -> List[int]:
+        return [rid for _, rid in self.results]
+
+    @property
+    def total_ios(self) -> int:
+        return len(self.leaf_accesses) + len(self.inner_accesses)
+
+
+@dataclass
+class WorkloadProfile:
+    """Traces for a whole workload plus the tree facts metrics need."""
+
+    tree_name: str
+    k: int
+    traces: List[QueryTrace]
+    #: rid -> leaf page id holding it
+    rid_to_leaf: Dict[int, int]
+    #: leaf page id -> storage utilization in [0, 1+]
+    leaf_utilization: Dict[int, float]
+    #: child page id -> parent page id
+    parents: Dict[int, int]
+    #: leaf page id -> number of entries
+    leaf_sizes: Dict[int, int]
+    leaf_capacity: int
+    num_leaves: int
+    num_inner: int
+    height: int
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_pages(self) -> int:
+        return self.num_leaves + self.num_inner
+
+    @property
+    def total_leaf_ios(self) -> int:
+        return sum(len(t.leaf_accesses) for t in self.traces)
+
+    @property
+    def total_inner_ios(self) -> int:
+        return sum(len(t.inner_accesses) for t in self.traces)
+
+    @property
+    def total_ios(self) -> int:
+        return self.total_leaf_ios + self.total_inner_ios
+
+    def result_leaves(self, trace: QueryTrace) -> Set[int]:
+        """Leaves holding at least one of the query's results."""
+        return {self.rid_to_leaf[rid] for rid in trace.result_rids}
+
+    def result_subtree_pages(self, trace: QueryTrace) -> Set[int]:
+        """All pages on root paths of the query's result leaves."""
+        pages: Set[int] = set()
+        for leaf in self.result_leaves(trace):
+            page = leaf
+            pages.add(page)
+            while page in self.parents:
+                page = self.parents[page]
+                pages.add(page)
+        return pages
+
+    def pages_touched(self) -> Set[int]:
+        """Distinct pages read at least once across the workload."""
+        touched: Set[int] = set()
+        for t in self.traces:
+            touched.update(t.leaf_accesses)
+            touched.update(t.inner_accesses)
+        return touched
+
+
+def profile_workload(tree, queries: Sequence[np.ndarray],
+                     k: int) -> WorkloadProfile:
+    """Replay ``queries`` as k-NN searches, tracing every page access."""
+    traces: List[QueryTrace] = []
+    current = QueryTrace(qid=-1, query=None)
+
+    def listener(page_id: int, level: int) -> None:
+        if level == 0:
+            current.leaf_accesses.append(page_id)
+        else:
+            current.inner_accesses.append(page_id)
+
+    tree.store.add_listener(listener)
+    try:
+        for qid, q in enumerate(queries):
+            q = np.asarray(q, dtype=np.float64)
+            current = QueryTrace(qid=qid, query=q)
+            current.results = tree.knn(q, k)
+            traces.append(current)
+    finally:
+        tree.store.remove_listener(listener)
+
+    rid_to_leaf: Dict[int, int] = {}
+    leaf_utilization: Dict[int, float] = {}
+    leaf_sizes: Dict[int, int] = {}
+    num_leaves = num_inner = 0
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            num_leaves += 1
+            leaf_utilization[node.page_id] = tree.node_utilization(node)
+            leaf_sizes[node.page_id] = len(node)
+            for entry in node.entries:
+                rid_to_leaf[entry.rid] = node.page_id
+        else:
+            num_inner += 1
+
+    return WorkloadProfile(
+        tree_name=tree.ext.name,
+        k=k,
+        traces=traces,
+        rid_to_leaf=rid_to_leaf,
+        leaf_utilization=leaf_utilization,
+        parents=tree.parent_map(),
+        leaf_sizes=leaf_sizes,
+        leaf_capacity=tree.leaf_capacity,
+        num_leaves=num_leaves,
+        num_inner=num_inner,
+        height=tree.height,
+    )

@@ -1,0 +1,74 @@
+"""Plain-text tables for loss reports (benchmark output format)."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.amdb.metrics import LossReport
+
+
+def format_loss_table(report: LossReport) -> str:
+    """One AM's losses, in the layout of the paper's Table 2."""
+    rows = [
+        ("Excess Coverage Loss (leaf)", report.excess_coverage_leaf),
+        ("Excess Coverage Loss (inner)", report.excess_coverage_inner),
+        ("Utilization Loss", report.utilization_loss),
+        ("Clustering Loss", report.clustering_loss),
+        ("Optimal leaf I/Os", report.optimal_leaf_ios),
+        ("Actual leaf I/Os", report.total_leaf_ios),
+        ("Actual inner I/Os", report.total_inner_ios),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{report.tree_name} (height {report.height}, "
+             f"{report.num_leaves} leaves, {report.num_inner} inner, "
+             f"{report.num_queries} queries)"]
+    for name, value in rows:
+        lines.append(f"  {name:<{width}} : {value:>12.1f}")
+    return "\n".join(lines)
+
+
+def format_comparison(reports: Sequence[LossReport],
+                      relative: bool = False) -> str:
+    """Side-by-side losses for several AMs (Figures 7/8/14/15/16).
+
+    ``relative=True`` prints each loss as a percentage of that AM's total
+    leaf-level I/Os (Figure 7 / Figure 14); otherwise raw I/O counts.
+    """
+    headers = ["metric"] + [r.tree_name for r in reports]
+    if relative:
+        rows = {
+            "excess coverage (% leaf IOs)":
+                [100 * r.leaf_loss_fractions["excess_coverage"]
+                 for r in reports],
+            "utilization (% leaf IOs)":
+                [100 * r.leaf_loss_fractions["utilization"]
+                 for r in reports],
+            "clustering (% leaf IOs)":
+                [100 * r.leaf_loss_fractions["clustering"]
+                 for r in reports],
+        }
+    else:
+        rows = {
+            "excess coverage loss (leaf)":
+                [r.excess_coverage_leaf for r in reports],
+            "utilization loss":
+                [r.utilization_loss for r in reports],
+            "clustering loss":
+                [r.clustering_loss for r in reports],
+            "leaf I/Os":
+                [float(r.total_leaf_ios) for r in reports],
+            "inner I/Os":
+                [float(r.total_inner_ios) for r in reports],
+            "total I/Os":
+                [float(r.total_ios) for r in reports],
+            "tree height":
+                [float(r.height) for r in reports],
+        }
+    name_w = max(len(n) for n in rows)
+    col_w = max(10, max(len(h) for h in headers[1:]) + 2)
+    lines = [f"{'metric':<{name_w}}"
+             + "".join(f"{h:>{col_w}}" for h in headers[1:])]
+    for name, values in rows.items():
+        lines.append(f"{name:<{name_w}}"
+                     + "".join(f"{v:>{col_w}.1f}" for v in values))
+    return "\n".join(lines)

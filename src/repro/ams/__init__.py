@@ -1,0 +1,20 @@
+"""Traditional multidimensional access methods (paper section 4).
+
+- :class:`~repro.ams.rtree.RTreeExtension` — MBR predicates, Guttman
+  insertion and quadratic split [10];
+- :class:`~repro.ams.sstree.SSTreeExtension` — bounding-sphere predicates
+  [21];
+- :class:`~repro.ams.srtree.SRTreeExtension` — intersection of MBR and
+  bounding sphere [14].
+
+The paper's custom designs (aMAP, JB, XJB) live in :mod:`repro.core`.
+"""
+
+from repro.ams.rtree import RTreeExtension
+from repro.ams.rstar import RStarTreeExtension
+from repro.ams.sstree import SSTreeExtension
+from repro.ams.srtree import SRTreeExtension
+from repro.ams.flatfile import FlatFile
+
+__all__ = ["RTreeExtension", "RStarTreeExtension", "SSTreeExtension",
+           "SRTreeExtension", "FlatFile"]

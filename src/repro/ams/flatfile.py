@@ -1,0 +1,72 @@
+"""The flat-file sequential scan baseline (paper section 3.2).
+
+"To be worthwhile, AM performance *must* be faster than simply scanning
+a flat file of the five-dimensional feature vectors."  This module
+makes that comparator a first-class object: vectors packed into
+sequential pages, k-NN by full scan, with page counts and modeled times
+that plug into the same analysis as the trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_PAGE_SIZE, NUMBER_SIZE
+from repro.storage.iomodel import DiskModel
+from repro.storage.page import entries_per_page
+
+
+class FlatFile:
+    """Vectors in sequential pages; every query scans all of them."""
+
+    def __init__(self, vectors: np.ndarray,
+                 rids: Optional[List[int]] = None,
+                 page_size: int = DEFAULT_PAGE_SIZE):
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a 2-D (n, dim) array")
+        self.vectors = vectors
+        self.rids = np.asarray(
+            rids if rids is not None else np.arange(len(vectors)),
+            dtype=np.int64)
+        if len(self.rids) != len(vectors):
+            raise ValueError("rids length mismatch")
+        self.page_size = page_size
+        entry = (vectors.shape[1] + 1) * NUMBER_SIZE
+        self.entries_per_page = entries_per_page(page_size, entry)
+        #: pages scanned so far (sequential reads)
+        self.pages_read = 0
+
+    @property
+    def num_pages(self) -> int:
+        return max(1, math.ceil(len(self.vectors)
+                                / self.entries_per_page))
+
+    def knn(self, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
+        """Exact k-NN by scanning every page."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.pages_read += self.num_pages
+        if len(self.vectors) == 0:
+            return []
+        query = np.asarray(query, dtype=np.float64)
+        d = np.sqrt(((self.vectors - query) ** 2).sum(axis=1))
+        order = np.argsort(d, kind="stable")[:k]
+        return [(float(d[i]), int(self.rids[i])) for i in order]
+
+    def scan_time_ms(self, model: Optional[DiskModel] = None) -> float:
+        """Modeled wall time of one full scan."""
+        if model is None:
+            model = DiskModel(page_size=self.page_size)
+        return model.scan_ms(self.num_pages)
+
+    def breakeven_random_reads(self,
+                               model: Optional[DiskModel] = None) -> int:
+        """Random page reads that cost as much as one full scan —
+        the budget an access method must stay under (section 3.2)."""
+        if model is None:
+            model = DiskModel(page_size=self.page_size)
+        return int(model.scan_ms(self.num_pages) / model.random_io_ms)

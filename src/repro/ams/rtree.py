@@ -1,0 +1,108 @@
+"""The R-tree access method [Guttman 84] as a GiST extension.
+
+Minimum bounding rectangles as predicates, least-enlargement insertion
+penalty, quadratic split.  This is the baseline the paper bulk-loads with
+STR in section 4 and the chassis its custom predicates modify.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ams.splits import quadratic_split
+from repro.geometry import Rect
+from repro.geometry.rect import min_dists_to_rects
+from repro.gist.entry import LeafEntry
+from repro.gist.extension import GiSTExtension
+from repro.gist.node import Node
+from repro.storage.codecs import RectCodec
+
+
+def entry_rect(entry, leaf: bool, footprint=None) -> Rect:
+    """The rectangle an entry occupies for split/penalty purposes."""
+    if leaf:
+        return Rect.point(entry.key)
+    return footprint(entry.pred) if footprint else entry.pred
+
+
+class RTreeExtension(GiSTExtension):
+    """Classic R-tree behaviour on :class:`~repro.geometry.Rect` BPs."""
+
+    name = "rtree"
+
+    # -- predicate construction --------------------------------------------
+
+    def pred_for_keys(self, keys: np.ndarray) -> Rect:
+        return Rect.from_points(keys)
+
+    def pred_for_preds(self, preds: Sequence[Rect]) -> Rect:
+        return Rect.from_rects(self.footprints(preds))
+
+    def footprints(self, preds: Sequence) -> List[Rect]:
+        """Rect footprints of predicates (subclasses override)."""
+        return list(preds)
+
+    def footprint(self, pred) -> Rect:
+        return pred
+
+    # -- algebra ---------------------------------------------------------------
+
+    def consistent(self, pred, query_rect) -> bool:
+        return self.footprint(pred).intersects(query_rect)
+
+    def contains(self, pred, point) -> bool:
+        return pred.contains_point(point)
+
+    def covers_pred(self, parent_pred, child_pred) -> bool:
+        return parent_pred.contains_rect(self.footprint(child_pred))
+
+    def penalty(self, pred, key: np.ndarray) -> float:
+        rect = self.footprint(pred)
+        enlarged = rect.union_point(key)
+        growth = enlarged.volume() - rect.volume()
+        # Tie-break by resulting volume, as Guttman prescribes.
+        return growth + 1e-9 * enlarged.volume()
+
+    def penalties_node(self, node: Node, q: np.ndarray) -> np.ndarray:
+        bounds = node.cache.get("rect_bounds")
+        if bounds is None:
+            rects = self.footprints(node.preds())
+            bounds = (np.stack([r.lo for r in rects]),
+                      np.stack([r.hi for r in rects]))
+            node.cache["rect_bounds"] = bounds
+        lo, hi = bounds
+        grown_lo = np.minimum(lo, q)
+        grown_hi = np.maximum(hi, q)
+        grown = np.prod(grown_hi - grown_lo, axis=1)
+        growth = grown - np.prod(hi - lo, axis=1)
+        return growth + 1e-9 * grown
+
+    def pick_split(self, entries: List, level: int,
+                   min_entries: int) -> Tuple[List, List]:
+        leaf = level == 0
+        rects = [entry_rect(e, leaf, self.footprint) for e in entries]
+        return quadratic_split(entries, rects, min_entries)
+
+    def routing_point(self, pred) -> np.ndarray:
+        return self.footprint(pred).center
+
+    # -- distances ---------------------------------------------------------------
+
+    def min_dist(self, pred, q: np.ndarray) -> float:
+        return self.footprint(pred).min_dist(q)
+
+    def min_dists_node(self, node: Node, q: np.ndarray) -> np.ndarray:
+        bounds = node.cache.get("rect_bounds")
+        if bounds is None:
+            rects = self.footprints(node.preds())
+            bounds = (np.stack([r.lo for r in rects]),
+                      np.stack([r.hi for r in rects]))
+            node.cache["rect_bounds"] = bounds
+        return min_dists_to_rects(q, *bounds)
+
+    # -- storage --------------------------------------------------------------------
+
+    def pred_codec(self) -> RectCodec:
+        return RectCodec(self.dim)

@@ -1,0 +1,89 @@
+"""The SS-tree access method [White & Jain 96] as a GiST extension.
+
+Bounding spheres as predicates: centers at (weighted) centroids, radii
+covering all data beneath.  The paper finds the SS-tree's spherical BPs
+interact badly with STR's rectangular tiling — its excess coverage loss
+is the worst of the three traditional AMs (Figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ams.splits import variance_split
+from repro.geometry import Sphere
+from repro.geometry.sphere import min_dists_to_spheres
+from repro.gist.extension import GiSTExtension
+from repro.gist.node import Node
+from repro.storage.codecs import SphereCodec
+
+
+class SSTreeExtension(GiSTExtension):
+    """SS-tree behaviour on :class:`~repro.geometry.Sphere` BPs."""
+
+    name = "sstree"
+
+    # -- predicate construction --------------------------------------------
+
+    def pred_for_keys(self, keys: np.ndarray) -> Sphere:
+        return Sphere.from_points(keys)
+
+    def pred_for_preds(self, preds: Sequence[Sphere]) -> Sphere:
+        return Sphere.from_spheres(list(preds))
+
+    # -- algebra ---------------------------------------------------------------
+
+    def consistent(self, pred: Sphere, query_rect) -> bool:
+        return query_rect.min_dist(pred.center) <= pred.radius
+
+    def contains(self, pred: Sphere, point) -> bool:
+        return pred.contains_point(point)
+
+    def covers_pred(self, parent_pred: Sphere, child_pred: Sphere) -> bool:
+        return parent_pred.contains_sphere(child_pred)
+
+    def penalty(self, pred: Sphere, key: np.ndarray) -> float:
+        # SS-tree routes to the subtree with the closest centroid.
+        return float(np.linalg.norm(pred.center - key))
+
+    def penalties_node(self, node: Node, q: np.ndarray) -> np.ndarray:
+        params = node.cache.get("sphere_params")
+        if params is None:
+            preds = node.preds()
+            params = (np.stack([s.center for s in preds]),
+                      np.array([s.radius for s in preds]))
+            node.cache["sphere_params"] = params
+        centers, _ = params
+        return np.sqrt(((centers - q) ** 2).sum(axis=1))
+
+    def pick_split(self, entries: List, level: int,
+                   min_entries: int) -> Tuple[List, List]:
+        if level == 0:
+            centers = np.stack([e.key for e in entries])
+        else:
+            centers = np.stack([e.pred.center for e in entries])
+        return variance_split(entries, centers, min_entries)
+
+    def routing_point(self, pred: Sphere) -> np.ndarray:
+        return pred.center
+
+    # -- distances ---------------------------------------------------------------
+
+    def min_dist(self, pred: Sphere, q: np.ndarray) -> float:
+        return pred.min_dist(q)
+
+    def min_dists_node(self, node: Node, q: np.ndarray) -> np.ndarray:
+        params = node.cache.get("sphere_params")
+        if params is None:
+            preds = node.preds()
+            params = (np.stack([s.center for s in preds]),
+                      np.array([s.radius for s in preds]))
+            node.cache["sphere_params"] = params
+        return min_dists_to_spheres(q, *params)
+
+    # -- storage --------------------------------------------------------------------
+
+    def pred_codec(self) -> SphereCodec:
+        return SphereCodec(self.dim)

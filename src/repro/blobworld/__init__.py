@@ -1,0 +1,51 @@
+"""A from-scratch Blobworld substrate (paper section 2.3, Figure 1).
+
+Blobworld [Carson et al. 98] segments images into coherent regions
+("blobs") and describes each blob by a color histogram and texture
+summary.  This package rebuilds that pipeline end-to-end on synthetic
+imagery, plus the query side (Figure 2):
+
+pixels → features → EM segmentation → blobs → descriptors → SVD → index
+
+- :mod:`~repro.blobworld.synthimage` — generative images with colored,
+  textured elliptical regions and ground-truth masks;
+- :mod:`~repro.blobworld.colorspace` / :mod:`~repro.blobworld.binning` —
+  sRGB→L*a*b* conversion and the 218-bin color histogram space;
+- :mod:`~repro.blobworld.features` — per-pixel color and texture
+  (contrast, anisotropy) features;
+- :mod:`~repro.blobworld.em` — Gaussian-mixture EM with MDL model
+  selection, Blobworld's grouping step;
+- :mod:`~repro.blobworld.segment` — pixel grouping into blob regions;
+- :mod:`~repro.blobworld.descriptors` — blob color/texture descriptors;
+- :mod:`~repro.blobworld.distance` — the quadratic-form histogram
+  distance [Hafner et al. 95] and its exact Euclidean embedding;
+- :mod:`~repro.blobworld.svd` — SVD dimensionality reduction to the
+  indexed 5-D vectors (paper section 3);
+- :mod:`~repro.blobworld.dataset` — corpus builders: the full pipeline
+  at small scale and a fitted generative descriptor model at index
+  scale (see DESIGN.md, substitutions);
+- :mod:`~repro.blobworld.query` — full-ranking queries and the
+  AM-assisted two-stage query of Figure 2.
+"""
+
+from repro.blobworld.colorspace import rgb_to_lab
+from repro.blobworld.binning import ColorBinning
+from repro.blobworld.distance import QuadraticFormDistance
+from repro.blobworld.svd import SVDReducer
+from repro.blobworld.dataset import (BlobCorpus, build_corpus,
+                                     build_pipeline_corpus, load_corpus,
+                                     save_corpus)
+from repro.blobworld.query import BlobworldEngine
+
+__all__ = [
+    "rgb_to_lab",
+    "ColorBinning",
+    "QuadraticFormDistance",
+    "SVDReducer",
+    "BlobCorpus",
+    "build_corpus",
+    "build_pipeline_corpus",
+    "save_corpus",
+    "load_corpus",
+    "BlobworldEngine",
+]

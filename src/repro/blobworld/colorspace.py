@@ -1,0 +1,49 @@
+"""sRGB to CIE L*a*b* conversion.
+
+Blobworld describes colors in L*a*b* because Euclidean distance there
+approximates perceptual difference — the property the quadratic-form
+histogram distance builds on.  Standard D65 transform, vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# sRGB (linear) -> XYZ, D65 white point
+_RGB_TO_XYZ = np.array([
+    [0.4124564, 0.3575761, 0.1804375],
+    [0.2126729, 0.7151522, 0.0721750],
+    [0.0193339, 0.1191920, 0.9503041],
+])
+
+_WHITE = np.array([0.95047, 1.00000, 1.08883])
+
+
+def _srgb_to_linear(c: np.ndarray) -> np.ndarray:
+    return np.where(c <= 0.04045, c / 12.92,
+                    ((c + 0.055) / 1.055) ** 2.4)
+
+
+def _f(t: np.ndarray) -> np.ndarray:
+    delta = 6.0 / 29.0
+    return np.where(t > delta ** 3, np.cbrt(t),
+                    t / (3 * delta ** 2) + 4.0 / 29.0)
+
+
+def rgb_to_lab(rgb: np.ndarray) -> np.ndarray:
+    """Convert sRGB in [0, 1] to L*a*b*.
+
+    Accepts any shape ending in a 3-channel axis; returns the same shape.
+    L* is in [0, 100]; a*, b* roughly in [-128, 127].
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.shape[-1] != 3:
+        raise ValueError(f"expected trailing RGB axis of 3, got {rgb.shape}")
+    linear = _srgb_to_linear(np.clip(rgb, 0.0, 1.0))
+    xyz = linear @ _RGB_TO_XYZ.T
+    fxyz = _f(xyz / _WHITE)
+    lab = np.empty_like(xyz)
+    lab[..., 0] = 116.0 * fxyz[..., 1] - 16.0
+    lab[..., 1] = 500.0 * (fxyz[..., 0] - fxyz[..., 1])
+    lab[..., 2] = 200.0 * (fxyz[..., 1] - fxyz[..., 2])
+    return lab

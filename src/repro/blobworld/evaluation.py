@@ -1,0 +1,94 @@
+"""Ground-truth retrieval evaluation over the generative corpus.
+
+The paper evaluates against "the top forty images returned by a full
+Blobworld query" (recall, Figure 6) because the real corpus has no
+labels.  Our generative corpus *does* carry ground truth — the theme
+each blob was sampled from — so retrieval quality can also be measured
+directly: an image is relevant to a query blob iff it contains a blob
+of the same theme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.blobworld.dataset import BlobCorpus
+
+
+def relevant_images(corpus: BlobCorpus, query_blob: int) -> Set[int]:
+    """Images containing at least one blob of the query blob's theme."""
+    if corpus.themes is None:
+        raise ValueError("corpus carries no theme ground truth")
+    theme = corpus.themes[query_blob]
+    if theme < 0:
+        raise ValueError(f"blob {query_blob} has no theme label")
+    blobs = np.nonzero(corpus.themes == theme)[0]
+    return {int(i) for i in np.unique(corpus.image_ids[blobs])}
+
+
+@dataclass
+class RetrievalQuality:
+    """Aggregate quality of a retrieval run over several queries."""
+
+    precision_at_k: float
+    recall_at_k: float
+    mean_reciprocal_rank: float
+    k: int
+    num_queries: int
+
+
+def evaluate_retrieval(corpus: BlobCorpus,
+                       query_blobs: Sequence[int],
+                       retrieved: Dict[int, List[int]],
+                       k: int = 10) -> RetrievalQuality:
+    """Precision@k / recall@k / MRR against theme ground truth.
+
+    ``retrieved[q]`` is the ranked image list a system returned for
+    query blob ``q``.
+    """
+    precisions, recalls, rranks = [], [], []
+    for q in query_blobs:
+        relevant = relevant_images(corpus, q)
+        ranked = retrieved[q]
+        top = ranked[:k]
+        hits = sum(1 for image in top if image in relevant)
+        precisions.append(hits / max(len(top), 1))
+        recalls.append(hits / max(len(relevant), 1))
+        rr = 0.0
+        for rank, image in enumerate(ranked, start=1):
+            if image in relevant:
+                rr = 1.0 / rank
+                break
+        rranks.append(rr)
+    return RetrievalQuality(
+        precision_at_k=float(np.mean(precisions)),
+        recall_at_k=float(np.mean(recalls)),
+        mean_reciprocal_rank=float(np.mean(rranks)),
+        k=k,
+        num_queries=len(query_blobs),
+    )
+
+
+def evaluate_engine(corpus: BlobCorpus, engine, query_blobs,
+                    k: int = 10, mode: str = "full",
+                    tree=None, dims: int = 5,
+                    num_blobs: int = 200) -> RetrievalQuality:
+    """Run queries through a :class:`BlobworldEngine` and score them.
+
+    ``mode``: ``"full"`` (exhaustive ranking) or ``"am"`` (two-stage
+    with the given tree).
+    """
+    retrieved = {}
+    for q in query_blobs:
+        if mode == "full":
+            retrieved[q] = engine.full_query(q, max(k, 40))
+        elif mode == "am":
+            retrieved[q] = engine.am_query(tree, q, num_blobs,
+                                           dims=dims,
+                                           top_images=max(k, 40))
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+    return evaluate_retrieval(corpus, query_blobs, retrieved, k=k)

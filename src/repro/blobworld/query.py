@@ -1,0 +1,222 @@
+"""Blobworld querying (paper Figure 2): full ranking and the two-stage
+access-method-assisted pipeline.
+
+A *full* query compares the query blob's 218-bin histogram against every
+blob in the corpus with the quadratic-form distance and returns the best
+images.  The AM-assisted query instead asks an index for the ``n``
+nearest blobs in the reduced space ("a quick and dirty estimate of the
+top few hundred"), re-ranks only those candidates with the full
+distance, and returns the top images — the goal being that the AM's top
+few hundred contain the top few dozen the full ranking would pick.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import FULL_QUERY_RESULT_IMAGES
+from repro.blobworld.dataset import BlobCorpus
+
+
+def _top_images_from_blobs(blob_indices: np.ndarray,
+                           blob_distances: np.ndarray,
+                           image_ids: np.ndarray,
+                           top_images: int) -> List[int]:
+    """Rank images by their best (smallest-distance) blob."""
+    best: dict = {}
+    for blob, dist in zip(blob_indices, blob_distances):
+        image = int(image_ids[blob])
+        if image not in best or dist < best[image]:
+            best[image] = dist
+    ranked = sorted(best, key=best.get)
+    return ranked[:top_images]
+
+
+class BlobworldEngine:
+    """Query execution over a :class:`BlobCorpus`."""
+
+    def __init__(self, corpus: BlobCorpus):
+        self.corpus = corpus
+
+    # -- full ranking -------------------------------------------------------
+
+    def full_query(self, query_blob: int,
+                   top_images: int = FULL_QUERY_RESULT_IMAGES) -> List[int]:
+        """Rank every blob with the full quadratic-form distance."""
+        emb = self.corpus.embedded
+        diff = emb - emb[query_blob]
+        dists = (diff * diff).sum(axis=1)
+        order = np.argsort(dists, kind="stable")
+        return _top_images_from_blobs(order, dists[order],
+                                      self.corpus.image_ids, top_images)
+
+    # -- reduced-space brute force (Figure 6's low-D queries) ------------------
+
+    def reduced_query(self, query_blob: int, dims: int, num_blobs: int,
+                      top_images: Optional[int] = None) -> List[int]:
+        """Nearest blobs by D-dimensional Euclidean distance, re-ranked
+        with the full distance (the Figure 6 configuration)."""
+        reduced = self.corpus.reduced(dims)
+        diff = reduced - reduced[query_blob]
+        dists = (diff * diff).sum(axis=1)
+        candidates = np.argsort(dists, kind="stable")[:num_blobs]
+        return self.rerank(query_blob, candidates, top_images)
+
+    # -- AM-assisted query (Figure 2) ----------------------------------------------
+
+    def am_query(self, tree, query_blob: int, num_blobs: int,
+                 dims: int, top_images: Optional[int] = None) -> List[int]:
+        """Two-stage query: index candidates, then full re-ranking.
+
+        ``tree`` must index the corpus's ``dims``-dimensional reduced
+        vectors with blob indices as RIDs.
+        """
+        query_vec = self.corpus.reduced(dims)[query_blob]
+        hits = tree.knn(query_vec, num_blobs)
+        candidates = np.array([rid for _, rid in hits], dtype=np.intp)
+        return self.rerank(query_blob, candidates, top_images)
+
+    def am_query_images(self, tree, query_blob: int, num_images: int,
+                        dims: int,
+                        top_images: Optional[int] = None) -> List[int]:
+        """The paper's literal contract: retrieve nearest blobs until
+        ``num_images`` distinct images are seen, then re-rank.
+
+        Section 3's workload "consists of nearest neighbor queries that
+        retrieve 200 images each"; the incremental cursor
+        (:mod:`repro.gist.cursor`) pulls exactly as many blobs as that
+        needs.
+        """
+        query_vec = self.corpus.reduced(dims)[query_blob]
+        image_ids = self.corpus.image_ids
+        seen = set()
+        candidates = []
+        for _, rid in tree.nn_cursor(query_vec):
+            candidates.append(rid)
+            seen.add(int(image_ids[rid]))
+            if len(seen) >= num_images:
+                break
+        return self.rerank(query_blob,
+                           np.array(candidates, dtype=np.intp),
+                           top_images)
+
+    def rerank(self, query_blob: int, candidates: np.ndarray,
+               top_images: Optional[int] = None) -> List[int]:
+        """Order candidate blobs by full distance; return their images."""
+        if top_images is None:
+            top_images = FULL_QUERY_RESULT_IMAGES
+        emb = self.corpus.embedded
+        diff = emb[candidates] - emb[query_blob]
+        dists = (diff * diff).sum(axis=1)
+        order = np.argsort(dists, kind="stable")
+        return _top_images_from_blobs(candidates[order], dists[order],
+                                      self.corpus.image_ids, top_images)
+
+    # -- weighted compound queries (Figure 3's sliders) ----------------------------
+
+    def weighted_distances(self, query_blob: int,
+                           candidates: np.ndarray,
+                           weights: Optional[dict] = None) -> np.ndarray:
+        """Weighted compound distance over color / texture / location /
+        size (the paper's Figure 3: "Color is very important, location
+        is not, texture is so-so...").
+
+        Each component distance is normalized by its corpus-wide mean so
+        the weights are comparable; missing descriptors (a corpus built
+        without them) simply contribute nothing.
+        """
+        weights = dict(weights or {})
+        w_color = weights.pop("color", 1.0)
+        w_texture = weights.pop("texture", 0.0)
+        w_location = weights.pop("location", 0.0)
+        w_size = weights.pop("size", 0.0)
+        if weights:
+            raise ValueError(f"unknown weight keys {sorted(weights)}")
+
+        corpus = self.corpus
+        total = np.zeros(len(candidates))
+        emb = corpus.embedded
+        diff = emb[candidates] - emb[query_blob]
+        color = (diff * diff).sum(axis=1)
+        total += w_color * color / max(self._scale("color"), 1e-12)
+
+        if w_texture and corpus.textures is not None:
+            d = corpus.textures[candidates] - corpus.textures[query_blob]
+            total += w_texture * (d * d).sum(axis=1) \
+                / max(self._scale("texture"), 1e-12)
+        if w_location and corpus.locations is not None:
+            d = corpus.locations[candidates] \
+                - corpus.locations[query_blob]
+            total += w_location * (d * d).sum(axis=1) \
+                / max(self._scale("location"), 1e-12)
+        if w_size and corpus.sizes is not None:
+            d = corpus.sizes[candidates] - corpus.sizes[query_blob]
+            total += w_size * d * d / max(self._scale("size"), 1e-12)
+        return total
+
+    def _scale(self, component: str) -> float:
+        """Corpus-wide mean squared distance of one component (cached)."""
+        cache = getattr(self, "_scales", None)
+        if cache is None:
+            cache = self._scales = {}
+        if component not in cache:
+            corpus = self.corpus
+            rng = np.random.default_rng(0)
+            n = corpus.num_blobs
+            a = rng.integers(0, n, size=min(2000, n * 2))
+            b = rng.integers(0, n, size=len(a))
+            if component == "color":
+                d = corpus.embedded[a] - corpus.embedded[b]
+                cache[component] = float((d * d).sum(axis=1).mean())
+            elif component == "texture":
+                d = corpus.textures[a] - corpus.textures[b]
+                cache[component] = float((d * d).sum(axis=1).mean())
+            elif component == "location":
+                d = corpus.locations[a] - corpus.locations[b]
+                cache[component] = float((d * d).sum(axis=1).mean())
+            elif component == "size":
+                d = corpus.sizes[a] - corpus.sizes[b]
+                cache[component] = float((d * d).mean())
+            else:
+                raise ValueError(f"unknown component {component!r}")
+        return cache[component]
+
+    def weighted_query(self, query_blob: int,
+                       weights: Optional[dict] = None,
+                       top_images: Optional[int] = None,
+                       tree=None, num_blobs: int = 400,
+                       dims: int = 5) -> List[int]:
+        """Full weighted ranking, optionally accelerated by an index.
+
+        Without ``tree``, every blob is scored.  With ``tree``, the
+        color index supplies ``num_blobs`` candidates first (color must
+        carry positive weight for that to be sound — enforced).
+        """
+        if top_images is None:
+            top_images = FULL_QUERY_RESULT_IMAGES
+        if tree is None:
+            candidates = np.arange(self.corpus.num_blobs)
+        else:
+            if weights and weights.get("color", 1.0) <= 0:
+                raise ValueError(
+                    "index-assisted weighted queries need color weight "
+                    "> 0 (the index covers color space)")
+            query_vec = self.corpus.reduced(dims)[query_blob]
+            hits = tree.knn(query_vec, num_blobs)
+            candidates = np.array([rid for _, rid in hits],
+                                  dtype=np.intp)
+        dists = self.weighted_distances(query_blob, candidates, weights)
+        order = np.argsort(dists, kind="stable")
+        return _top_images_from_blobs(candidates[order], dists[order],
+                                      self.corpus.image_ids, top_images)
+
+
+def recall(reference_images: Sequence[int],
+           retrieved_images: Sequence[int]) -> float:
+    """Fraction of the reference images present in the retrieved set."""
+    reference = set(reference_images)
+    if not reference:
+        return 1.0
+    return len(reference & set(retrieved_images)) / len(reference)

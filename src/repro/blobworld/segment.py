@@ -1,0 +1,76 @@
+"""Image segmentation: pixels to blob regions (Figure 1, middle stages).
+
+EM clusters the pixel features; pixels are assigned to their most likely
+cluster, label maps are spatially smoothed, and connected components
+above a minimum area become blobs — fully automatic, no hand pruning,
+as the paper stresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.blobworld.em import fit_em_mdl
+from repro.blobworld.features import pixel_features
+
+
+@dataclass
+class Blob:
+    """A segmented region: its pixel mask plus summary geometry."""
+
+    mask: np.ndarray           # (H, W) bool
+    label: int                 # EM cluster the blob came from
+    area: int
+    centroid: tuple
+
+
+def segment_image(pixels: np.ndarray, min_area_fraction: float = 0.02,
+                  max_blobs: int = 8, subsample: int = 4,
+                  seed: int = 0) -> List[Blob]:
+    """Segment an sRGB image into blobs.
+
+    EM is fitted on a pixel subsample for speed and then used to label
+    every pixel.  ``min_area_fraction`` drops slivers, and at most
+    ``max_blobs`` largest regions are kept (Blobworld keeps a handful of
+    support regions per image).
+    """
+    feats = pixel_features(pixels)
+    h, w, d = feats.shape
+    flat = feats.reshape(-1, d)
+    rng = np.random.default_rng(seed)
+
+    sample = flat[::subsample] if subsample > 1 else flat
+    mixture = fit_em_mdl(sample, rng=rng)
+    labels = mixture.assign(flat).reshape(h, w)
+
+    # Majority smoothing removes pixel speckle before components.
+    labels = _majority_filter(labels, mixture.k, size=3)
+
+    min_area = int(min_area_fraction * h * w)
+    blobs: List[Blob] = []
+    for cluster in range(mixture.k):
+        components, count = ndimage.label(labels == cluster)
+        for comp in range(1, count + 1):
+            mask = components == comp
+            area = int(mask.sum())
+            if area < min_area:
+                continue
+            ys, xs = np.nonzero(mask)
+            blobs.append(Blob(mask=mask, label=cluster, area=area,
+                              centroid=(float(ys.mean()),
+                                        float(xs.mean()))))
+    blobs.sort(key=lambda b: -b.area)
+    return blobs[:max_blobs]
+
+
+def _majority_filter(labels: np.ndarray, num_labels: int,
+                     size: int = 3) -> np.ndarray:
+    """Replace each label by the most common one in its neighborhood."""
+    votes = np.stack([
+        ndimage.uniform_filter((labels == c).astype(np.float64), size=size)
+        for c in range(num_labels)])
+    return votes.argmax(axis=0)

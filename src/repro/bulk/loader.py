@@ -1,0 +1,154 @@
+"""Tree construction: STR bulk loading and insertion loading.
+
+:func:`bulk_load` packs STR-ordered keys into full leaves and builds the
+upper levels bottom-up, recomputing each level's bounding predicates with
+the extension's own constructors — so a JB tree gets bitten predicates at
+every level, an SS-tree gets spheres, and so on.  :func:`insertion_load`
+builds the same tree through repeated INSERT calls, the configuration the
+paper contrasts in Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.bulk.str_pack import chunk_sizes, str_order
+from repro.gist.entry import IndexEntry, LeafEntry
+from repro.gist.extension import GiSTExtension
+from repro.gist.node import Node
+from repro.gist.tree import GiST
+
+#: default bulk fill fraction; full pages maximize utilization as the
+#: paper's STR loading does, while leaving headroom for later inserts.
+DEFAULT_FILL = 1.0
+
+
+def _resolve_ordering(order):
+    """Map an ordering name to its function (see repro.bulk.spacefill)."""
+    if callable(order):
+        return order
+    if order == "str":
+        return str_order
+    if order in ("morton", "hilbert"):
+        from repro.bulk import spacefill
+        return getattr(spacefill, f"{order}_order")
+    raise ValueError(f"unknown bulk ordering {order!r}; "
+                     "choose 'str', 'morton', 'hilbert', or a callable")
+
+
+def bulk_load(ext: GiSTExtension, keys: np.ndarray,
+              rids: Optional[Sequence[int]] = None,
+              page_size: int = DEFAULT_PAGE_SIZE,
+              store=None, fill: float = DEFAULT_FILL,
+              order: str = "str") -> GiST:
+    """Build a tree over ``keys`` using a packed ordering.
+
+    ``order`` selects the packing: ``"str"`` (the paper's
+    sort-tile-recursive, default), ``"hilbert"`` or ``"morton"``
+    space-filling curves, or any callable ``(points, capacity) ->
+    indices``.  ``rids`` default to ``0..n-1``; ``fill`` scales the
+    per-page entry target (1.0 packs pages full).
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 2:
+        raise ValueError("keys must be a 2-D (n, dim) array")
+    n = len(keys)
+    if rids is None:
+        rids = range(n)
+    rids = list(rids)
+    if len(rids) != n:
+        raise ValueError(f"{n} keys but {len(rids)} rids")
+
+    tree = GiST(ext, store=store, page_size=page_size)
+    if n == 0:
+        return tree
+    was_counting = tree.store.counting
+    tree.store.counting = False
+    try:
+        _build(tree, keys, rids, fill, _resolve_ordering(order))
+    finally:
+        tree.store.counting = was_counting
+    return tree
+
+
+def _build(tree: GiST, keys: np.ndarray, rids, fill: float,
+           order_fn) -> None:
+    ext = tree.ext
+    if not 0.0 < fill <= 1.0:
+        raise ValueError(f"fill must be in (0, 1], got {fill}")
+
+    # -- leaf level --------------------------------------------------------
+    leaf_target = max(tree.min_entries(0),
+                      int(tree.leaf_capacity * fill))
+    order = order_fn(keys, leaf_target)
+    entries = []
+    nodes = []
+    pos = 0
+    for size in chunk_sizes(len(keys), leaf_target, tree.min_entries(0),
+                            tree.leaf_capacity):
+        chunk = order[pos:pos + size]
+        pos += size
+        node = Node(tree.store.allocate(), 0,
+                    [LeafEntry(keys[i], rids[i]) for i in chunk])
+        tree.store.write(node)
+        nodes.append(node)
+        entries.append(IndexEntry(ext.pred_for_keys(keys[chunk]),
+                                  node.page_id))
+
+    # -- upper levels -------------------------------------------------------
+    level = 1
+    index_target = max(tree.min_entries(1),
+                       int(tree.index_capacity * fill))
+    while len(entries) > 1:
+        centers = np.stack([ext.routing_point(e.pred) for e in entries])
+        order = order_fn(centers, index_target)
+        next_entries = []
+        pos = 0
+        for size in chunk_sizes(len(entries), index_target,
+                                tree.min_entries(level),
+                                tree.index_capacity):
+            chunk = order[pos:pos + size]
+            pos += size
+            node = Node(tree.store.allocate(), level,
+                        [entries[i] for i in chunk])
+            tree.store.write(node)
+            next_entries.append(IndexEntry(
+                ext.pred_for_preds([entries[i].pred for i in chunk]),
+                node.page_id))
+        entries = next_entries
+        level += 1
+
+    root = tree.store.peek(entries[0].child)
+    tree.adopt(root, height=root.level + 1, size=len(keys))
+
+
+def insertion_load(ext: GiSTExtension, keys: np.ndarray,
+                   rids: Optional[Sequence[int]] = None,
+                   page_size: int = DEFAULT_PAGE_SIZE,
+                   store=None, shuffle_seed: Optional[int] = None) -> GiST:
+    """Build a tree by inserting keys one at a time (Table 2's contrast).
+
+    ``shuffle_seed`` randomizes insertion order; ``None`` inserts in the
+    given order.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    n = len(keys)
+    if rids is None:
+        rids = range(n)
+    rids = list(rids)
+    order = np.arange(n)
+    if shuffle_seed is not None:
+        order = np.random.default_rng(shuffle_seed).permutation(n)
+
+    tree = GiST(ext, store=store, page_size=page_size)
+    was_counting = tree.store.counting
+    tree.store.counting = False
+    try:
+        for i in order:
+            tree.insert(keys[i], rids[i])
+    finally:
+        tree.store.counting = was_counting
+    return tree

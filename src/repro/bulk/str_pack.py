@@ -1,0 +1,84 @@
+"""Sort-Tile-Recursive (STR) packing [Leutenegger, Lopez & Edgington 96].
+
+STR tiles the data space into roughly hyper-square cells of one page
+each: sort by the first coordinate, cut into vertical slabs sized so each
+slab holds a whole number of pages, then recurse on the remaining
+coordinates within each slab.  The resulting order packs neighbors onto
+the same page, which is why the paper's bulk-loaded trees show almost no
+clustering loss.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+
+def str_order(points: np.ndarray, capacity: int) -> np.ndarray:
+    """Return indices permuting ``points`` into STR tile order.
+
+    ``capacity`` is the number of points per page the caller intends to
+    pack; it controls the tiling granularity.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be a 2-D (n, dim) array")
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    n, dim = pts.shape
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+
+    def recurse(indices: np.ndarray, d: int) -> np.ndarray:
+        order = indices[np.argsort(pts[indices, d], kind="stable")]
+        if d == dim - 1 or len(indices) <= capacity:
+            return order
+        pages = math.ceil(len(indices) / capacity)
+        slabs = math.ceil(pages ** (1.0 / (dim - d)))
+        slab_pages = math.ceil(pages / slabs)
+        slab_size = slab_pages * capacity
+        parts = [recurse(order[i:i + slab_size], d + 1)
+                 for i in range(0, len(order), slab_size)]
+        return np.concatenate(parts)
+
+    return recurse(np.arange(n, dtype=np.intp), 0)
+
+
+def chunk_sizes(n: int, target: int, min_entries: int,
+                capacity: int = None) -> List[int]:
+    """Page sizes for packing ``n`` items ``target`` per page.
+
+    Packs full pages and fixes up a too-small tail by borrowing from the
+    previous page, so every page (except a lone single page) meets
+    ``min_entries`` and none exceeds ``capacity`` (default: ``target``).
+    """
+    if n <= 0:
+        return []
+    if target < 1:
+        raise ValueError(f"target must be >= 1, got {target}")
+    capacity = target if capacity is None else capacity
+    if target > capacity:
+        raise ValueError(f"target {target} exceeds capacity {capacity}")
+    sizes = [target] * (n // target)
+    tail = n % target
+    if tail:
+        sizes.append(tail)
+    if len(sizes) >= 2 and sizes[-1] < min_entries:
+        need = min_entries - sizes[-1]
+        give = min(need, sizes[-2] - min_entries)
+        if give > 0:
+            sizes[-2] -= give
+            sizes[-1] += give
+        if sizes[-1] < min_entries:
+            if sizes[-2] + sizes[-1] <= capacity:
+                # Tiny n: merge the tail into its neighbor.
+                sizes[-2] += sizes.pop()
+            else:
+                # Rebalance the last two pages evenly.
+                both = sizes[-2] + sizes[-1]
+                sizes[-2] = both // 2
+                sizes[-1] = both - both // 2
+    assert sum(sizes) == n
+    return sizes

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Covers the end-to-end workflow a downstream user needs:
+
+- ``corpus``  — build and save a blob corpus (generative or pipeline);
+- ``index``   — build and save an access method over a corpus;
+- ``query``   — run a two-stage Blobworld query through a saved index;
+- ``analyze`` — amdb-style loss comparison of access methods;
+- ``recall``  — the Figure 6 recall grid;
+- ``info``    — inspect a saved index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_PAGE_SIZE,
+    FULL_QUERY_RESULT_IMAGES,
+    INDEX_DIMENSIONS,
+    NEIGHBORS_PER_QUERY,
+)
+
+
+def _cmd_corpus(args) -> int:
+    from repro.blobworld import build_corpus, build_pipeline_corpus, save_corpus
+    if args.pipeline:
+        corpus = build_pipeline_corpus(num_images=args.images,
+                                       seed=args.seed)
+    else:
+        corpus = build_corpus(num_blobs=args.blobs,
+                              num_images=args.images, seed=args.seed)
+    save_corpus(corpus, args.output)
+    print(f"saved {corpus.num_blobs} blobs / {corpus.num_images} images "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_index(args) -> int:
+    from repro.blobworld import load_corpus
+    from repro.core import build_index
+    from repro.gist.persist import save_tree
+
+    corpus = load_corpus(args.corpus)
+    vectors = corpus.reduced(args.dims)
+    options = {}
+    if args.method == "xjb" and args.x is not None:
+        options["x"] = args.x if args.x >= 0 else "auto"
+    tree = build_index(vectors, args.method, page_size=args.page_size,
+                       loading=args.loading, **options)
+    save_tree(tree, args.output)
+    print(f"{args.method} index over {len(vectors)} x {args.dims}D "
+          f"vectors: height {tree.height}, {tree.num_nodes()} nodes "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.blobworld import BlobworldEngine, load_corpus
+    from repro.gist.persist import load_tree
+
+    corpus = load_corpus(args.corpus)
+    tree = load_tree(path=args.index)
+    engine = BlobworldEngine(corpus)
+    weights = {"color": args.color_weight,
+               "texture": args.texture_weight,
+               "location": args.location_weight}
+    images = engine.weighted_query(
+        args.blob, weights, top_images=args.top,
+        tree=tree, num_blobs=args.candidates,
+        dims=tree.ext.dim)
+    print(f"query blob {args.blob} (image "
+          f"{int(corpus.image_ids[args.blob])}); "
+          f"weights {weights}")
+    print(f"top {args.top} images: {images}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.amdb import format_comparison
+    from repro.blobworld import load_corpus
+    from repro.core import compare_methods
+    from repro.workload import make_workload
+
+    corpus = load_corpus(args.corpus)
+    vectors = corpus.reduced(args.dims)
+    workload = make_workload(vectors, args.queries, k=args.k,
+                             seed=args.seed)
+    reports = compare_methods(vectors, workload.queries, k=args.k,
+                              methods=args.methods,
+                              page_size=args.page_size)
+    if args.json:
+        from repro.amdb import reports_to_json
+        print(reports_to_json(reports))
+        return 0
+    if args.csv:
+        from repro.amdb import reports_to_csv
+        print(reports_to_csv([reports[m] for m in args.methods]),
+              end="")
+        return 0
+    print(format_comparison([reports[m] for m in args.methods]))
+    print()
+    print(format_comparison([reports[m] for m in args.methods],
+                            relative=True))
+    return 0
+
+
+def _cmd_recall(args) -> int:
+    from repro.blobworld import load_corpus
+    from repro.workload import recall_curve
+
+    corpus = load_corpus(args.corpus)
+    queries = corpus.sample_query_blobs(args.queries,
+                                        seed=args.seed).tolist()
+    dims = sorted(set(args.dims_list))
+    retrieved = sorted(set(args.retrieved))
+    points = recall_curve(corpus, queries, dims, retrieved)
+    by_key = {(p.dims, p.retrieved): p.mean_recall for p in points}
+    print("retrieved " + "".join(f"{d:>7}D" for d in dims))
+    for r in retrieved:
+        print(f"{r:>9} " + "".join(f"{by_key[(d, r)]:>8.3f}"
+                                   for d in dims))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.gist.persist import load_tree
+    from repro.gist.validate import validate_tree
+
+    from repro.amdb import format_tree_report, tree_report
+
+    tree = load_tree(path=args.index)
+    validate_tree(tree)
+    print(f"config       : {tree.ext.config() or '{}'}")
+    print(format_tree_report(tree_report(tree)))
+    print("invariants   : ok")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Customized access methods for Blobworld "
+                    "(ICDE 2000 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="build and save a blob corpus")
+    p.add_argument("output", help="output .npz path")
+    p.add_argument("--blobs", type=int, default=20_000)
+    p.add_argument("--images", type=int, default=3_200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pipeline", action="store_true",
+                   help="run the full image pipeline (slow, small)")
+    p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser("index", help="build and save an access method")
+    p.add_argument("corpus", help="corpus .npz path")
+    p.add_argument("output", help="output .gist path")
+    p.add_argument("--method", default="xjb",
+                   choices=["rtree", "rstar", "sstree", "srtree",
+                            "amap", "xjb", "jb"])
+    p.add_argument("--dims", type=int, default=INDEX_DIMENSIONS)
+    p.add_argument("--page-size", type=int, default=DEFAULT_PAGE_SIZE)
+    p.add_argument("--loading", default="bulk",
+                   choices=["bulk", "insert"])
+    p.add_argument("--x", type=int, default=None,
+                   help="XJB bite budget (-1 = auto)")
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("query", help="two-stage Blobworld query")
+    p.add_argument("corpus")
+    p.add_argument("index")
+    p.add_argument("blob", type=int, help="query blob id")
+    p.add_argument("--top", type=int, default=FULL_QUERY_RESULT_IMAGES)
+    p.add_argument("--candidates", type=int,
+                   default=NEIGHBORS_PER_QUERY)
+    p.add_argument("--color-weight", type=float, default=1.0)
+    p.add_argument("--texture-weight", type=float, default=0.0)
+    p.add_argument("--location-weight", type=float, default=0.0)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("analyze", help="amdb loss comparison")
+    p.add_argument("corpus")
+    p.add_argument("--methods", nargs="+",
+                   default=["rtree", "xjb", "jb"])
+    p.add_argument("--dims", type=int, default=INDEX_DIMENSIONS)
+    p.add_argument("--queries", type=int, default=100)
+    p.add_argument("--k", type=int, default=NEIGHBORS_PER_QUERY)
+    p.add_argument("--page-size", type=int, default=DEFAULT_PAGE_SIZE)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit results as JSON")
+    p.add_argument("--csv", action="store_true",
+                   help="emit results as CSV")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("recall", help="Figure 6 recall grid")
+    p.add_argument("corpus")
+    p.add_argument("--queries", type=int, default=30)
+    p.add_argument("--dims-list", type=int, nargs="+",
+                   default=[1, 2, 3, 5, 10])
+    p.add_argument("--retrieved", type=int, nargs="+",
+                   default=[50, 200, 800])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_recall)
+
+    p = sub.add_parser("info", help="inspect a saved index")
+    p.add_argument("index")
+    p.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

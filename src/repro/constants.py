@@ -1,0 +1,90 @@
+"""Central scale and layout constants for the reproduction.
+
+The paper's experiments use 221,231 blobs from 35,000 images, 5,531
+nearest-neighbor queries, 200 neighbors per query, and 5-dimensional
+SVD-reduced color feature vectors.  Pure-Python trees cannot process the
+full corpus in benchmark time, so every experiment is parameterized by a
+:class:`ScaleProfile`; the ``REPRO_SCALE`` environment variable selects a
+profile for the benchmark suite (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Default page size in bytes (the paper's 8 KB).  With 8-byte numbers a
+#: leaf holds 170 five-dimensional entries, matching the paper's
+#: "between 100 and 200 data points" per leaf.
+DEFAULT_PAGE_SIZE = 8192
+
+#: Bytes per stored number (C doubles in the original libgist).
+NUMBER_SIZE = 8
+
+#: Target node utilization used by the amdb utilization-loss metric.
+TARGET_UTILIZATION = 0.7
+
+#: Dimensionality the paper settles on for indexed vectors (section 3).
+INDEX_DIMENSIONS = 5
+
+#: Neighbors retrieved per access-method query (section 3).
+NEIGHBORS_PER_QUERY = 200
+
+#: Full Blobworld color-descriptor dimensionality (section 3).
+FULL_DESCRIPTOR_DIMENSIONS = 218
+
+#: Images the full Blobworld ranking returns to the user (Figure 6 caption).
+FULL_QUERY_RESULT_IMAGES = 40
+
+#: Random bipartition samples used by the aMAP approximation (section 5.1).
+AMAP_SAMPLES = 1024
+
+#: Bites kept by the XJB bounding predicate in the paper (section 6).
+XJB_DEFAULT_X = 10
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """A coherent set of experiment sizes.
+
+    Attributes mirror the paper's corpus statistics; each profile scales
+    them down together so per-query result sizes and tree shapes remain
+    comparable.
+    """
+
+    name: str
+    num_blobs: int
+    num_images: int
+    num_queries: int
+    neighbors: int
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    @property
+    def blobs_per_image(self) -> float:
+        return self.num_blobs / self.num_images
+
+
+SCALE_PROFILES = {
+    "smoke": ScaleProfile("smoke", num_blobs=2_000, num_images=320,
+                          num_queries=60, neighbors=50),
+    "default": ScaleProfile("default", num_blobs=20_000, num_images=3_200,
+                            num_queries=400, neighbors=200),
+    "full": ScaleProfile("full", num_blobs=60_000, num_images=9_500,
+                         num_queries=1_200, neighbors=200),
+}
+
+#: The paper's actual corpus, recorded for EXPERIMENTS.md comparisons.
+PAPER_SCALE = ScaleProfile("paper", num_blobs=221_231, num_images=35_000,
+                           num_queries=5_531, neighbors=200, page_size=8192)
+
+
+def active_profile() -> ScaleProfile:
+    """Return the profile selected by ``REPRO_SCALE`` (default ``default``)."""
+    name = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALE_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_SCALE {name!r}; "
+            f"choose one of {sorted(SCALE_PROFILES)}"
+        ) from None

@@ -1,0 +1,198 @@
+"""The MAP / aMAP access method (paper section 5.1).
+
+A MAP (Minimum Area Predicate) bounds a node with *two* hyper-rectangles
+chosen to minimize the total enclosed volume, counting overlap once.
+The idealized MAP examines every bipartition of the bounded items; aMAP
+(approximate MAP) samples 1024 random bipartitions and keeps the best —
+the construction actually used in the paper's experiments.
+
+Unlike R-tree node-split heuristics, overlap between the two rectangles
+is acceptable (they belong to the *same* predicate), so the objective is
+total covered volume, not overlap minimization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import AMAP_SAMPLES
+from repro.ams.rtree import RTreeExtension
+from repro.geometry import Rect
+from repro.geometry.rect import min_dists_to_rects
+from repro.gist.node import Node
+from repro.storage.codecs import DualRectCodec
+
+
+class MapPred:
+    """A MAP bounding predicate: the union of two rectangles."""
+
+    __slots__ = ("r1", "r2")
+
+    def __init__(self, r1: Rect, r2: Rect):
+        self.r1 = r1
+        self.r2 = r2
+
+    def __iter__(self):
+        yield self.r1
+        yield self.r2
+
+    @property
+    def dim(self) -> int:
+        return self.r1.dim
+
+    def mbr(self) -> Rect:
+        return self.r1.union(self.r2)
+
+    def covered_volume(self) -> float:
+        """Total volume, counting the overlapped region once."""
+        return (self.r1.volume() + self.r2.volume()
+                - self.r1.intersection_volume(self.r2))
+
+    def contains_point(self, p) -> bool:
+        return self.r1.contains_point(p) or self.r2.contains_point(p)
+
+    def min_dist(self, q) -> float:
+        return min(self.r1.min_dist(q), self.r2.min_dist(q))
+
+    def __repr__(self) -> str:
+        return f"MapPred({self.r1!r}, {self.r2!r})"
+
+
+def best_bipartition(los: np.ndarray, his: np.ndarray, samples: int,
+                     rng: np.random.Generator) -> MapPred:
+    """Minimum-total-volume pair of MBRs over random bipartitions.
+
+    ``los``/``his`` give each item's own bounds (equal for points).  The
+    all-in-one split (second rectangle empty) is always a candidate, so
+    aMAP never does worse than the plain MBR on covered volume.
+    """
+    n = len(los)
+    whole = Rect(los.min(axis=0), his.max(axis=0))
+    best = MapPred(whole, whole)
+    best_vol = best.covered_volume()
+    if n < 2:
+        return best
+
+    dim = los.shape[1]
+    masks = rng.integers(0, 2, size=(samples, n), dtype=np.int8).astype(bool)
+    # Random bipartitions alone essentially never separate coherent
+    # groups of more than a few dozen items, so the candidate pool also
+    # includes axis-sweep bipartitions (cut the items sorted along each
+    # dimension at a few quantiles) — still bipartitions, so still MAP.
+    sweeps = []
+    centers = (los + his) / 2.0
+    for d in range(dim):
+        order = np.argsort(centers[:, d], kind="stable")
+        for frac in (0.25, 0.5, 0.75):
+            cut = int(n * frac)
+            if 0 < cut < n:
+                mask = np.zeros(n, dtype=bool)
+                mask[order[:cut]] = True
+                sweeps.append(mask)
+    if sweeps:
+        masks = np.concatenate([masks, np.stack(sweeps)])
+    # Discard degenerate all-true / all-false samples.
+    keep = masks.any(axis=1) & (~masks).any(axis=1)
+    masks = masks[keep]
+    if len(masks) == 0:
+        return best
+
+    big = np.inf
+    lo1 = np.where(masks[:, :, None], los[None], big).min(axis=1)
+    hi1 = np.where(masks[:, :, None], his[None], -big).max(axis=1)
+    lo2 = np.where(masks[:, :, None], big, los[None]).min(axis=1)
+    hi2 = np.where(masks[:, :, None], -big, his[None]).max(axis=1)
+
+    vol1 = np.prod(hi1 - lo1, axis=1)
+    vol2 = np.prod(hi2 - lo2, axis=1)
+    inter = np.clip(np.minimum(hi1, hi2) - np.maximum(lo1, lo2), 0.0, None)
+    total = vol1 + vol2 - np.prod(inter, axis=1)
+
+    i = int(np.argmin(total))
+    if total[i] < best_vol:
+        best = MapPred(Rect(lo1[i], hi1[i]), Rect(lo2[i], hi2[i]))
+    return best
+
+
+class AMapExtension(RTreeExtension):
+    """aMAP: R-tree chassis with dual-rectangle bounding predicates.
+
+    Routing (penalty, split) treats the predicate as its overall MBR; the
+    dual rectangles only sharpen ``consistent`` and the NN distance.
+    """
+
+    name = "amap"
+
+    def __init__(self, dim: int, samples: int = AMAP_SAMPLES,
+                 seed: int = 0):
+        super().__init__(dim)
+        self.samples = samples
+        self._rng = np.random.default_rng(seed)
+
+    # -- predicate construction --------------------------------------------
+
+    def pred_for_keys(self, keys: np.ndarray) -> MapPred:
+        keys = np.asarray(keys, dtype=np.float64)
+        return best_bipartition(keys, keys, self.samples, self._rng)
+
+    def pred_for_preds(self, preds: Sequence[MapPred]) -> MapPred:
+        rects = self.footprints(preds)
+        los = np.stack([r.lo for r in rects])
+        his = np.stack([r.hi for r in rects])
+        return best_bipartition(los, his, self.samples, self._rng)
+
+    def footprints(self, preds: Sequence[MapPred]) -> List[Rect]:
+        return [p.mbr() for p in preds]
+
+    def footprint(self, pred: MapPred) -> Rect:
+        return pred.mbr()
+
+    # -- algebra ---------------------------------------------------------------
+
+    def consistent(self, pred: MapPred, query_rect) -> bool:
+        return (pred.r1.intersects(query_rect)
+                or pred.r2.intersects(query_rect))
+
+    def contains(self, pred: MapPred, point) -> bool:
+        return pred.contains_point(point)
+
+    def covers_pred(self, parent_pred: MapPred, child_pred: MapPred) -> bool:
+        child = self.footprint(child_pred)
+        return (parent_pred.r1.contains_rect(child)
+                or parent_pred.r2.contains_rect(child))
+
+    # -- distances ---------------------------------------------------------------
+
+    def min_dist(self, pred: MapPred, q: np.ndarray) -> float:
+        return pred.min_dist(q)
+
+    def min_dists_node(self, node: Node, q: np.ndarray) -> np.ndarray:
+        bounds = node.cache.get("amap_bounds")
+        if bounds is None:
+            preds = node.preds()
+            bounds = (np.stack([p.r1.lo for p in preds]),
+                      np.stack([p.r1.hi for p in preds]),
+                      np.stack([p.r2.lo for p in preds]),
+                      np.stack([p.r2.hi for p in preds]))
+            node.cache["amap_bounds"] = bounds
+        lo1, hi1, lo2, hi2 = bounds
+        return np.minimum(min_dists_to_rects(q, lo1, hi1),
+                          min_dists_to_rects(q, lo2, hi2))
+
+    # -- storage --------------------------------------------------------------------
+
+    def pred_codec(self) -> "_MapPredCodec":
+        return _MapPredCodec(self.dim)
+
+    def config(self) -> dict:
+        return {"samples": self.samples}
+
+
+class _MapPredCodec(DualRectCodec):
+    """DualRectCodec that decodes into :class:`MapPred` objects."""
+
+    def decode(self, data: bytes) -> MapPred:
+        r1, r2 = super().decode(data)
+        return MapPred(r1, r2)

@@ -1,0 +1,127 @@
+"""The JB ("Jagged Bites") access method (paper section 5.2).
+
+A JB predicate is an MBR plus the largest safe rectangular bite at
+*every* corner, constructed with the nibbling heuristic of the paper's
+Figure 13 (:func:`repro.geometry.bites.carve_bites`).  With ``2**D``
+corners the predicate costs ``(2 + 2**D) * D`` numbers (Table 3), which
+at D=5 is 8.5x the MBR — the price that pushed the paper's JB tree from
+height 3 to height 6 while driving leaf-level excess coverage to nearly
+zero.
+
+Distances are two-tier: the plain MBR distance is the cheap enqueue
+bound and the bite-aware distance the lazy refinement (see
+:mod:`repro.gist.nn`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ams.rtree import RTreeExtension
+from repro.geometry import BittenRect, Rect
+from repro.geometry.bites import DEFAULT_MAX_STEPS
+from repro.storage.codecs import JBCodec
+
+
+class JBExtension(RTreeExtension):
+    """R-tree chassis with full Jagged-Bites bounding predicates."""
+
+    name = "jb"
+
+    #: bites kept per predicate; None keeps every corner's bite (JB).
+    max_bites: Optional[int] = None
+
+    has_refinement = True
+
+    def __init__(self, dim: int, max_steps: int = DEFAULT_MAX_STEPS,
+                 bite_method: str = "sweep", split_method: str = "gap"):
+        """``bite_method``: ``"sweep"`` (the improved construction the
+        paper's footnote 7 reserves for its final version, the default),
+        ``"nibble"`` (the Figure 13 heuristic exactly), ``"both"``, or
+        ``"probe"`` (the section-8 workload-oriented construction).
+
+        ``split_method``: ``"gap"`` (the bite-friendly largest-void
+        split of :mod:`repro.core.jb_split`, future work #1) or
+        ``"quadratic"`` (inherit the R-tree split)."""
+        super().__init__(dim)
+        self.max_steps = max_steps
+        self.bite_method = bite_method
+        if split_method not in ("gap", "quadratic"):
+            raise ValueError(f"unknown split method {split_method!r}")
+        self.split_method = split_method
+
+    # -- predicate construction --------------------------------------------
+
+    def pred_for_keys(self, keys: np.ndarray) -> BittenRect:
+        return BittenRect.from_points(keys, max_bites=self.max_bites,
+                                      max_steps=self.max_steps,
+                                      method=self.bite_method)
+
+    def pred_for_preds(self, preds: Sequence[BittenRect]) -> BittenRect:
+        return BittenRect.from_rects(self.footprints(preds),
+                                     max_bites=self.max_bites,
+                                     max_steps=self.max_steps,
+                                     method=self.bite_method)
+
+    def footprints(self, preds: Sequence[BittenRect]) -> List[Rect]:
+        return [p.rect for p in preds]
+
+    def footprint(self, pred: BittenRect) -> Rect:
+        return pred.rect
+
+    # -- algebra ---------------------------------------------------------------
+
+    def consistent(self, pred: BittenRect, query_rect) -> bool:
+        inter = pred.rect.intersection(query_rect)
+        if inter is None:
+            return False
+        # If one bite swallows the whole intersection box, the query
+        # cannot reach covered data through this predicate.
+        return not any(_swallows(b, inter) for b in pred.bites)
+
+    def contains(self, pred: BittenRect, point) -> bool:
+        return pred.contains_point(point)
+
+    def covers_pred(self, parent_pred: BittenRect,
+                    child_pred: BittenRect) -> bool:
+        return parent_pred.contains_rect(self.footprint(child_pred))
+
+    def pick_split(self, entries, level: int, min_entries: int):
+        if self.split_method == "quadratic":
+            return super().pick_split(entries, level, min_entries)
+        from repro.ams.rtree import entry_rect
+        from repro.core.jb_split import gap_split
+        leaf = level == 0
+        rects = [entry_rect(e, leaf, self.footprint) for e in entries]
+        return gap_split(entries, rects, min_entries)
+
+    # -- distances ---------------------------------------------------------------
+
+    def min_dist(self, pred: BittenRect, q: np.ndarray) -> float:
+        return pred.min_dist(q)
+
+    # min_dists_node is inherited from RTreeExtension: it uses the cached
+    # MBR bounds as the cheap lower bound; refine_dist tightens lazily.
+
+    def refine_dist(self, pred: BittenRect, q: np.ndarray,
+                    lower_bound: float) -> float:
+        return max(lower_bound, pred.min_dist(q))
+
+    # -- storage --------------------------------------------------------------------
+
+    def pred_codec(self) -> JBCodec:
+        return JBCodec(self.dim)
+
+    def config(self) -> dict:
+        return {"max_steps": self.max_steps,
+                "bite_method": self.bite_method,
+                "split_method": self.split_method}
+
+
+def _swallows(bite, rect: Rect) -> bool:
+    """Is the closed box ``rect`` entirely inside the half-open bite?"""
+    low_ok = (rect.lo >= bite.lo) & (rect.hi < bite.hi)
+    high_ok = (rect.lo > bite.lo) & (rect.hi <= bite.hi)
+    return bool(np.all(np.where(bite.low_side, low_ok, high_ok)))

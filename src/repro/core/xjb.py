@@ -1,0 +1,89 @@
+"""The XJB ("Top X Jagged Bites") access method (paper section 5.3).
+
+XJB stores only the ``X`` largest-volume bites, costing
+``2*D + (D+1)*X`` numbers per predicate (Table 3).  The paper sets
+``X = 10`` for its 5-D data — "as large as possible without causing the
+index to add another level" beyond one — and lists automatic selection
+of X as future work; :func:`select_x` implements that selector from the
+fanout arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import NUMBER_SIZE, XJB_DEFAULT_X
+from repro.core.jbtree import JBExtension
+from repro.geometry.bites import DEFAULT_MAX_STEPS
+from repro.storage.codecs import XJBCodec
+from repro.storage.page import entries_per_page
+
+
+class XJBExtension(JBExtension):
+    """JB behaviour limited to the top ``x`` bites per predicate."""
+
+    name = "xjb"
+
+    def __init__(self, dim: int, x: int = None,
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 bite_method: str = "sweep", split_method: str = "gap"):
+        if x is None:
+            # The paper's X=10, clamped to the corner count of low dims.
+            x = min(XJB_DEFAULT_X, 1 << dim)
+        super().__init__(dim, max_steps=max_steps,
+                         bite_method=bite_method,
+                         split_method=split_method)
+        if not 0 <= x <= (1 << dim):
+            raise ValueError(f"x={x} out of range for dim={dim}")
+        self.x = x
+        self.max_bites = x
+
+    def pred_codec(self) -> XJBCodec:
+        return XJBCodec(self.dim, self.x)
+
+    def config(self) -> dict:
+        return {"x": self.x, "max_steps": self.max_steps,
+                "bite_method": self.bite_method,
+                "split_method": self.split_method}
+
+
+def _index_height(num_leaves: int, fanout: int) -> int:
+    """Levels of a packed tree with ``num_leaves`` leaves."""
+    height = 1
+    nodes = num_leaves
+    while nodes > 1:
+        nodes = math.ceil(nodes / fanout)
+        height += 1
+    return height
+
+
+def select_x(num_items: int, dim: int, page_size: int,
+             max_extra_levels: int = 1) -> int:
+    """Choose the largest ``X`` whose tree grows at most
+    ``max_extra_levels`` beyond the plain R-tree's height.
+
+    This automates the paper's manual choice (future work, section 8):
+    "X should be set to be as large as possible without causing the
+    index to add another level."
+    """
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    leaf_entry = dim * NUMBER_SIZE + NUMBER_SIZE
+    leaves = math.ceil(num_items / entries_per_page(page_size, leaf_entry))
+
+    rect_entry = 2 * dim * NUMBER_SIZE + NUMBER_SIZE
+    base_height = _index_height(leaves,
+                                entries_per_page(page_size, rect_entry))
+
+    best = 0
+    for x in range(0, (1 << dim) + 1):
+        entry = rect_entry + (dim + 1) * x * NUMBER_SIZE
+        try:
+            fanout = entries_per_page(page_size, entry)
+        except ValueError:
+            break
+        if _index_height(leaves, fanout) <= base_height + max_extra_levels:
+            best = x
+        else:
+            break
+    return best

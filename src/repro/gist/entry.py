@@ -1,0 +1,21 @@
+"""Tree entries: leaf ``(key, RID)`` pairs and index ``(BP, child)`` pairs."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+
+class LeafEntry(NamedTuple):
+    """A stored data item: feature vector ``key`` and its record id."""
+
+    key: np.ndarray
+    rid: int
+
+
+class IndexEntry(NamedTuple):
+    """An internal-node entry: bounding predicate and child page id."""
+
+    pred: object
+    child: int

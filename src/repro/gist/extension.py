@@ -1,0 +1,127 @@
+"""The GiST extension interface.
+
+An access method is defined entirely by a :class:`GiSTExtension`: the
+predicate algebra (``consistent``, ``union``-style predicate builders,
+``penalty``, ``pick_split``), distance functions for nearest-neighbor
+search, containment tests used for deletion and validation, and the
+binary codec that fixes the predicate's stored size (and therefore the
+tree's fanout — the paper's Table 3 knob).
+
+Two-tier distances
+------------------
+``min_dists_node`` must return *lower bounds* on the distance from a
+query point to any data reachable under each entry — cheap, vectorized,
+used to enqueue children during best-first search.  Extensions with
+expensive-but-tighter predicates (JB/XJB) additionally implement
+``refine_dist``; the search calls it lazily, only when an entry reaches
+the front of the priority queue, and re-queues the entry if the refined
+bound pushes it back.  The set of nodes finally expanded is identical to
+eager tight evaluation, so I/O counts reflect the tight predicate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gist.entry import IndexEntry, LeafEntry
+from repro.gist.node import Node
+from repro.storage.codecs import Codec
+
+
+class GiSTExtension:
+    """Behaviour bundle specializing the GiST to one access method."""
+
+    #: short identifier used in reports ("rtree", "xjb", ...)
+    name: str = "abstract"
+
+    def __init__(self, dim: int):
+        self.dim = dim
+
+    # -- predicate construction --------------------------------------------
+
+    def pred_for_keys(self, keys: np.ndarray):
+        """Bounding predicate for a leaf node's ``(n, dim)`` key array."""
+        raise NotImplementedError
+
+    def pred_for_preds(self, preds: Sequence):
+        """Bounding predicate covering child predicates (inner nodes)."""
+        raise NotImplementedError
+
+    def pred_for_node(self, node: Node):
+        """Recompute a node's bounding predicate from its contents."""
+        if node.is_leaf:
+            return self.pred_for_keys(node.keys_array())
+        return self.pred_for_preds(node.preds())
+
+    # -- predicate algebra -----------------------------------------------------
+
+    def consistent(self, pred, query_rect) -> bool:
+        """May data under ``pred`` fall inside the query rectangle?"""
+        raise NotImplementedError
+
+    def contains(self, pred, point) -> bool:
+        """Must ``pred`` cover ``point``?  Exact; drives DELETE descent."""
+        raise NotImplementedError
+
+    def covers_pred(self, parent_pred, child_pred) -> bool:
+        """Conservative check that ``parent_pred`` covers ``child_pred``.
+
+        Used by validation and by the insert path to skip redundant
+        parent updates; ``False`` negatives merely cost an update.
+        """
+        raise NotImplementedError
+
+    def penalty(self, pred, key: np.ndarray) -> float:
+        """Cost of routing ``key`` under ``pred`` (INSERT descent)."""
+        raise NotImplementedError
+
+    def penalties_node(self, node: Node, key: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`penalty` over an inner node's entries."""
+        return np.array([self.penalty(e.pred, key) for e in node.entries])
+
+    def pick_split(self, entries: List, level: int,
+                   min_entries: int) -> Tuple[List, List]:
+        """Partition an overflowing node's entries into two groups.
+
+        Both groups must have at least ``min_entries`` entries.
+        """
+        raise NotImplementedError
+
+    # -- distances -------------------------------------------------------------
+
+    def min_dist(self, pred, q: np.ndarray) -> float:
+        """Lower bound on the distance from ``q`` to data under ``pred``."""
+        raise NotImplementedError
+
+    def min_dists_node(self, node: Node, q: np.ndarray) -> np.ndarray:
+        """Vectorized lower bounds for all entries of an inner node.
+
+        The default stacks nothing and loops; extensions should memoize
+        stacked predicate arrays in ``node.cache``.
+        """
+        return np.array([self.min_dist(p, q) for p in node.preds()])
+
+    #: whether :meth:`refine_dist` tightens :meth:`min_dists_node` bounds
+    has_refinement: bool = False
+
+    def refine_dist(self, pred, q: np.ndarray, lower_bound: float) -> float:
+        """Tighter lower bound, evaluated lazily at queue-pop time."""
+        return lower_bound
+
+    def routing_point(self, pred) -> np.ndarray:
+        """A representative point for routing an orphaned subtree's entry
+        during delete condensation (typically the predicate's center)."""
+        raise NotImplementedError
+
+    # -- storage -----------------------------------------------------------------
+
+    def pred_codec(self) -> Codec:
+        """Fixed-size codec for this AM's predicate (defines fanout)."""
+        raise NotImplementedError
+
+    def config(self) -> dict:
+        """Constructor options needed to rebuild this extension
+        (persisted in saved-tree headers so files are self-describing)."""
+        return {}

@@ -1,0 +1,91 @@
+"""Tree nodes: one page each, with lazy per-node computation caches."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gist.entry import IndexEntry, LeafEntry
+
+
+class Node:
+    """A tree node occupying exactly one page.
+
+    ``level`` 0 means leaf.  ``entries`` holds :class:`LeafEntry` items at
+    the leaf level and :class:`IndexEntry` items above it.  The ``cache``
+    dict lets extensions memoize stacked-array views of the entries (for
+    vectorized distance computation); any structural mutation must go
+    through the mutator methods so the cache is invalidated.
+    """
+
+    __slots__ = ("page_id", "level", "entries", "cache")
+
+    def __init__(self, page_id: int, level: int, entries: Optional[List] = None):
+        self.page_id = page_id
+        self.level = level
+        self.entries: List = list(entries) if entries is not None else []
+        self.cache: dict = {}
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- mutation (cache-invalidating) --------------------------------------
+
+    def add_entry(self, entry) -> None:
+        self.entries.append(entry)
+        self.cache.clear()
+
+    def remove_entry_at(self, index: int) -> None:
+        del self.entries[index]
+        self.cache.clear()
+
+    def set_entries(self, entries: List) -> None:
+        self.entries = list(entries)
+        self.cache.clear()
+
+    def replace_entry(self, index: int, entry) -> None:
+        self.entries[index] = entry
+        self.cache.clear()
+
+    # -- cached views -----------------------------------------------------------
+
+    def keys_array(self) -> np.ndarray:
+        """Stacked ``(n, dim)`` array of leaf keys (leaf nodes only)."""
+        if not self.is_leaf:
+            raise ValueError("keys_array is only defined for leaves")
+        cached = self.cache.get("keys")
+        if cached is None:
+            cached = np.stack([e.key for e in self.entries]) \
+                if self.entries else np.empty((0, 0))
+            self.cache["keys"] = cached
+        return cached
+
+    def rids(self) -> List[int]:
+        if not self.is_leaf:
+            raise ValueError("rids is only defined for leaves")
+        return [e.rid for e in self.entries]
+
+    def preds(self) -> List:
+        if self.is_leaf:
+            raise ValueError("preds is only defined for internal nodes")
+        return [e.pred for e in self.entries]
+
+    def children(self) -> List[int]:
+        if self.is_leaf:
+            raise ValueError("children is only defined for internal nodes")
+        return [e.child for e in self.entries]
+
+    def find_child_index(self, child: int) -> int:
+        for i, e in enumerate(self.entries):
+            if e.child == child:
+                return i
+        raise KeyError(f"child page {child} not in node {self.page_id}")
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"inner(level={self.level})"
+        return f"Node(page={self.page_id}, {kind}, entries={len(self.entries)})"

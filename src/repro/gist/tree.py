@@ -1,0 +1,378 @@
+"""The GiST template algorithms: search, insert, delete, maintenance.
+
+The tree is parameterized by a :class:`~repro.gist.extension.GiSTExtension`
+and a page file.  Fanout is *real*: a node overflows when its fixed-size
+entries exceed the page payload, so predicate size (Table 3 of the paper)
+directly shapes the tree.
+
+Query operations (:meth:`GiST.search`, :meth:`GiST.knn`) read nodes
+through the counting path of the page file; maintenance operations
+(insert, delete, bulk load) use the non-counting ``peek`` path, so page
+statistics reflect query work only — matching how amdb measures
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_PAGE_SIZE
+from repro.gist.entry import IndexEntry, LeafEntry
+from repro.gist.extension import GiSTExtension
+from repro.gist.node import Node
+from repro.gist.nn import knn_search
+from repro.storage.codecs import IndexEntryCodec, LeafEntryCodec
+from repro.storage.page import entries_per_page, page_payload
+from repro.storage.pagefile import MemoryPageFile
+
+#: minimum fill fraction enforced by splits and deletes (Guttman's m).
+MIN_FILL = 0.4
+
+
+class GiST:
+    """A height-balanced multi-way search tree specialized by an extension."""
+
+    def __init__(self, extension: GiSTExtension, store=None,
+                 page_size: int = DEFAULT_PAGE_SIZE):
+        self.ext = extension
+        self.store = store if store is not None else MemoryPageFile()
+        self.page_size = page_size
+        self.leaf_codec = LeafEntryCodec(extension.dim)
+        self.index_codec = IndexEntryCodec(extension.pred_codec())
+        self.leaf_capacity = entries_per_page(page_size, self.leaf_codec.size)
+        self.index_capacity = entries_per_page(page_size,
+                                               self.index_codec.size)
+        self.root_id: Optional[int] = None
+        #: number of levels; 0 for an empty tree, 1 for a lone leaf root.
+        self.height = 0
+        #: number of stored (key, RID) pairs.
+        self.size = 0
+
+    # -- capacities ---------------------------------------------------------
+
+    def capacity(self, level: int) -> int:
+        return self.leaf_capacity if level == 0 else self.index_capacity
+
+    def min_entries(self, level: int) -> int:
+        return max(1, int(MIN_FILL * self.capacity(level)))
+
+    # -- node access ----------------------------------------------------------
+
+    def _read(self, page_id: int) -> Node:
+        """Counted read — query work."""
+        return self.store.read(page_id)
+
+    def _peek(self, page_id: int) -> Node:
+        """Uncounted read — maintenance work."""
+        return self.store.peek(page_id)
+
+    def _new_node(self, level: int, entries=None) -> Node:
+        node = Node(self.store.allocate(), level, entries)
+        self.store.write(node)
+        return node
+
+    # -- queries ------------------------------------------------------------------
+
+    def search(self, query_rect) -> List[LeafEntry]:
+        """All leaf entries whose keys fall inside ``query_rect``."""
+        if self.root_id is None:
+            return []
+        results: List[LeafEntry] = []
+        stack = [self.root_id]
+        while stack:
+            node = self._read(stack.pop())
+            if node.is_leaf:
+                if node.entries:
+                    inside = query_rect.contains_points(node.keys_array())
+                    results.extend(e for e, ok in zip(node.entries, inside)
+                                   if ok)
+            else:
+                for entry in node.entries:
+                    if self.ext.consistent(entry.pred, query_rect):
+                        stack.append(entry.child)
+        return results
+
+    def knn(self, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
+        """The ``k`` nearest stored keys to ``query`` as (distance, rid).
+
+        Best-first (Hjaltason–Samet) search; exact for every conservative
+        extension.  Ties at the k-th distance are broken arbitrarily.
+        """
+        return knn_search(self, query, k)
+
+    def nn_cursor(self, query):
+        """Incremental nearest-neighbor iterator; see
+        :func:`repro.gist.cursor.nn_cursor`."""
+        from repro.gist.cursor import nn_cursor
+        return nn_cursor(self, query)
+
+    def sphere_search(self, center, radius: float) -> List[Tuple[float, int]]:
+        """All keys within ``radius`` of ``center`` as (distance, rid)."""
+        from repro.gist.expanding import sphere_search
+        return sphere_search(self, center, radius)
+
+    def knn_expanding(self, query, k: int, **options
+                      ) -> List[Tuple[float, int]]:
+        """Exact k-NN via the paper's expanding-sphere strategy
+        (section 5); see :func:`repro.gist.expanding.knn_expanding`."""
+        from repro.gist.expanding import knn_expanding
+        return knn_expanding(self, query, k, **options)
+
+    # -- insertion -------------------------------------------------------------------
+
+    def insert(self, key, rid: int) -> None:
+        """Add a ``(key, RID)`` pair (GiST INSERT template)."""
+        key = np.asarray(key, dtype=np.float64)
+        self._insert_entry(LeafEntry(key, rid), target_level=0,
+                           routing_key=key)
+        self.size += 1
+
+    def _insert_entry(self, entry, target_level: int,
+                      routing_key: np.ndarray) -> None:
+        """Insert ``entry`` into a node at ``target_level``.
+
+        ``target_level`` 0 inserts a leaf entry; higher levels re-attach
+        orphaned subtrees during delete condensation.
+        """
+        if self.root_id is None:
+            if target_level != 0:
+                raise ValueError("cannot graft a subtree into an empty tree")
+            root = self._new_node(0, [entry])
+            self.root_id = root.page_id
+            self.height = 1
+            return
+
+        path = self._choose_path(routing_key, target_level)
+        node = path[-1][0] if path else self._peek(self.root_id)
+        node.add_entry(entry)
+        # An overflowing node never reaches the store: the split writes
+        # both halves (page images cannot hold an oversize node).
+        if len(node) > self.capacity(node.level):
+            self._split(node, path[:-1] if path else [])
+        else:
+            self.store.write(node)
+            self._adjust_upward(path, routing_key)
+
+    def _choose_path(self, key: np.ndarray,
+                     target_level: int) -> List[Tuple[Node, int]]:
+        """Penalty-guided descent to a node at ``target_level``.
+
+        Returns ``[(node, child_index), ..., (target_node, -1)]``; the
+        final element carries -1 since the target has no chosen child.
+        """
+        path: List[Tuple[Node, int]] = []
+        node = self._peek(self.root_id)
+        while node.level > target_level:
+            best = int(np.argmin(self.ext.penalties_node(node, key)))
+            path.append((node, best))
+            node = self._peek(node.entries[best].child)
+        path.append((node, -1))
+        return path
+
+    def _split(self, node: Node, ancestors: List[Tuple[Node, int]]) -> None:
+        level = node.level
+        left_entries, right_entries = self.ext.pick_split(
+            list(node.entries), level, self.min_entries(level))
+        if not left_entries or not right_entries:
+            raise RuntimeError(
+                f"{self.ext.name} pick_split produced an empty side")
+        node.set_entries(left_entries)
+        sibling = self._new_node(level, right_entries)
+        self.store.write(node)
+
+        left_pred = self.ext.pred_for_node(node)
+        right_pred = self.ext.pred_for_node(sibling)
+
+        if not ancestors:
+            # Node was the root: grow the tree by one level.
+            root = self._new_node(level + 1, [
+                IndexEntry(left_pred, node.page_id),
+                IndexEntry(right_pred, sibling.page_id),
+            ])
+            self.root_id = root.page_id
+            self.height += 1
+            return
+
+        parent, _ = ancestors[-1]
+        idx = parent.find_child_index(node.page_id)
+        parent.replace_entry(idx, IndexEntry(left_pred, node.page_id))
+        parent.add_entry(IndexEntry(right_pred, sibling.page_id))
+        if len(parent) > self.capacity(parent.level):
+            self._split(parent, ancestors[:-1])
+        else:
+            self.store.write(parent)
+            self._adjust_upward(ancestors, routing_key=None)
+
+    def _adjust_upward(self, path: List[Tuple[Node, int]],
+                       routing_key: Optional[np.ndarray]) -> None:
+        """Recompute bounding predicates bottom-up along an insert path.
+
+        Stops early once an existing predicate already covers the new key
+        and nothing below it changed — ancestors then cover it too, by
+        the tree's containment invariant.
+        """
+        child_changed = False
+        for node, child_idx in reversed(path):
+            if child_idx < 0:
+                continue
+            entry = node.entries[child_idx]
+            if (not child_changed and routing_key is not None
+                    and self.ext.contains(entry.pred, routing_key)):
+                return
+            child = self._peek(entry.child)
+            new_pred = self.ext.pred_for_node(child)
+            node.replace_entry(child_idx, IndexEntry(new_pred, entry.child))
+            self.store.write(node)
+            child_changed = True
+
+    # -- deletion ----------------------------------------------------------------------
+
+    def delete(self, key, rid: int) -> bool:
+        """Remove one ``(key, RID)`` pair; returns whether it was found."""
+        if self.root_id is None:
+            return False
+        key = np.asarray(key, dtype=np.float64)
+        path = self._find_leaf(self.root_id, key, rid, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        for i, entry in enumerate(leaf.entries):
+            if entry.rid == rid and np.array_equal(entry.key, key):
+                leaf.remove_entry_at(i)
+                break
+        self.store.write(leaf)
+        self.size -= 1
+        self._condense(path)
+        return True
+
+    def _find_leaf(self, page_id: int, key: np.ndarray, rid: int,
+                   trail: List[Node]) -> Optional[List[Node]]:
+        node = self._peek(page_id)
+        trail = trail + [node]
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.rid == rid and np.array_equal(entry.key, key):
+                    return trail
+            return None
+        for entry in node.entries:
+            if self.ext.contains(entry.pred, key):
+                found = self._find_leaf(entry.child, key, rid, trail)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: List[Node]) -> None:
+        """R-tree style CondenseTree: dissolve underfull nodes, reinsert."""
+        orphans: List[Tuple[int, object]] = []   # (level, entry)
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            idx = parent.find_child_index(node.page_id)
+            if len(node) < self.min_entries(node.level):
+                parent.remove_entry_at(idx)
+                self.store.write(parent)
+                orphans.extend((node.level, e) for e in node.entries)
+                self.store.free(node.page_id)
+            else:
+                new_pred = self.ext.pred_for_node(node)
+                parent.replace_entry(idx, IndexEntry(new_pred, node.page_id))
+                self.store.write(parent)
+
+        self._shrink_root()
+        # Reinsert highest-level orphans first so the tree regains height
+        # before lower orphans are routed through it.
+        for level, entry in sorted(orphans, key=lambda le: -le[0]):
+            if level == 0:
+                self._insert_entry(entry, 0, entry.key)
+                continue
+            # The entry belongs in a node at `level`; if root shrinkage
+            # left the tree shorter than that, flatten the orphan subtree
+            # by one level and retry.
+            pending = [(level, entry)]
+            while pending:
+                lvl, e = pending.pop()
+                if lvl == 0:
+                    self._insert_entry(e, 0, e.key)
+                    continue
+                root = self._peek(self.root_id) if self.root_id else None
+                if root is None or root.level < lvl:
+                    child = self._peek(e.child)
+                    pending.extend((lvl - 1, ce) for ce in child.entries)
+                    self.store.free(child.page_id)
+                    continue
+                routing = self.ext.routing_point(e.pred)
+                self._insert_entry(e, lvl, routing)
+
+    def _shrink_root(self) -> None:
+        if self.root_id is None:
+            return
+        root = self._peek(self.root_id)
+        while not root.is_leaf and len(root) == 1:
+            child = root.entries[0].child
+            self.store.free(root.page_id)
+            self.root_id = child
+            self.height -= 1
+            root = self._peek(self.root_id)
+        if root.is_leaf and not root.entries and self.size == 0:
+            self.store.free(root.page_id)
+            self.root_id = None
+            self.height = 0
+
+    # -- bulk-load hook -------------------------------------------------------------
+
+    def adopt(self, root: Node, height: int, size: int) -> None:
+        """Take ownership of a bulk-built subtree (see repro.bulk.loader)."""
+        self.root_id = root.page_id
+        self.height = height
+        self.size = size
+
+    # -- introspection -----------------------------------------------------------------
+
+    def iter_nodes(self, level: Optional[int] = None) -> Iterator[Node]:
+        """Yield all nodes (uncounted), optionally only one level."""
+        if self.root_id is None:
+            return
+        stack = [self.root_id]
+        while stack:
+            node = self._peek(stack.pop())
+            if level is None or node.level == level:
+                yield node
+            if not node.is_leaf:
+                stack.extend(node.children())
+
+    def leaf_nodes(self) -> Iterator[Node]:
+        return self.iter_nodes(level=0)
+
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def nodes_by_level(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for node in self.iter_nodes():
+            counts[node.level] = counts.get(node.level, 0) + 1
+        return counts
+
+    def node_utilization(self, node: Node) -> float:
+        """Fraction of the page payload used by a node's entries."""
+        codec = self.leaf_codec if node.is_leaf else self.index_codec
+        return len(node) * codec.size / page_payload(self.page_size)
+
+    def parent_map(self) -> Dict[int, int]:
+        """child page id -> parent page id for the whole tree."""
+        parents: Dict[int, int] = {}
+        for node in self.iter_nodes():
+            if not node.is_leaf:
+                for entry in node.entries:
+                    parents[entry.child] = node.page_id
+        return parents
+
+    def root_fanout(self) -> int:
+        if self.root_id is None:
+            return 0
+        return len(self._peek(self.root_id))
+
+    def __repr__(self) -> str:
+        return (f"GiST({self.ext.name}, height={self.height}, "
+                f"size={self.size}, nodes={self.num_nodes() if self.root_id else 0})")

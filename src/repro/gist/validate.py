@@ -1,0 +1,90 @@
+"""Structural validation for GiST trees.
+
+These checks encode the invariants section 2.1 of the paper states for
+any GiST: height balance, bounding predicates that hold for everything
+beneath them, leaves partitioning the stored RIDs, and page-budget
+compliance.  Tests call :func:`validate_tree` after every build and
+mutation sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+class TreeInvariantError(AssertionError):
+    """A structural invariant was violated."""
+
+
+def validate_tree(tree, expected_size: int = None,
+                  check_fill: bool = True) -> None:
+    """Raise :class:`TreeInvariantError` on any broken invariant."""
+    if tree.root_id is None:
+        if tree.height != 0 or tree.size != 0:
+            raise TreeInvariantError("empty tree with nonzero height/size")
+        if expected_size not in (None, 0):
+            raise TreeInvariantError(f"expected {expected_size} items, tree empty")
+        return
+
+    ext = tree.ext
+    seen_rids: List[int] = []
+    leaf_depths = set()
+
+    def recurse(page_id: int, depth: int, expected_level) -> None:
+        node = tree._peek(page_id)
+        if expected_level is not None and node.level != expected_level:
+            raise TreeInvariantError(
+                f"node {page_id} at level {node.level}, expected {expected_level}")
+        if len(node) > tree.capacity(node.level):
+            raise TreeInvariantError(
+                f"node {page_id} overflows: {len(node)} > "
+                f"{tree.capacity(node.level)}")
+        is_root = page_id == tree.root_id
+        if check_fill and not is_root and len(node) < tree.min_entries(node.level):
+            raise TreeInvariantError(
+                f"node {page_id} underfull: {len(node)} < "
+                f"{tree.min_entries(node.level)}")
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            seen_rids.extend(e.rid for e in node.entries)
+            return
+        if not node.entries:
+            raise TreeInvariantError(f"inner node {page_id} is empty")
+        for entry in node.entries:
+            child = tree._peek(entry.child)
+            _check_bp(ext, entry.pred, child, entry.child)
+            recurse(entry.child, depth + 1, node.level - 1)
+
+    root = tree._peek(tree.root_id)
+    if root.level != tree.height - 1:
+        raise TreeInvariantError(
+            f"root level {root.level} inconsistent with height {tree.height}")
+    recurse(tree.root_id, 0, root.level)
+
+    if len(leaf_depths) > 1:
+        raise TreeInvariantError(f"unbalanced tree: leaf depths {leaf_depths}")
+    if len(seen_rids) != len(set(seen_rids)):
+        raise TreeInvariantError("duplicate RIDs across leaves")
+    if len(seen_rids) != tree.size:
+        raise TreeInvariantError(
+            f"tree.size {tree.size} != stored entries {len(seen_rids)}")
+    if expected_size is not None and len(seen_rids) != expected_size:
+        raise TreeInvariantError(
+            f"expected {expected_size} items, found {len(seen_rids)}")
+
+
+def _check_bp(ext, pred, child, child_id: int) -> None:
+    """A bounding predicate must hold for everything beneath it."""
+    if child.is_leaf:
+        for entry in child.entries:
+            if not ext.contains(pred, entry.key):
+                raise TreeInvariantError(
+                    f"BP of child {child_id} excludes stored key "
+                    f"{entry.key.tolist()}")
+    else:
+        for entry in child.entries:
+            if not ext.covers_pred(pred, entry.pred):
+                raise TreeInvariantError(
+                    f"BP of child {child_id} fails to cover a grandchild BP")

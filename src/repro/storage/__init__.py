@@ -1,0 +1,23 @@
+"""Paged storage substrate: codecs, page files, buffering, and I/O cost.
+
+The GiST layer stores nodes in fixed-size pages.  Fanout is determined by
+real byte budgets (predicate codec sizes against the page payload), page
+reads are counted by :class:`~repro.storage.pagefile.PageFile` instances,
+and :class:`~repro.storage.iomodel.DiskModel` converts access counts into
+the paper's random-vs-sequential I/O economics (section 3.2).
+"""
+
+from repro.storage.page import PAGE_HEADER_SIZE, page_payload
+from repro.storage.pagefile import AccessListener, MemoryPageFile, PageStats
+from repro.storage.buffer import BufferPool
+from repro.storage.iomodel import DiskModel
+
+__all__ = [
+    "PAGE_HEADER_SIZE",
+    "page_payload",
+    "AccessListener",
+    "MemoryPageFile",
+    "PageStats",
+    "BufferPool",
+    "DiskModel",
+]

@@ -1,0 +1,118 @@
+"""An LRU buffer pool over a page file.
+
+The paper's section 6 argues that total-I/O comparisons change once inner
+nodes fit in memory (the reason XJB is preferred over JB in practice).
+The buffer pool lets benchmarks quantify that: wrap a page file, replay a
+workload, and read the hit/miss split per level.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss counters, split by tree level."""
+
+    hits: int = 0
+    misses: int = 0
+    misses_by_level: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def leaf_misses(self) -> int:
+        return self.misses_by_level.get(0, 0)
+
+    @property
+    def inner_misses(self) -> int:
+        return sum(n for lvl, n in self.misses_by_level.items() if lvl != 0)
+
+
+class BufferPool:
+    """LRU cache of pages; misses fall through to the page file.
+
+    The pool mirrors the page file's read interface so a
+    :class:`~repro.gist.tree.GiST` can be pointed at either one.  Only
+    *misses* reach the underlying page file, so its counters (and any
+    profiler listeners) see buffered I/O traffic.
+    """
+
+    def __init__(self, pagefile, capacity_pages: int):
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.pagefile = pagefile
+        self.capacity = capacity_pages
+        self._frames: "OrderedDict[int, object]" = OrderedDict()
+        self.stats = BufferStats()
+
+    @property
+    def counting(self) -> bool:
+        return self.pagefile.counting
+
+    @counting.setter
+    def counting(self, value: bool) -> None:
+        self.pagefile.counting = value
+
+    def read(self, page_id: int):
+        if page_id in self._frames:
+            node = self._frames[page_id]
+            self._frames.move_to_end(page_id)
+            if self.pagefile.counting:
+                self.stats.hits += 1
+            return node
+        node = self.pagefile.read(page_id)
+        if self.pagefile.counting:
+            self.stats.misses += 1
+            lvl = node.level
+            self.stats.misses_by_level[lvl] = \
+                self.stats.misses_by_level.get(lvl, 0) + 1
+        self._frames[page_id] = node
+        if len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+        return node
+
+    def peek(self, page_id: int):
+        return self.pagefile.peek(page_id)
+
+    def write(self, node) -> None:
+        # Write-through: keep the frame coherent with the page file.
+        if node.page_id in self._frames:
+            self._frames[node.page_id] = node
+        self.pagefile.write(node)
+
+    def free(self, page_id: int) -> None:
+        self._frames.pop(page_id, None)
+        self.pagefile.free(page_id)
+
+    def allocate(self) -> int:
+        return self.pagefile.allocate()
+
+    def add_listener(self, listener) -> None:
+        self.pagefile.add_listener(listener)
+
+    def remove_listener(self, listener) -> None:
+        self.pagefile.remove_listener(listener)
+
+    def clear(self) -> None:
+        """Drop all frames (cold-cache experiments)."""
+        self._frames.clear()
+
+    def pin_pages(self, page_ids) -> None:
+        """Pre-load pages (e.g. all inner nodes) without counting."""
+        was_counting = self.pagefile.counting
+        self.pagefile.counting = False
+        try:
+            for page_id in page_ids:
+                self.read(page_id)
+        finally:
+            self.pagefile.counting = was_counting

@@ -1,0 +1,278 @@
+"""Binary codecs for keys, predicates, and node pages.
+
+Codecs serve two purposes.  First, they define the *size in bytes* of
+every stored predicate, which determines fanout and therefore tree height
+— the central trade-off of the paper (Table 3).  Second, they provide a
+real serialization path so trees can be persisted and reloaded, and so
+tests can verify that what we account for is what we would actually
+store.
+
+All numbers are stored as little-endian ``float64`` / ``int64``
+(``NUMBER_SIZE`` = 8 bytes), matching the paper's "numbers" unit.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import NUMBER_SIZE
+from repro.geometry import Bite, BittenRect, Rect, Sphere
+from repro.storage.page import PAGE_HEADER_SIZE
+
+
+class Codec:
+    """Fixed-size binary codec interface."""
+
+    #: encoded size in bytes (fixed for all values)
+    size: int
+
+    def encode(self, value) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes):
+        raise NotImplementedError
+
+    @property
+    def numbers(self) -> int:
+        """Size expressed in the paper's 'numbers stored' unit."""
+        return self.size // NUMBER_SIZE
+
+
+class VectorCodec(Codec):
+    """A ``dim``-dimensional float64 vector (leaf keys)."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self.size = dim * NUMBER_SIZE
+
+    def encode(self, value) -> bytes:
+        arr = np.asarray(value, dtype="<f8")
+        if arr.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {arr.shape}")
+        return arr.tobytes()
+
+    def decode(self, data: bytes) -> np.ndarray:
+        return np.frombuffer(data, dtype="<f8", count=self.dim).copy()
+
+
+class RectCodec(Codec):
+    """MBR predicate: ``2 * dim`` numbers (paper Table 3, MBR row)."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self.size = 2 * dim * NUMBER_SIZE
+
+    def encode(self, rect: Rect) -> bytes:
+        return (np.asarray(rect.lo, dtype="<f8").tobytes()
+                + np.asarray(rect.hi, dtype="<f8").tobytes())
+
+    def decode(self, data: bytes) -> Rect:
+        flat = np.frombuffer(data, dtype="<f8", count=2 * self.dim)
+        return Rect(flat[:self.dim].copy(), flat[self.dim:].copy())
+
+
+class SphereCodec(Codec):
+    """SS-tree predicate: center plus radius (``dim + 1`` numbers)."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self.size = (dim + 1) * NUMBER_SIZE
+
+    def encode(self, sphere: Sphere) -> bytes:
+        return (np.asarray(sphere.center, dtype="<f8").tobytes()
+                + struct.pack("<d", sphere.radius))
+
+    def decode(self, data: bytes) -> Sphere:
+        flat = np.frombuffer(data, dtype="<f8", count=self.dim + 1)
+        return Sphere(flat[:self.dim].copy(), float(flat[self.dim]))
+
+
+class RectSphereCodec(Codec):
+    """SR-tree predicate: MBR and sphere (``3 * dim + 1`` numbers)."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self._rect = RectCodec(dim)
+        self._sphere = SphereCodec(dim)
+        self.size = self._rect.size + self._sphere.size
+
+    def encode(self, value: Tuple[Rect, Sphere]) -> bytes:
+        rect, sphere = value
+        return self._rect.encode(rect) + self._sphere.encode(sphere)
+
+    def decode(self, data: bytes) -> Tuple[Rect, Sphere]:
+        rect = self._rect.decode(data[:self._rect.size])
+        sphere = self._sphere.decode(data[self._rect.size:])
+        return rect, sphere
+
+
+class DualRectCodec(Codec):
+    """MAP predicate: two MBRs, ``4 * dim`` numbers (Table 3, MAP row)."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self._rect = RectCodec(dim)
+        self.size = 2 * self._rect.size
+
+    def encode(self, value: Tuple[Rect, Rect]) -> bytes:
+        r1, r2 = value
+        return self._rect.encode(r1) + self._rect.encode(r2)
+
+    def decode(self, data: bytes) -> Tuple[Rect, Rect]:
+        r1 = self._rect.decode(data[:self._rect.size])
+        r2 = self._rect.decode(data[self._rect.size:])
+        return r1, r2
+
+
+class JBCodec(Codec):
+    """JB predicate: MBR plus one inner point per corner.
+
+    ``(2 + 2**dim) * dim`` numbers (Table 3, JB row).  Corners are stored
+    in mask order, so no corner identifiers are needed; a corner without a
+    bite stores the corner point itself (a zero-volume bite).
+    """
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self._rect = RectCodec(dim)
+        self.corners = 1 << dim
+        self.size = self._rect.size + self.corners * dim * NUMBER_SIZE
+
+    def encode(self, value: BittenRect) -> bytes:
+        rect = value.rect
+        by_mask = {b.corner_mask: b for b in value.bites}
+        parts = [self._rect.encode(rect)]
+        for mask in range(self.corners):
+            bite = by_mask.get(mask)
+            inner = bite.inner if bite is not None else rect.corner(mask)
+            parts.append(np.asarray(inner, dtype="<f8").tobytes())
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> BittenRect:
+        rect = self._rect.decode(data[:self._rect.size])
+        flat = np.frombuffer(data[self._rect.size:], dtype="<f8",
+                             count=self.corners * self.dim)
+        inners = flat.reshape(self.corners, self.dim)
+        bites = []
+        for mask in range(self.corners):
+            bite = Bite(mask, rect.corner(mask), inners[mask].copy())
+            if not bite.is_empty():
+                bites.append(bite)
+        return BittenRect(rect, bites)
+
+
+class XJBCodec(Codec):
+    """XJB predicate: MBR plus the top ``x`` bites.
+
+    ``2 * dim + (dim + 1) * x`` numbers (Table 3, XJB row): each stored
+    bite costs its inner point (``dim`` numbers) plus one number
+    identifying the corner.  Unused slots store a corner id of -1.
+    """
+
+    def __init__(self, dim: int, x: int):
+        if x < 0 or x > (1 << dim):
+            raise ValueError(f"x={x} out of range for dim={dim}")
+        self.dim = dim
+        self.x = x
+        self._rect = RectCodec(dim)
+        self.size = self._rect.size + (dim + 1) * x * NUMBER_SIZE
+
+    def encode(self, value: BittenRect) -> bytes:
+        if len(value.bites) > self.x:
+            raise ValueError(
+                f"predicate has {len(value.bites)} bites, codec allows {self.x}")
+        parts = [self._rect.encode(value.rect)]
+        for bite in value.bites:
+            parts.append(struct.pack("<d", float(bite.corner_mask)))
+            parts.append(np.asarray(bite.inner, dtype="<f8").tobytes())
+        empty = struct.pack("<d", -1.0) + b"\x00" * (self.dim * NUMBER_SIZE)
+        parts.extend([empty] * (self.x - len(value.bites)))
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> BittenRect:
+        rect = self._rect.decode(data[:self._rect.size])
+        bites = []
+        offset = self._rect.size
+        slot = NUMBER_SIZE + self.dim * NUMBER_SIZE
+        for _ in range(self.x):
+            mask = struct.unpack_from("<d", data, offset)[0]
+            if mask >= 0:
+                inner = np.frombuffer(
+                    data, dtype="<f8", count=self.dim,
+                    offset=offset + NUMBER_SIZE).copy()
+                bite = Bite(int(mask), rect.corner(int(mask)), inner)
+                if not bite.is_empty():
+                    bites.append(bite)
+            offset += slot
+        return BittenRect(rect, bites)
+
+
+class LeafEntryCodec(Codec):
+    """A ``(key, RID)`` pair: key vector plus an int64 record id."""
+
+    def __init__(self, dim: int):
+        self.dim = dim
+        self._key = VectorCodec(dim)
+        self.size = self._key.size + NUMBER_SIZE
+
+    def encode(self, value) -> bytes:
+        key, rid = value
+        return self._key.encode(key) + struct.pack("<q", rid)
+
+    def decode(self, data: bytes):
+        key = self._key.decode(data[:self._key.size])
+        rid = struct.unpack_from("<q", data, self._key.size)[0]
+        return key, rid
+
+
+class IndexEntryCodec(Codec):
+    """A ``(predicate, child page id)`` pair."""
+
+    def __init__(self, pred_codec: Codec):
+        self.pred_codec = pred_codec
+        self.size = pred_codec.size + NUMBER_SIZE
+
+    def encode(self, value) -> bytes:
+        pred, child = value
+        return self.pred_codec.encode(pred) + struct.pack("<q", child)
+
+    def decode(self, data: bytes):
+        pred = self.pred_codec.decode(data[:self.pred_codec.size])
+        child = struct.unpack_from("<q", data, self.pred_codec.size)[0]
+        return pred, child
+
+
+class NodeCodec:
+    """Serializes whole nodes into fixed-size page images."""
+
+    def __init__(self, page_size: int, leaf_codec: LeafEntryCodec,
+                 index_codec: IndexEntryCodec):
+        self.page_size = page_size
+        self.leaf_codec = leaf_codec
+        self.index_codec = index_codec
+
+    def encode(self, page_id: int, level: int,
+               entries: Sequence) -> bytes:
+        codec = self.leaf_codec if level == 0 else self.index_codec
+        body = b"".join(codec.encode(e) for e in entries)
+        header = struct.pack("<qii", page_id, level, len(entries))
+        header += b"\x00" * (PAGE_HEADER_SIZE - len(header))
+        image = header + body
+        if len(image) > self.page_size:
+            raise ValueError(
+                f"node {page_id} overflows page: {len(image)} > "
+                f"{self.page_size} bytes")
+        return image + b"\x00" * (self.page_size - len(image))
+
+    def decode(self, image: bytes) -> Tuple[int, int, List]:
+        page_id, level, count = struct.unpack_from("<qii", image, 0)
+        codec = self.leaf_codec if level == 0 else self.index_codec
+        entries = []
+        offset = PAGE_HEADER_SIZE
+        for _ in range(count):
+            entries.append(codec.decode(image[offset:offset + codec.size]))
+            offset += codec.size
+        return page_id, level, entries

@@ -1,0 +1,137 @@
+"""An on-disk page file: nodes live as real page images in one file.
+
+`MemoryPageFile` accounts for I/O; `FilePageFile` actually performs it.
+Every `read` seeks to the page's slot and decodes the fixed-size image
+through the node codec, every `write` encodes and writes it back, so a
+tree backed by this store runs with genuine disk-page granularity
+(typically behind a :class:`~repro.storage.buffer.BufferPool`).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Dict, List, Optional
+
+from repro.gist.entry import IndexEntry, LeafEntry
+from repro.gist.node import Node
+from repro.storage.codecs import NodeCodec
+from repro.storage.pagefile import AccessListener, PageStats
+
+
+class FilePageFile:
+    """Page-granular node storage in a single binary file.
+
+    Page ids map to fixed-size slots (`page_id * page_size`); slot 0 is
+    reserved.  The codec comes from the tree's extension, so construct
+    via :meth:`for_tree` or pass a prepared :class:`NodeCodec`.
+    """
+
+    def __init__(self, path: str, codec: NodeCodec):
+        self.path = path
+        self.codec = codec
+        self.page_size = codec.page_size
+        # "a+b" would force writes to the end regardless of seeks;
+        # open read-write, creating the file when missing.
+        if not os.path.exists(path):
+            open(path, "wb").close()
+        self._file = open(path, "r+b")
+        self._next_id = max(1, os.path.getsize(path) // self.page_size)
+        self._levels: Dict[int, int] = {}
+        self._free: List[int] = []
+        self.stats = PageStats()
+        self._listeners: List[AccessListener] = []
+        self.counting = True
+
+    @classmethod
+    def for_extension(cls, path: str, extension,
+                      page_size: int) -> "FilePageFile":
+        from repro.storage.codecs import IndexEntryCodec, LeafEntryCodec
+        codec = NodeCodec(page_size, LeafEntryCodec(extension.dim),
+                          IndexEntryCodec(extension.pred_codec()))
+        return cls(path, codec)
+
+    # -- id allocation ------------------------------------------------------
+
+    def allocate(self) -> int:
+        if self._free:
+            return self._free.pop()
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def reserve(self, up_to: int) -> None:
+        self._next_id = max(self._next_id, up_to + 1)
+
+    # -- node access ----------------------------------------------------------
+
+    def _read_image(self, page_id: int) -> Node:
+        self._file.seek(page_id * self.page_size)
+        image = self._file.read(self.page_size)
+        if len(image) < self.page_size:
+            raise KeyError(f"page {page_id} not in {self.path}")
+        pid, level, raw_entries = self.codec.decode(image)
+        if pid != page_id:
+            raise KeyError(f"slot {page_id} holds page {pid}")
+        if level == 0:
+            entries = [LeafEntry(k, rid) for k, rid in raw_entries]
+        else:
+            entries = [IndexEntry(pred, child)
+                       for pred, child in raw_entries]
+        return Node(page_id, level, entries)
+
+    def read(self, page_id: int) -> Node:
+        node = self._read_image(page_id)
+        if self.counting:
+            self.stats.record_read(node.level)
+            for listener in self._listeners:
+                listener(page_id, node.level)
+        return node
+
+    def peek(self, page_id: int) -> Node:
+        return self._read_image(page_id)
+
+    def write(self, node: Node) -> None:
+        entries = [tuple(e) for e in node.entries]
+        image = self.codec.encode(node.page_id, node.level, entries)
+        self._file.seek(node.page_id * self.page_size)
+        self._file.write(image)
+        self._levels[node.page_id] = node.level
+        self.stats.writes += 1
+
+    def free(self, page_id: int) -> None:
+        # Stamp the slot with page id -1 so stale reads fail loudly.
+        header = struct.pack("<qii", -1, 0, 0)
+        self._file.seek(page_id * self.page_size)
+        self._file.write(header + b"\x00" * (self.page_size - len(header)))
+        self._levels.pop(page_id, None)
+        self._free.append(page_id)
+
+    def __contains__(self, page_id: int) -> bool:
+        try:
+            self._read_image(page_id)
+            return True
+        except KeyError:
+            return False
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(self, listener: AccessListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: AccessListener) -> None:
+        self._listeners.remove(listener)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "FilePageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

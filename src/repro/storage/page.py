@@ -1,0 +1,34 @@
+"""Fixed-size page layout constants.
+
+Every tree node occupies exactly one page.  A page holds a small header
+followed by a packed array of fixed-size entries; the number of entries
+that fit (the fanout) therefore falls directly out of the predicate codec
+sizes, which is how the paper's Table 3 predicate sizes translate into
+tree heights.
+"""
+
+from __future__ import annotations
+
+#: Bytes reserved at the front of every page: page id (8), level (4),
+#: entry count (4), flags/reserved (16).  Matches the order of magnitude
+#: of real systems; the exact split is irrelevant to the experiments.
+PAGE_HEADER_SIZE = 32
+
+
+def page_payload(page_size: int) -> int:
+    """Usable entry bytes in a page of ``page_size`` bytes."""
+    if page_size <= PAGE_HEADER_SIZE:
+        raise ValueError(f"page size {page_size} smaller than header")
+    return page_size - PAGE_HEADER_SIZE
+
+
+def entries_per_page(page_size: int, entry_size: int) -> int:
+    """Maximum number of fixed-size entries a page can hold."""
+    if entry_size <= 0:
+        raise ValueError(f"non-positive entry size {entry_size}")
+    fanout = page_payload(page_size) // entry_size
+    if fanout < 2:
+        raise ValueError(
+            f"page size {page_size} holds {fanout} entries of "
+            f"{entry_size} bytes; a tree needs fanout >= 2")
+    return fanout

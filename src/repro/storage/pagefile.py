@@ -1,0 +1,109 @@
+"""Page files: node storage with access accounting.
+
+Every node read during query processing flows through a page file, which
+counts accesses per page and notifies registered listeners.  The amdb
+profiler (:mod:`repro.amdb.profiler`) is such a listener: it attributes
+each access to the query being executed.
+
+:class:`MemoryPageFile` keeps decoded node objects in memory — the page
+abstraction is about *accounting*, not about saving RAM — while
+:class:`FilePageFile` (see :mod:`repro.storage.diskfile`) round-trips real
+page images through the node codec for persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+AccessListener = Callable[[int, int], None]
+"""Called as ``listener(page_id, level)`` on every counted access."""
+
+
+@dataclass
+class PageStats:
+    """Cumulative access counters for one page file."""
+
+    reads: int = 0
+    writes: int = 0
+    reads_by_level: Dict[int, int] = field(default_factory=dict)
+
+    def record_read(self, level: int) -> None:
+        self.reads += 1
+        self.reads_by_level[level] = self.reads_by_level.get(level, 0) + 1
+
+    @property
+    def leaf_reads(self) -> int:
+        return self.reads_by_level.get(0, 0)
+
+    @property
+    def inner_reads(self) -> int:
+        return sum(n for lvl, n in self.reads_by_level.items() if lvl != 0)
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.reads_by_level.clear()
+
+
+class MemoryPageFile:
+    """In-memory node store with page-level access accounting."""
+
+    def __init__(self):
+        self._nodes: Dict[int, object] = {}
+        self._next_id = 1
+        self.stats = PageStats()
+        self._listeners: List[AccessListener] = []
+        #: when True, reads are counted; bulk loading and maintenance
+        #: paths disable accounting so only query work is measured.
+        self.counting = True
+
+    # -- id allocation ------------------------------------------------------
+
+    def allocate(self) -> int:
+        page_id = self._next_id
+        self._next_id += 1
+        return page_id
+
+    def reserve(self, up_to: int) -> None:
+        """Ensure future allocations start above ``up_to`` (reload path)."""
+        self._next_id = max(self._next_id, up_to + 1)
+
+    # -- node access ----------------------------------------------------------
+
+    def read(self, page_id: int):
+        """Fetch a node, counting the access when accounting is on."""
+        node = self._nodes[page_id]
+        if self.counting:
+            self.stats.record_read(node.level)
+            for listener in self._listeners:
+                listener(page_id, node.level)
+        return node
+
+    def peek(self, page_id: int):
+        """Fetch a node without counting (maintenance / analysis paths)."""
+        return self._nodes[page_id]
+
+    def write(self, node) -> None:
+        self._nodes[node.page_id] = node
+        self.stats.writes += 1
+
+    def free(self, page_id: int) -> None:
+        del self._nodes[page_id]
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def page_ids(self):
+        return list(self._nodes)
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(self, listener: AccessListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: AccessListener) -> None:
+        self._listeners.remove(listener)

@@ -1,0 +1,57 @@
+"""Recall evaluation against full Blobworld queries (paper Figure 6).
+
+For each data dimensionality D and each number of retrieved blobs n,
+the recall is the fraction of the top-40 images of a *full* Blobworld
+query that also appear when only n nearest blobs under the D-dimensional
+Euclidean distance are re-ranked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.blobworld.dataset import BlobCorpus
+from repro.blobworld.query import BlobworldEngine, recall
+from repro.constants import FULL_QUERY_RESULT_IMAGES
+
+
+@dataclass
+class RecallPoint:
+    """Mean recall for one (dims, retrieved) configuration."""
+
+    dims: int
+    retrieved: int
+    mean_recall: float
+    num_queries: int
+
+
+def recall_curve(corpus: BlobCorpus, query_blobs: Sequence[int],
+                 dims_list: Sequence[int],
+                 retrieved_list: Sequence[int],
+                 top_images: int = FULL_QUERY_RESULT_IMAGES
+                 ) -> List[RecallPoint]:
+    """The full Figure 6 grid: recall for every (D, n) combination."""
+    engine = BlobworldEngine(corpus)
+    full_results = {q: engine.full_query(q, top_images)
+                    for q in query_blobs}
+
+    points: List[RecallPoint] = []
+    for dims in dims_list:
+        reduced = corpus.reduced(dims)
+        for retrieved in retrieved_list:
+            values = []
+            for q in query_blobs:
+                diff = reduced - reduced[q]
+                dists = (diff * diff).sum(axis=1)
+                candidates = np.argpartition(dists, min(retrieved,
+                                                        len(dists) - 1))
+                candidates = candidates[:retrieved]
+                low = engine.rerank(q, candidates, top_images)
+                values.append(recall(full_results[q], low))
+            points.append(RecallPoint(dims=dims, retrieved=retrieved,
+                                      mean_recall=float(np.mean(values)),
+                                      num_queries=len(query_blobs)))
+    return points

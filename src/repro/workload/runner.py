@@ -1,0 +1,48 @@
+"""Workload execution: profile a workload against a tree and summarize."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.amdb.metrics import LossReport, compute_losses
+from repro.amdb.partition import Clustering
+from repro.amdb.profiler import WorkloadProfile, profile_workload
+from repro.constants import TARGET_UTILIZATION
+from repro.workload.generator import NNWorkload
+
+
+@dataclass
+class WorkloadResult:
+    """Everything one workload run produces."""
+
+    profile: WorkloadProfile
+    report: LossReport
+
+    @property
+    def leaf_ios_per_query(self) -> float:
+        return self.report.leaf_ios_per_query
+
+    @property
+    def total_ios_per_query(self) -> float:
+        return self.report.total_ios / max(self.report.num_queries, 1)
+
+    @property
+    def pages_touched_fraction(self) -> float:
+        """Distinct pages hit / total tree pages (paper footnote 8)."""
+        touched = len(self.profile.pages_touched())
+        return touched / max(self.profile.total_pages, 1)
+
+
+def run_workload(tree, workload: NNWorkload, vectors: np.ndarray,
+                 clustering: Optional[Clustering] = None,
+                 target_utilization: float = TARGET_UTILIZATION
+                 ) -> WorkloadResult:
+    """Profile ``workload`` on ``tree`` and compute the amdb losses."""
+    profile = profile_workload(tree, workload.queries, workload.k)
+    report = compute_losses(
+        profile, keys=vectors, rids=list(range(len(vectors))),
+        clustering=clustering, target_utilization=target_utilization)
+    return WorkloadResult(profile=profile, report=report)

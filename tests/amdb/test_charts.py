@@ -1,0 +1,61 @@
+"""Terminal chart rendering."""
+
+import numpy as np
+
+from repro.amdb import compute_losses, profile_workload
+from repro.amdb.charts import bar_chart, grouped_bar_chart, line_chart, loss_figure
+from repro.bulk import bulk_load
+
+from tests.conftest import make_ext
+
+
+class TestBarCharts:
+    def test_bar_lengths_proportional(self):
+        text = bar_chart("t", {"a": 100.0, "b": 50.0}, width=40)
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].count("█") == 40
+        assert lines[2].count("█") == 20
+
+    def test_zero_value_gets_sliver(self):
+        text = bar_chart("t", {"a": 10.0, "b": 0.0})
+        assert "▏" in text
+
+    def test_empty_values(self):
+        assert bar_chart("only title", {}) == "only title"
+
+    def test_grouped_covers_all_categories(self):
+        text = grouped_bar_chart("t", {
+            "rtree": {"ec": 5.0, "util": 1.0},
+            "jb": {"ec": 1.0},
+        })
+        assert "ec:" in text and "util:" in text
+        assert "rtree" in text and "jb" in text
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        text = line_chart("recall", [1, 2, 3],
+                          {"5D": [0.2, 0.5, 0.9],
+                           "1D": [0.1, 0.2, 0.3]})
+        assert "o=5D" in text and "x=1D" in text
+        assert text.count("o") >= 3
+
+    def test_degenerate_input(self):
+        assert line_chart("t", [1], {"a": [1.0]}) == "t"
+
+
+class TestLossFigure:
+    def test_from_real_reports(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(1500, 2))
+        reports = []
+        for m in ("rtree", "xjb"):
+            tree = bulk_load(make_ext(m, 2), pts, page_size=2048)
+            prof = profile_workload(tree, pts[:5], 30)
+            reports.append(compute_losses(prof, keys=pts,
+                                          rids=list(range(len(pts)))))
+        for relative in (False, True):
+            text = loss_figure("fig", reports, relative=relative)
+            assert "rtree" in text and "xjb" in text
+            assert "excess coverage" in text

@@ -1,0 +1,98 @@
+"""Loss metric decomposition (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.amdb import compute_losses, profile_workload
+from repro.bulk import bulk_load, insertion_load
+
+from tests.conftest import make_ext
+
+
+@pytest.fixture(scope="module")
+def workload_setup():
+    # Large enough that STR tiling outclasses Guttman insertion (the
+    # paper's Table 2 regime needs a real page population).
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(10, 3)) * 5
+    pts = np.concatenate([c + rng.normal(size=(600, 3)) * 0.9
+                          for c in centers])
+    queries = pts[rng.choice(len(pts), 15, replace=False)]
+    return pts, queries
+
+
+def _report(tree, pts, queries, k=60):
+    profile = profile_workload(tree, queries, k)
+    return compute_losses(profile, keys=pts, rids=list(range(len(pts))))
+
+
+class TestDecomposition:
+    def test_losses_nonnegative(self, workload_setup):
+        pts, queries = workload_setup
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        report = _report(tree, pts, queries)
+        assert report.excess_coverage_leaf >= 0
+        assert report.excess_coverage_inner >= 0
+        assert report.utilization_loss >= 0
+        assert report.clustering_loss >= 0
+
+    def test_losses_bounded_by_accesses(self, workload_setup):
+        pts, queries = workload_setup
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        report = _report(tree, pts, queries)
+        assert report.excess_coverage_leaf <= report.total_leaf_ios
+        assert report.excess_coverage_inner <= report.total_inner_ios
+        total_loss = (report.excess_coverage_leaf
+                      + report.utilization_loss + report.clustering_loss)
+        assert total_loss <= report.total_leaf_ios
+
+    def test_bulk_load_has_low_utilization_loss(self, workload_setup):
+        """The paper's point: STR bulk loading nearly eliminates
+        utilization and clustering loss (Table 2)."""
+        pts, queries = workload_setup
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        report = _report(tree, pts, queries)
+        assert report.utilization_loss < 0.05 * report.total_leaf_ios
+
+    def test_insertion_load_loses_more(self, workload_setup):
+        """Table 2's contrast: insertion loading inflates every loss."""
+        pts, queries = workload_setup
+        bulk = _report(bulk_load(make_ext("rtree", 3), pts,
+                                 page_size=2048), pts, queries)
+        ins = _report(insertion_load(make_ext("rtree", 3), pts,
+                                     page_size=2048, shuffle_seed=0),
+                      pts, queries)
+        assert ins.excess_coverage_leaf > bulk.excess_coverage_leaf
+        assert ins.total_leaf_ios > bulk.total_leaf_ios
+
+    def test_per_query_arrays_align(self, workload_setup):
+        pts, queries = workload_setup
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        report = _report(tree, pts, queries)
+        for arr in report.per_query.values():
+            assert len(arr) == len(queries)
+        assert report.per_query["leaf_ios"].sum() == report.total_leaf_ios
+
+    def test_optimal_is_lower_bound_per_query(self, workload_setup):
+        pts, queries = workload_setup
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        report = _report(tree, pts, queries)
+        # Each query needs at least one page per ceil(k / capacity).
+        assert (report.per_query["optimal_leaf_ios"] >= 1).all()
+
+    def test_requires_keys_or_clustering(self, workload_setup):
+        pts, queries = workload_setup
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        profile = profile_workload(tree, queries, 10)
+        with pytest.raises(ValueError):
+            compute_losses(profile)
+
+    def test_fractions_api(self, workload_setup):
+        pts, queries = workload_setup
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        report = _report(tree, pts, queries)
+        fr = report.leaf_loss_fractions
+        assert set(fr) == {"excess_coverage", "utilization", "clustering"}
+        assert all(0.0 <= v <= 1.0 for v in fr.values())
+        assert report.total_ios == report.total_leaf_ios \
+            + report.total_inner_ios

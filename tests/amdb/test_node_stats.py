@@ -1,0 +1,75 @@
+"""Per-node loss attribution."""
+
+import numpy as np
+import pytest
+
+from repro.amdb import (
+    excess_coverage_concentration,
+    format_worst_offenders,
+    node_losses,
+    profile_workload,
+)
+from repro.bulk import bulk_load
+
+from tests.conftest import make_ext
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(4000, 3))
+    tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+    queries = pts[rng.choice(4000, 20, replace=False)]
+    return profile_workload(tree, queries, 50)
+
+
+class TestNodeLosses:
+    def test_totals_match_profile(self, profiled):
+        losses = node_losses(profiled)
+        per_query_distinct = sum(len(set(t.leaf_accesses))
+                                 for t in profiled.traces)
+        assert sum(n.accesses for n in losses) == per_query_distinct
+
+    def test_empty_plus_productive_equals_accesses(self, profiled):
+        for n in node_losses(profiled):
+            assert n.empty_accesses + n.productive_accesses == n.accesses
+            assert 0.0 <= n.empty_fraction <= 1.0
+
+    def test_sorted_by_empty_accesses(self, profiled):
+        losses = node_losses(profiled)
+        empties = [n.empty_accesses for n in losses]
+        assert empties == sorted(empties, reverse=True)
+
+    def test_only_accessed_leaves_reported(self, profiled):
+        losses = node_losses(profiled)
+        assert len(losses) <= profiled.num_leaves
+        assert all(n.accesses > 0 for n in losses)
+
+
+class TestReporting:
+    def test_offender_table_lists_pages(self, profiled):
+        losses = node_losses(profiled)
+        text = format_worst_offenders(losses, top=5)
+        assert "empty" in text
+        for n in losses[:5]:
+            assert str(n.page_id) in text
+
+    def test_concentration_in_unit_range(self, profiled):
+        losses = node_losses(profiled)
+        c = excess_coverage_concentration(losses)
+        assert 0.0 <= c <= 1.0
+
+    def test_concentration_zero_without_empties(self):
+        from repro.amdb.node_stats import NodeLoss
+        perfect = [NodeLoss(1, 10, 0.9, accesses=4,
+                            productive_accesses=4)]
+        assert excess_coverage_concentration(perfect) == 0.0
+
+    def test_concentration_detects_single_offender(self):
+        from repro.amdb.node_stats import NodeLoss
+        losses = [NodeLoss(1, 10, 0.9, accesses=20,
+                           productive_accesses=0)] + [
+            NodeLoss(i, 10, 0.9, accesses=5, productive_accesses=5)
+            for i in range(2, 12)]
+        assert excess_coverage_concentration(losses, 0.9) \
+            == pytest.approx(1 / 11)

@@ -1,0 +1,93 @@
+"""Optimal clustering via hypergraph partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amdb import optimal_clustering
+
+
+def _span_total(clustering, queries):
+    return sum(clustering.spans(q) for q in queries)
+
+
+class TestBasics:
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=(200, 2))
+        queries = [rng.choice(200, 20, replace=False).tolist()
+                   for _ in range(15)]
+        c = optimal_clustering(keys, range(200), queries,
+                               block_capacity=25)
+        counts = {}
+        for b in c.assignment.values():
+            counts[b] = counts.get(b, 0) + 1
+        assert max(counts.values()) <= 25
+
+    def test_all_items_assigned(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=(100, 2))
+        c = optimal_clustering(keys, range(100), [], block_capacity=10)
+        assert len(c.assignment) == 100
+
+    def test_spans_counts_distinct_blocks(self):
+        keys = np.array([[0.0, 0.0], [0.1, 0.0], [10.0, 10.0]])
+        c = optimal_clustering(keys, [0, 1, 2], [], block_capacity=2)
+        assert c.spans([0]) == 1
+        assert 1 <= c.spans([0, 1, 2]) <= 2
+
+    def test_empty_items(self):
+        c = optimal_clustering(np.empty((0, 2)), [], [], block_capacity=5)
+        assert c.num_blocks == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            optimal_clustering(np.zeros((3, 2)), [0, 1, 2], [],
+                               block_capacity=0)
+
+    def test_key_rid_mismatch(self):
+        with pytest.raises(ValueError):
+            optimal_clustering(np.zeros((3, 2)), [0, 1], [],
+                               block_capacity=5)
+
+
+class TestQuality:
+    def test_spatial_queries_near_optimal(self):
+        """Queries over contiguous ranges should span ~ceil(k/capacity)."""
+        keys = np.arange(300, dtype=np.float64).reshape(-1, 1)
+        queries = [list(range(s, s + 30)) for s in range(0, 270, 17)]
+        c = optimal_clustering(keys, range(300), queries,
+                               block_capacity=30)
+        for q in queries:
+            assert c.spans(q) <= 3  # ideal is ceil(30/30)=1, allow slack
+
+    def test_refinement_no_worse_than_seed(self):
+        rng = np.random.default_rng(2)
+        keys = rng.normal(size=(400, 3))
+        queries = []
+        for _ in range(30):
+            center = keys[rng.integers(400)]
+            d = ((keys - center) ** 2).sum(axis=1)
+            queries.append(np.argsort(d)[:25].tolist())
+        refined = optimal_clustering(keys, range(400), queries,
+                                     block_capacity=40, passes=4)
+        seed_only = optimal_clustering(keys, range(400), queries,
+                                       block_capacity=40, passes=0)
+        assert _span_total(refined, queries) \
+            <= _span_total(seed_only, queries)
+
+    @given(st.integers(10, 80), st.integers(2, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_random_inputs_produce_valid_partitions(self, n, capacity):
+        rng = np.random.default_rng(n * 31 + capacity)
+        keys = rng.normal(size=(n, 2))
+        queries = [rng.choice(n, min(5, n), replace=False).tolist()
+                   for _ in range(5)]
+        c = optimal_clustering(keys, range(n), queries,
+                               block_capacity=capacity)
+        counts = {}
+        for b in c.assignment.values():
+            counts[b] = counts.get(b, 0) + 1
+        assert max(counts.values()) <= capacity
+        assert sum(counts.values()) == n

@@ -1,0 +1,97 @@
+"""Partitioner stress and quality characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.amdb import optimal_clustering
+
+
+def _span_total(clustering, queries):
+    return sum(clustering.spans(q) for q in queries)
+
+
+class TestQualityCharacteristics:
+    def test_disjoint_query_groups_get_own_blocks(self):
+        """Items only ever co-retrieved should land together."""
+        rng = np.random.default_rng(0)
+        # 10 groups of 20 items; queries hit exactly one group.
+        keys = np.concatenate([rng.normal(size=(20, 2)) * 0.1 + g * 10
+                               for g in range(10)])
+        queries = []
+        for g in range(10):
+            for _ in range(4):
+                queries.append((g * 20
+                                + rng.choice(20, 12,
+                                             replace=False)).tolist())
+        c = optimal_clustering(keys, range(200), queries,
+                               block_capacity=20)
+        assert _span_total(c, queries) <= len(queries) * 1.3
+
+    def test_conflicting_queries_bounded(self):
+        """Overlapping queries cannot all be satisfied; spans stay
+        within the trivial upper bound."""
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=(100, 2))
+        queries = [rng.choice(100, 30, replace=False).tolist()
+                   for _ in range(20)]
+        c = optimal_clustering(keys, range(100), queries,
+                               block_capacity=10)
+        for q in queries:
+            assert int(np.ceil(len(q) / 10)) <= c.spans(q) <= len(q)
+
+    def test_more_passes_never_hurt(self):
+        rng = np.random.default_rng(2)
+        keys = rng.normal(size=(300, 3))
+        queries = []
+        for _ in range(25):
+            center = keys[rng.integers(300)]
+            d = ((keys - center) ** 2).sum(axis=1)
+            queries.append(np.argsort(d)[:20].tolist())
+        totals = []
+        for passes in (0, 1, 4):
+            c = optimal_clustering(keys, range(300), queries,
+                                   block_capacity=32, passes=passes)
+            totals.append(_span_total(c, queries))
+        assert totals[2] <= totals[1] <= totals[0]
+
+    def test_duplicate_items_in_queries_tolerated(self):
+        keys = np.arange(20, dtype=np.float64).reshape(-1, 1)
+        queries = [[0, 0, 1, 1, 2]]
+        c = optimal_clustering(keys, range(20), queries,
+                               block_capacity=5)
+        assert c.spans(queries[0]) >= 1
+
+    def test_queries_referencing_unknown_rids_ignored(self):
+        keys = np.arange(10, dtype=np.float64).reshape(-1, 1)
+        c = optimal_clustering(keys, range(10), [[3, 999, 5]],
+                               block_capacity=4)
+        assert c.spans([3, 5]) >= 1
+
+    def test_single_block_case(self):
+        keys = np.arange(5, dtype=np.float64).reshape(-1, 1)
+        c = optimal_clustering(keys, range(5), [[0, 1, 2, 3, 4]],
+                               block_capacity=10)
+        assert c.spans([0, 1, 2, 3, 4]) == 1
+
+    def test_large_instance_completes(self):
+        """Scale smoke: 20k items, 200 queries of 200 pins."""
+        rng = np.random.default_rng(3)
+        keys = rng.normal(size=(20_000, 5))
+        queries = []
+        for _ in range(100):
+            center = keys[rng.integers(20_000)]
+            d = ((keys - center) ** 2).sum(axis=1)
+            queries.append(np.argpartition(d, 200)[:200].tolist())
+        c = optimal_clustering(keys, range(20_000), queries,
+                               block_capacity=119, passes=2)
+        counts = np.bincount(list(c.assignment.values()))
+        assert counts.max() <= 119
+        # A random assignment would span ~min(blocks, k) blocks per
+        # query; the spatial partition must be several times better.
+        mean_spans = sum(c.spans(q) for q in queries) / len(queries)
+        rng2 = np.random.default_rng(4)
+        random_assign = {rid: int(rng2.integers(0, c.num_blocks))
+                         for rid in range(20_000)}
+        random_spans = np.mean([
+            len({random_assign[r] for r in q}) for q in queries])
+        assert mean_spans < random_spans / 5

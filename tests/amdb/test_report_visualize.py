@@ -1,0 +1,68 @@
+"""Report formatting and the Figure 10 visualization analog."""
+
+import numpy as np
+
+from repro.amdb import compute_losses, format_comparison, format_loss_table, profile_workload
+from repro.amdb.visualize import corner_stats, render_leaf_ascii
+from repro.bulk import bulk_load
+
+from tests.conftest import make_ext
+
+
+def _reports():
+    rng = np.random.default_rng(0)
+    pts = rng.normal(size=(2000, 2))
+    queries = pts[:5]
+    reports = []
+    for m in ("rtree", "xjb"):
+        tree = bulk_load(make_ext(m, 2), pts, page_size=2048)
+        profile = profile_workload(tree, queries, 30)
+        reports.append(compute_losses(profile, keys=pts,
+                                      rids=list(range(len(pts)))))
+    return reports
+
+
+class TestReport:
+    def test_loss_table_mentions_all_metrics(self):
+        report = _reports()[0]
+        text = format_loss_table(report)
+        assert "Excess Coverage" in text
+        assert "Utilization" in text
+        assert "Clustering" in text
+        assert "rtree" in text
+
+    def test_comparison_has_one_column_per_method(self):
+        reports = _reports()
+        text = format_comparison(reports)
+        assert "rtree" in text and "xjb" in text
+        assert "total I/Os" in text
+
+    def test_relative_comparison_shows_percent(self):
+        text = format_comparison(_reports(), relative=True)
+        assert "% leaf IOs" in text
+
+
+class TestVisualize:
+    def test_corner_stats_cover_leaves(self):
+        rng = np.random.default_rng(1)
+        pts = np.stack([rng.uniform(0, 10, 1000),
+                        rng.uniform(0, 10, 1000)], axis=1)
+        pts[:, 1] = pts[:, 0] + rng.normal(scale=0.3, size=1000)
+        tree = bulk_load(make_ext("rtree", 2), pts, page_size=2048)
+        stats = corner_stats(tree)
+        assert stats
+        # Diagonal data: leaves should show substantial empty corners.
+        assert np.mean([s.empty_fraction for s in stats]) > 0.2
+        for s in stats:
+            assert 0 <= s.bitten_corners <= s.num_corners
+
+    def test_ascii_render_shows_points(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [0.5, 0.2]])
+        art = render_leaf_ascii(pts)
+        assert art.count("*") >= 2
+        assert art.startswith("+")
+
+    def test_ascii_requires_2d(self):
+        import pytest
+        with pytest.raises(ValueError):
+            render_leaf_ascii(np.zeros((3, 3)))

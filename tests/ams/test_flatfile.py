@@ -1,0 +1,78 @@
+"""Flat-file scan baseline (paper section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.ams import FlatFile
+from repro.storage.iomodel import DiskModel
+
+
+@pytest.fixture
+def data():
+    return np.random.default_rng(0).normal(size=(3000, 5))
+
+
+class TestKnn:
+    def test_matches_brute_force(self, data):
+        f = FlatFile(data)
+        q = data[5]
+        res = f.knn(q, 10)
+        d = np.sqrt(((data - q) ** 2).sum(axis=1))
+        assert [r for _, r in res] == np.argsort(d, kind="stable")[:10].tolist()
+
+    def test_custom_rids(self, data):
+        f = FlatFile(data[:100], rids=list(range(500, 600)))
+        ((_, rid),) = f.knn(data[0], 1)
+        assert rid == 500
+
+    def test_rid_mismatch(self, data):
+        with pytest.raises(ValueError):
+            FlatFile(data, rids=[1, 2])
+
+    def test_invalid_k(self, data):
+        with pytest.raises(ValueError):
+            FlatFile(data).knn(np.zeros(5), 0)
+
+    def test_empty_file(self):
+        f = FlatFile(np.empty((0, 3)))
+        assert f.knn(np.zeros(3), 5) == []
+
+
+class TestIOAccounting:
+    def test_pages_match_packing(self, data):
+        f = FlatFile(data, page_size=8192)
+        # 48-byte entries in an 8 KB page: 170 per page.
+        assert f.entries_per_page == 170
+        assert f.num_pages == int(np.ceil(3000 / 170))
+
+    def test_every_query_scans_everything(self, data):
+        f = FlatFile(data)
+        f.knn(data[0], 5)
+        f.knn(data[1], 5)
+        assert f.pages_read == 2 * f.num_pages
+
+    def test_scan_time_uses_sequential_cost(self, data):
+        f = FlatFile(data, page_size=8192)
+        model = DiskModel(page_size=8192)
+        assert f.scan_time_ms(model) == pytest.approx(
+            model.scan_ms(f.num_pages))
+
+    def test_breakeven_reads_about_pages_over_ratio(self, data):
+        f = FlatFile(data, page_size=8192)
+        model = DiskModel(page_size=8192)
+        budget = f.breakeven_random_reads(model)
+        # Budget ~ pages / ratio (plus the scan's initial seek).
+        expected = f.num_pages / model.random_to_sequential_ratio
+        assert abs(budget - expected) <= 2
+
+    def test_index_must_beat_the_budget(self, data):
+        """The paper's actual decision rule, end to end."""
+        from repro.core import build_index
+        f = FlatFile(data, page_size=8192)
+        tree = build_index(data, "rtree", page_size=8192)
+        tree.store.stats.reset()
+        tree.knn(data[0], 50)
+        # At this scale the budget is tiny; just check both sides of
+        # the comparison are computable and consistent.
+        assert tree.store.stats.leaf_reads > 0
+        assert f.breakeven_random_reads() >= 1

@@ -1,0 +1,136 @@
+"""The 218-bin color space and the quadratic-form distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blobworld.binning import ColorBinning, default_binning
+from repro.blobworld.colorspace import rgb_to_lab
+from repro.blobworld.distance import QuadraticFormDistance
+
+
+@pytest.fixture(scope="module")
+def binning():
+    return default_binning()
+
+
+@pytest.fixture(scope="module")
+def qf(binning):
+    return QuadraticFormDistance(binning.bin_distances())
+
+
+class TestBinning:
+    def test_has_218_bins(self, binning):
+        assert binning.num_bins == 218
+        assert binning.centers.shape == (218, 3)
+
+    def test_construction_is_deterministic(self):
+        a = ColorBinning(num_bins=16, seed=5)
+        b = ColorBinning(num_bins=16, seed=5)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_assign_returns_nearest_center(self, binning):
+        lab = binning.centers[7] + 0.01
+        assert binning.assign(lab) == 7
+
+    def test_histogram_normalized(self, binning):
+        rng = np.random.default_rng(0)
+        lab = rgb_to_lab(rng.random((500, 3)))
+        hist = binning.histogram(lab)
+        assert hist.shape == (218,)
+        assert hist.sum() == pytest.approx(1.0)
+        assert (hist >= 0).all()
+
+    def test_histogram_weights(self, binning):
+        lab = np.stack([binning.centers[0], binning.centers[1]])
+        hist = binning.histogram(lab, weights=[3.0, 1.0])
+        assert hist[0] == pytest.approx(0.75)
+
+    def test_bin_distances_symmetric_zero_diag(self, binning):
+        d = binning.bin_distances()
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_bins_tile_the_gamut(self, binning):
+        """Every sRGB color should be near some bin center."""
+        rng = np.random.default_rng(1)
+        lab = rgb_to_lab(rng.random((300, 3)))
+        flat = lab.reshape(-1, 3)
+        d2 = ((flat[:, None, :] - binning.centers[None]) ** 2).sum(axis=2)
+        assert np.sqrt(d2.min(axis=1)).max() < 25.0
+
+
+class TestQuadraticForm:
+    def test_identity_distance_zero(self, qf):
+        h = np.zeros(218)
+        h[3] = 1.0
+        assert qf.distance(h, h) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self, qf):
+        rng = np.random.default_rng(2)
+        h = rng.dirichlet(np.ones(218))
+        g = rng.dirichlet(np.ones(218))
+        assert qf.distance(h, g) == pytest.approx(qf.distance(g, h))
+
+    def test_similar_bins_closer_than_dissimilar(self, qf, binning):
+        """Mass moved to a nearby bin must cost less than to a far bin."""
+        d = binning.bin_distances()
+        src = 0
+        near = int(np.argsort(d[src])[1])
+        far = int(np.argmax(d[src]))
+        h = np.zeros(218); h[src] = 1.0
+        hn = np.zeros(218); hn[near] = 1.0
+        hf = np.zeros(218); hf[far] = 1.0
+        assert qf.distance(h, hn) < qf.distance(h, hf)
+
+    def test_embedding_is_exact(self, qf):
+        rng = np.random.default_rng(3)
+        hists = np.stack([rng.dirichlet(np.ones(218)) for _ in range(6)])
+        emb = qf.embed(hists)
+        for i in range(6):
+            for j in range(6):
+                direct = qf.distance(hists[i], hists[j])
+                via = ((emb[i] - emb[j]) ** 2).sum()
+                assert via == pytest.approx(direct, abs=1e-8)
+
+    def test_distances_to_matches_embedding(self, qf):
+        rng = np.random.default_rng(4)
+        hists = np.stack([rng.dirichlet(np.ones(218)) for _ in range(5)])
+        emb = qf.embed(hists)
+        d = qf.distances_to(hists[0], emb)
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+        assert np.all(d >= -1e-12)
+
+    def test_matrix_is_psd(self, qf):
+        eigvals = np.linalg.eigvalsh(qf.matrix)
+        assert eigvals.min() > -1e-8
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticFormDistance(np.zeros((3, 4)))
+
+
+# hypothesis interacts awkwardly with module fixtures; use a module cache
+_BINNING = None
+
+
+def _get_qf():
+    global _BINNING
+    if _BINNING is None:
+        b = default_binning()
+        _BINNING = (b, QuadraticFormDistance(b.bin_distances()))
+    return _BINNING
+
+
+@given(st.integers(0, 217), st.integers(0, 217), st.integers(0, 217))
+@settings(max_examples=30, deadline=None)
+def test_triangle_like_monotonicity(i, j, k):
+    """Farther bins (in Lab) never give smaller point-mass distance."""
+    binning, qf = _get_qf()
+    d = binning.bin_distances()
+    hi = np.zeros(218); hi[i] = 1.0
+    hj = np.zeros(218); hj[j] = 1.0
+    hk = np.zeros(218); hk[k] = 1.0
+    if d[i, j] <= d[i, k]:
+        assert qf.distance(hi, hj) <= qf.distance(hi, hk) + 1e-9

@@ -1,0 +1,56 @@
+"""sRGB -> L*a*b* conversion sanity."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld.colorspace import rgb_to_lab
+
+
+class TestKnownColors:
+    def test_white(self):
+        lab = rgb_to_lab(np.array([1.0, 1.0, 1.0]))
+        assert lab[0] == pytest.approx(100.0, abs=0.1)
+        assert abs(lab[1]) < 0.5 and abs(lab[2]) < 0.5
+
+    def test_black(self):
+        lab = rgb_to_lab(np.array([0.0, 0.0, 0.0]))
+        assert lab[0] == pytest.approx(0.0, abs=0.1)
+
+    def test_mid_gray_is_neutral(self):
+        lab = rgb_to_lab(np.array([0.5, 0.5, 0.5]))
+        assert abs(lab[1]) < 0.5 and abs(lab[2]) < 0.5
+        assert 50 < lab[0] < 60
+
+    def test_red_has_positive_a(self):
+        lab = rgb_to_lab(np.array([1.0, 0.0, 0.0]))
+        assert lab[1] > 50
+
+    def test_blue_has_negative_b(self):
+        lab = rgb_to_lab(np.array([0.0, 0.0, 1.0]))
+        assert lab[2] < -50
+
+
+class TestShapesAndRanges:
+    def test_image_shape_preserved(self):
+        img = np.random.default_rng(0).random((8, 9, 3))
+        assert rgb_to_lab(img).shape == (8, 9, 3)
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(1)
+        colors = rng.random((20, 3))
+        batch = rgb_to_lab(colors)
+        singles = np.stack([rgb_to_lab(c) for c in colors])
+        assert np.allclose(batch, singles)
+
+    def test_lightness_monotone_in_gray_level(self):
+        grays = np.linspace(0, 1, 11)[:, None] * np.ones((11, 3))
+        lightness = rgb_to_lab(grays)[:, 0]
+        assert (np.diff(lightness) > 0).all()
+
+    def test_bad_channel_count_rejected(self):
+        with pytest.raises(ValueError):
+            rgb_to_lab(np.zeros((4, 4)))
+
+    def test_out_of_range_clipped(self):
+        lab = rgb_to_lab(np.array([2.0, -1.0, 0.5]))
+        assert np.isfinite(lab).all()

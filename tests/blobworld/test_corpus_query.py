@@ -1,0 +1,124 @@
+"""Corpus builders, SVD reduction, and the query engines."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld import BlobworldEngine, build_corpus, build_pipeline_corpus
+from repro.blobworld.query import recall
+from repro.blobworld.svd import SVDReducer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(num_blobs=2500, num_images=400, seed=0)
+
+
+class TestGenerativeCorpus:
+    def test_sizes(self, corpus):
+        assert corpus.num_blobs == 2500
+        assert corpus.num_images == 400
+        assert corpus.histograms.shape == (2500, 218)
+
+    def test_histograms_normalized(self, corpus):
+        assert np.allclose(corpus.histograms.sum(axis=1), 1.0)
+        assert (corpus.histograms >= 0).all()
+
+    def test_every_image_has_a_blob(self, corpus):
+        assert len(np.unique(corpus.image_ids)) == 400
+
+    def test_blobs_of_image_roundtrip(self, corpus):
+        for image in (0, 37, 399):
+            for blob in corpus.blobs_of_image(image):
+                assert corpus.image_ids[blob] == image
+
+    def test_needs_blob_per_image(self):
+        with pytest.raises(ValueError):
+            build_corpus(num_blobs=5, num_images=10)
+
+    def test_deterministic_by_seed(self):
+        a = build_corpus(num_blobs=100, num_images=20, seed=3)
+        b = build_corpus(num_blobs=100, num_images=20, seed=3)
+        assert np.allclose(a.histograms, b.histograms)
+
+    def test_sample_query_blobs_unique(self, corpus):
+        q = corpus.sample_query_blobs(50, seed=1)
+        assert len(set(q.tolist())) == 50
+
+
+class TestSVD:
+    def test_energy_monotone(self, corpus):
+        energies = [corpus.reducer.explained_energy(d)
+                    for d in range(1, 21)]
+        assert all(b >= a - 1e-12 for a, b in zip(energies, energies[1:]))
+        assert energies[-1] <= 1.0 + 1e-9
+
+    def test_reduced_shapes(self, corpus):
+        assert corpus.reduced(5).shape == (2500, 5)
+        assert corpus.reduced(1).shape == (2500, 1)
+
+    def test_dims_out_of_range(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.reducer.reduce(corpus.embedded, 0)
+        with pytest.raises(ValueError):
+            corpus.reducer.reduce(corpus.embedded, 21)
+
+    def test_reduction_preserves_close_pairs(self, corpus):
+        """Nearby blobs in full distance stay nearby after reduction."""
+        emb = corpus.embedded
+        red = corpus.reduced(5)
+        rng = np.random.default_rng(0)
+        for q in rng.choice(2500, 5, replace=False):
+            full_nn = np.argsort(((emb - emb[q]) ** 2).sum(axis=1))[:20]
+            red_nn = np.argsort(((red - red[q]) ** 2).sum(axis=1))[:200]
+            overlap = len(set(full_nn.tolist()) & set(red_nn.tolist()))
+            assert overlap >= 12
+
+    def test_reducer_requires_2d(self):
+        with pytest.raises(ValueError):
+            SVDReducer(np.zeros(10))
+
+
+class TestQueries:
+    def test_full_query_finds_own_image(self, corpus):
+        engine = BlobworldEngine(corpus)
+        blob = 42
+        images = engine.full_query(blob, 40)
+        assert int(corpus.image_ids[blob]) == images[0]
+
+    def test_reduced_query_recall_improves_with_dims(self, corpus):
+        engine = BlobworldEngine(corpus)
+        qs = corpus.sample_query_blobs(10, seed=2)
+        means = []
+        for dims in (1, 5, 15):
+            vals = [recall(engine.full_query(q, 40),
+                           engine.reduced_query(q, dims, 200, 40))
+                    for q in qs]
+            means.append(np.mean(vals))
+        assert means[0] < means[1] <= means[2] + 0.03
+
+    def test_recall_bounds(self):
+        assert recall([1, 2, 3], [1, 2, 3]) == 1.0
+        assert recall([1, 2], [3, 4]) == 0.0
+        assert recall([], [1]) == 1.0
+
+    def test_am_query_matches_reduced_query(self, corpus):
+        """With an exact tree, the AM path equals brute-force reduced."""
+        from repro.core import build_index
+        engine = BlobworldEngine(corpus)
+        vecs = corpus.reduced(5)
+        tree = build_index(vecs, "xjb", page_size=2048)
+        for q in (10, 500):
+            am = engine.am_query(tree, q, 100, dims=5, top_images=20)
+            brute = engine.reduced_query(q, 5, 100, 20)
+            assert set(am) == set(brute)
+
+
+class TestPipelineCorpus:
+    def test_small_pipeline_corpus(self):
+        corpus = build_pipeline_corpus(num_images=6, seed=0,
+                                       image_size=32)
+        assert corpus.num_blobs >= 6
+        assert np.allclose(corpus.histograms.sum(axis=1), 1.0)
+        assert corpus.image_ids.max() <= 5
+        # SVD over the pipeline corpus works end-to-end
+        assert corpus.reduced(3).shape[1] == 3

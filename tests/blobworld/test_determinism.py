@@ -1,0 +1,84 @@
+"""Determinism guarantees across the blobworld stack.
+
+Benchmark tables must be reproducible run to run; these tests pin the
+components whose accidental nondeterminism would silently change them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blobworld import build_corpus, build_pipeline_corpus
+from repro.blobworld.binning import ColorBinning
+from repro.blobworld.features import pixel_features
+from repro.blobworld.segment import segment_image
+from repro.blobworld.synthimage import generate_image
+
+
+class TestImagePath:
+    def test_generate_image_deterministic(self):
+        a = generate_image(np.random.default_rng(5))
+        b = generate_image(np.random.default_rng(5))
+        assert np.array_equal(a.pixels, b.pixels)
+        assert len(a.regions) == len(b.regions)
+
+    def test_features_deterministic(self):
+        img = generate_image(np.random.default_rng(6), height=24,
+                             width=24)
+        assert np.array_equal(pixel_features(img.pixels),
+                              pixel_features(img.pixels))
+
+    def test_segmentation_deterministic_given_seed(self):
+        img = generate_image(np.random.default_rng(7), height=32,
+                             width=32)
+        a = segment_image(img.pixels, seed=3)
+        b = segment_image(img.pixels, seed=3)
+        assert len(a) == len(b)
+        for blob_a, blob_b in zip(a, b):
+            assert np.array_equal(blob_a.mask, blob_b.mask)
+
+    def test_pipeline_corpus_deterministic(self):
+        a = build_pipeline_corpus(num_images=3, seed=1, image_size=24)
+        b = build_pipeline_corpus(num_images=3, seed=1, image_size=24)
+        assert np.array_equal(a.histograms, b.histograms)
+
+
+class TestCorpusPath:
+    def test_corpus_svd_deterministic(self):
+        a = build_corpus(400, 64, seed=9)
+        b = build_corpus(400, 64, seed=9)
+        assert np.allclose(a.reduced(5), b.reduced(5))
+
+    def test_different_seeds_differ(self):
+        a = build_corpus(200, 32, seed=1)
+        b = build_corpus(200, 32, seed=2)
+        assert not np.allclose(a.histograms, b.histograms)
+
+    def test_binning_stable_across_processes(self):
+        """The binning must not depend on import order or caches: two
+        fresh constructions are identical."""
+        a = ColorBinning(num_bins=64, seed=11)
+        b = ColorBinning(num_bins=64, seed=11)
+        assert np.array_equal(a.centers, b.centers)
+
+
+class TestTreeDeterminism:
+    def test_bulk_load_deterministic(self):
+        from repro.core import build_index
+        corpus = build_corpus(1000, 160, seed=0)
+        vecs = corpus.reduced(4)
+        a = build_index(vecs, "xjb", page_size=2048)
+        b = build_index(vecs, "xjb", page_size=2048)
+        leaves_a = sorted(tuple(sorted(n.rids()))
+                          for n in a.leaf_nodes())
+        leaves_b = sorted(tuple(sorted(n.rids()))
+                          for n in b.leaf_nodes())
+        assert leaves_a == leaves_b
+
+    def test_knn_ties_stable(self):
+        from repro.core import build_index
+        pts = np.zeros((30, 2))
+        pts[:15, 0] = 1.0
+        tree = build_index(pts, "rtree", page_size=2048)
+        a = [r for _, r in tree.knn(np.zeros(2), 10)]
+        b = [r for _, r in tree.knn(np.zeros(2), 10)]
+        assert a == b

@@ -1,0 +1,83 @@
+"""EM robustness: degenerate inputs, seeding, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld.em import GaussianMixture, fit_em, fit_em_mdl
+
+
+class TestDegenerateInputs:
+    def test_identical_points(self):
+        x = np.zeros((50, 3))
+        mix = fit_em(x, 2, np.random.default_rng(0))
+        # Variances are floored; no NaNs, assignments defined.
+        assert np.isfinite(mix.log_likelihood)
+        assert (mix.variances > 0).all()
+        assert len(mix.assign(x)) == 50
+
+    def test_single_point_k1(self):
+        x = np.array([[1.0, 2.0]])
+        mix = fit_em(x, 1, np.random.default_rng(0))
+        assert np.allclose(mix.means[0], [1.0, 2.0])
+
+    def test_k_exceeds_n_rejected(self):
+        with pytest.raises(ValueError):
+            fit_em(np.zeros((3, 2)), 5, np.random.default_rng(0))
+
+    def test_collinear_data(self):
+        x = np.stack([np.linspace(0, 1, 80), np.zeros(80)], axis=1)
+        mix = fit_em(x, 3, np.random.default_rng(1))
+        assert np.isfinite(mix.log_likelihood)
+
+    def test_extreme_scales(self):
+        rng = np.random.default_rng(2)
+        x = np.concatenate([rng.normal(0, 1e-6, size=(50, 2)),
+                            rng.normal(1e6, 1.0, size=(50, 2))])
+        mix = fit_em(x, 2, rng)
+        labels = mix.assign(x)
+        assert labels[:50].std() == 0 and labels[50:].std() == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_fit(self):
+        x = np.random.default_rng(3).normal(size=(100, 2))
+        a = fit_em(x, 3, np.random.default_rng(7))
+        b = fit_em(x, 3, np.random.default_rng(7))
+        assert np.allclose(a.means, b.means)
+        assert a.log_likelihood == b.log_likelihood
+
+
+class TestMDL:
+    def test_mdl_penalizes_parameters(self):
+        mix_small = GaussianMixture(np.array([1.0]), np.zeros((1, 2)),
+                                    np.ones((1, 2)), -100.0)
+        mix_big = GaussianMixture(np.full(5, 0.2), np.zeros((5, 2)),
+                                  np.ones((5, 2)), -100.0)
+        assert mix_big.mdl_score(100) > mix_small.mdl_score(100)
+
+    def test_mdl_avoids_overfitting_noise(self):
+        x = np.random.default_rng(4).normal(size=(400, 2))
+        mix = fit_em_mdl(x, k_range=(1, 2, 3, 4, 5),
+                         rng=np.random.default_rng(5))
+        assert mix.k <= 2  # single blob: no support for many components
+
+    def test_empty_k_range_rejected(self):
+        with pytest.raises(ValueError):
+            fit_em_mdl(np.zeros((2, 2)), k_range=(5, 6),
+                       rng=np.random.default_rng(0))
+
+
+class TestLogProb:
+    def test_log_prob_shape_and_normalization(self):
+        x = np.random.default_rng(6).normal(size=(30, 3))
+        mix = fit_em(x, 2, np.random.default_rng(6))
+        lp = mix.log_prob(x)
+        assert lp.shape == (30, 2)
+        resp = mix.responsibilities(x)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_assign_picks_max(self):
+        x = np.random.default_rng(7).normal(size=(30, 3))
+        mix = fit_em(x, 3, np.random.default_rng(7))
+        assert np.array_equal(mix.assign(x),
+                              mix.log_prob(x).argmax(axis=1))

@@ -1,0 +1,96 @@
+"""Ground-truth retrieval evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld import BlobworldEngine, build_corpus
+from repro.blobworld.evaluation import (
+    evaluate_engine,
+    evaluate_retrieval,
+    relevant_images,
+)
+from repro.core import build_index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = build_corpus(3000, 480, seed=0)
+    return corpus, BlobworldEngine(corpus)
+
+
+class TestRelevance:
+    def test_own_image_is_relevant(self, setup):
+        corpus, _ = setup
+        for q in (0, 100, 2999):
+            assert int(corpus.image_ids[q]) in relevant_images(corpus, q)
+
+    def test_relevance_is_theme_based(self, setup):
+        corpus, _ = setup
+        q = 5
+        theme = corpus.themes[q]
+        rel = relevant_images(corpus, q)
+        for image in list(rel)[:10]:
+            blobs = corpus.blobs_of_image(image)
+            assert (corpus.themes[blobs] == theme).any()
+
+    def test_requires_ground_truth(self, setup):
+        corpus, _ = setup
+        import dataclasses
+        bare = dataclasses.replace(corpus, themes=None)
+        with pytest.raises(ValueError):
+            relevant_images(bare, 0)
+
+
+class TestMetrics:
+    def test_perfect_retrieval_scores_one(self, setup):
+        corpus, _ = setup
+        q = 17
+        rel = sorted(relevant_images(corpus, q))
+        quality = evaluate_retrieval(corpus, [q], {q: rel},
+                                     k=min(10, len(rel)))
+        assert quality.precision_at_k == 1.0
+        assert quality.mean_reciprocal_rank == 1.0
+
+    def test_useless_retrieval_scores_zero(self, setup):
+        corpus, _ = setup
+        q = 17
+        rel = relevant_images(corpus, q)
+        junk = [i for i in range(corpus.num_images)
+                if i not in rel][:20]
+        quality = evaluate_retrieval(corpus, [q], {q: junk}, k=10)
+        assert quality.precision_at_k == 0.0
+        assert quality.mean_reciprocal_rank == 0.0
+
+    def test_reciprocal_rank_position(self, setup):
+        corpus, _ = setup
+        q = 17
+        rel = sorted(relevant_images(corpus, q))
+        junk = [i for i in range(corpus.num_images) if i not in rel]
+        ranked = junk[:2] + [rel[0]] + junk[2:5]
+        quality = evaluate_retrieval(corpus, [q], {q: ranked}, k=6)
+        assert quality.mean_reciprocal_rank == pytest.approx(1 / 3)
+
+
+class TestEndToEnd:
+    def test_full_ranking_beats_chance(self, setup):
+        corpus, engine = setup
+        queries = corpus.sample_query_blobs(15, seed=2).tolist()
+        quality = evaluate_engine(corpus, engine, queries, k=10)
+        # Theme clusters are tight: color retrieval should place
+        # same-theme images up top far more often than chance.
+        assert quality.precision_at_k > 0.5
+        assert quality.mean_reciprocal_rank > 0.7
+
+    def test_am_assisted_close_to_full(self, setup):
+        corpus, engine = setup
+        tree = build_index(corpus.reduced(5), "xjb", page_size=4096)
+        queries = corpus.sample_query_blobs(15, seed=3).tolist()
+        full = evaluate_engine(corpus, engine, queries, k=10)
+        am = evaluate_engine(corpus, engine, queries, k=10, mode="am",
+                             tree=tree, dims=5, num_blobs=300)
+        assert am.precision_at_k >= full.precision_at_k - 0.15
+
+    def test_unknown_mode_rejected(self, setup):
+        corpus, engine = setup
+        with pytest.raises(ValueError):
+            evaluate_engine(corpus, engine, [0], mode="psychic")

@@ -1,0 +1,148 @@
+"""The image pipeline: synthesis, features, EM, segmentation, descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld.binning import ColorBinning
+from repro.blobworld.descriptors import describe_image
+from repro.blobworld.em import fit_em, fit_em_mdl
+from repro.blobworld.features import pixel_features, structure_tensor_features
+from repro.blobworld.segment import segment_image
+from repro.blobworld.synthimage import generate_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return generate_image(np.random.default_rng(0), height=48, width=48)
+
+
+class TestSynthImage:
+    def test_pixels_in_range(self, image):
+        assert image.pixels.shape == (48, 48, 3)
+        assert image.pixels.min() >= 0.0 and image.pixels.max() <= 1.0
+
+    def test_regions_have_masks(self, image):
+        assert 2 <= len(image.regions) <= 4
+        for region in image.regions:
+            assert region.mask.shape == (48, 48)
+            assert region.mask.sum() > 0
+
+    def test_palette_restricts_colors(self):
+        palette = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+        img = generate_image(np.random.default_rng(1), palette=palette)
+        for region in img.regions:
+            d = np.abs(palette - region.color).sum(axis=1).min()
+            assert d < 0.5
+
+
+class TestFeatures:
+    def test_feature_stack_shape(self, image):
+        feats = pixel_features(image.pixels)
+        assert feats.shape == (48, 48, 6)
+        assert np.isfinite(feats).all()
+
+    def test_texture_responds_to_grating(self):
+        yy, xx = np.mgrid[0:32, 0:32]
+        grating = 0.5 + 0.4 * np.sin(xx * 1.5)
+        striped = np.dstack([grating] * 3)
+        flat = np.full((32, 32, 3), 0.5)
+        aniso_s, contrast_s = structure_tensor_features(
+            grating * 100)
+        aniso_f, contrast_f = structure_tensor_features(
+            np.full((32, 32), 50.0))
+        assert contrast_s.mean() > contrast_f.mean() + 1.0
+        assert aniso_s.mean() > aniso_f.mean()
+
+
+class TestEM:
+    def test_separates_two_gaussians(self):
+        rng = np.random.default_rng(0)
+        x = np.concatenate([rng.normal(0, 0.5, size=(200, 2)),
+                            rng.normal(8, 0.5, size=(200, 2))])
+        mix = fit_em(x, 2, rng)
+        labels = mix.assign(x)
+        # One cluster per true component (up to label swap).
+        first = labels[:200]
+        second = labels[200:]
+        assert (first == first[0]).mean() > 0.95
+        assert (second == second[0]).mean() > 0.95
+        assert first[0] != second[0]
+
+    def test_mdl_prefers_true_component_count(self):
+        rng = np.random.default_rng(1)
+        x = np.concatenate([rng.normal(c, 0.4, size=(150, 2))
+                            for c in (0.0, 6.0, 12.0)])
+        mix = fit_em_mdl(x, k_range=(2, 3, 4, 5), rng=rng)
+        assert mix.k == 3
+
+    def test_responsibilities_are_distributions(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 3))
+        mix = fit_em(x, 3, rng)
+        resp = mix.responsibilities(x)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+        assert (resp >= 0).all()
+
+    def test_log_likelihood_improves(self):
+        rng = np.random.default_rng(3)
+        x = np.concatenate([rng.normal(0, 1, size=(100, 2)),
+                            rng.normal(5, 1, size=(100, 2))])
+        short = fit_em(x, 2, np.random.default_rng(4), max_iterations=1)
+        long = fit_em(x, 2, np.random.default_rng(4), max_iterations=30)
+        assert long.log_likelihood >= short.log_likelihood - 1e-6
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            fit_em(np.zeros((5, 2)), 0, np.random.default_rng(0))
+
+
+class TestSegmentation:
+    def test_recovers_distinct_regions(self):
+        rng = np.random.default_rng(5)
+        image = generate_image(rng, height=48, width=48, num_regions=2)
+        blobs = segment_image(image.pixels, seed=1)
+        assert len(blobs) >= 2
+        # The largest blobs should overlap the true regions decently.
+        for region in image.regions:
+            visible = region.mask.copy()
+            for other in image.regions:
+                if other is not region:
+                    # later regions overdraw earlier ones
+                    pass
+            best = max(
+                (np.logical_and(b.mask, visible).sum()
+                 / max(visible.sum(), 1)) for b in blobs)
+            assert best > 0.25
+
+    def test_blob_fields(self, image):
+        blobs = segment_image(image.pixels, seed=0)
+        for blob in blobs:
+            assert blob.area == int(blob.mask.sum())
+            y, x = blob.centroid
+            assert 0 <= y < 48 and 0 <= x < 48
+
+
+class TestDescriptors:
+    def test_histograms_normalized(self, image):
+        binning = ColorBinning(num_bins=32, seed=1)
+        blobs = segment_image(image.pixels, seed=0)
+        descs = describe_image(image.pixels, blobs, binning)
+        assert len(descs) == len(blobs)
+        for d in descs:
+            assert d.histogram.sum() == pytest.approx(1.0)
+            assert 0.0 < d.area_fraction <= 1.0
+            assert d.mean_texture.shape == (2,)
+            assert (0 <= d.centroid).all() and (d.centroid <= 1).all()
+
+    def test_descriptor_reflects_blob_color(self):
+        # A pure red region should concentrate mass near the red bin.
+        binning = ColorBinning(num_bins=32, seed=1)
+        pixels = np.zeros((20, 20, 3))
+        pixels[:, :, 0] = 1.0
+        from repro.blobworld.segment import Blob
+        blob = Blob(mask=np.ones((20, 20), dtype=bool), label=0,
+                    area=400, centroid=(10.0, 10.0))
+        (desc,) = describe_image(pixels, [blob], binning)
+        from repro.blobworld.colorspace import rgb_to_lab
+        red_bin = binning.assign(rgb_to_lab(np.array([1.0, 0.0, 0.0])))
+        assert desc.histogram[int(red_bin)] > 0.9

@@ -1,0 +1,78 @@
+"""Cross-component consistency: SVD, embedding, and query distances."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld import build_corpus
+from repro.blobworld.svd import SVDReducer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(1200, 192, seed=0)
+
+
+class TestEmbeddingConsistency:
+    def test_distances_to_equals_pairwise_distance(self, corpus):
+        qf = corpus.distance
+        hists = corpus.histograms[:10]
+        emb = qf.embed(hists)
+        d = qf.distances_to(hists[0], emb)
+        for j in range(10):
+            assert d[j] == pytest.approx(qf.distance(hists[0],
+                                                     hists[j]),
+                                         abs=1e-9)
+
+    def test_full_dimension_projection_is_lossless_for_ranking(self,
+                                                               corpus):
+        """Ranking by 20-D reduced vectors must match the embedded
+        ranking wherever the residual energy is negligible."""
+        emb = corpus.embedded
+        red = corpus.reduced(20)
+        q = 5
+        full_rank = np.argsort(((emb - emb[q]) ** 2).sum(axis=1))[:20]
+        red_rank = np.argsort(((red - red[q]) ** 2).sum(axis=1))[:20]
+        overlap = len(set(full_rank.tolist()) & set(red_rank.tolist()))
+        assert overlap >= 15
+
+    def test_reduced_distance_never_exceeds_embedded(self, corpus):
+        """Projection is a contraction: reduced distances lower-bound
+        the embedded (full) distances."""
+        emb = corpus.embedded
+        mean = corpus.reducer.mean
+        rng = np.random.default_rng(0)
+        for dims in (1, 5, 12):
+            red = corpus.reduced(dims)
+            for _ in range(20):
+                i, j = rng.integers(0, corpus.num_blobs, 2)
+                d_red = np.linalg.norm(red[i] - red[j])
+                d_emb = np.linalg.norm(emb[i] - emb[j])
+                assert d_red <= d_emb + 1e-9
+
+
+class TestReducerNumerics:
+    def test_energy_of_full_rank_is_one(self):
+        rng = np.random.default_rng(1)
+        vecs = rng.normal(size=(100, 8))
+        reducer = SVDReducer(vecs, max_dims=8)
+        assert reducer.explained_energy(8) == pytest.approx(1.0)
+
+    def test_constant_data_energy_zero(self):
+        reducer = SVDReducer(np.ones((50, 4)), max_dims=4)
+        assert reducer.explained_energy(2) == 0.0
+
+    def test_projection_of_mean_is_origin(self):
+        rng = np.random.default_rng(2)
+        vecs = rng.normal(size=(60, 6))
+        reducer = SVDReducer(vecs, max_dims=4)
+        projected = reducer.reduce(reducer.mean.reshape(1, -1), 4)
+        assert np.allclose(projected, 0.0, atol=1e-10)
+
+    def test_out_of_corpus_vectors_projectable(self):
+        rng = np.random.default_rng(3)
+        vecs = rng.normal(size=(80, 6))
+        reducer = SVDReducer(vecs, max_dims=3)
+        novel = rng.normal(size=(5, 6))
+        out = reducer.reduce(novel, 3)
+        assert out.shape == (5, 3)
+        assert np.isfinite(out).all()

@@ -1,0 +1,88 @@
+"""Weighted compound queries (paper Figure 3: user-set weights)."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld import BlobworldEngine, build_corpus
+from repro.core import build_index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = build_corpus(num_blobs=3000, num_images=480, seed=0)
+    return corpus, BlobworldEngine(corpus)
+
+
+class TestDescriptors:
+    def test_corpus_carries_aux_descriptors(self, setup):
+        corpus, _ = setup
+        assert corpus.textures.shape == (3000, 2)
+        assert corpus.locations.shape == (3000, 2)
+        assert corpus.sizes.shape == (3000,)
+        assert (corpus.textures >= 0).all()
+        assert ((corpus.locations >= 0) & (corpus.locations <= 1)).all()
+        assert ((corpus.sizes > 0) & (corpus.sizes <= 1)).all()
+
+
+class TestWeightedDistances:
+    def test_color_only_matches_full_ranking(self, setup):
+        corpus, engine = setup
+        q = 10
+        color_only = engine.weighted_query(q, {"color": 1.0}, 25)
+        plain = engine.full_query(q, 25)
+        assert color_only == plain
+
+    def test_self_distance_zero(self, setup):
+        _, engine = setup
+        d = engine.weighted_distances(
+            5, np.array([5]), {"color": 1.0, "texture": 1.0,
+                               "location": 1.0, "size": 1.0})
+        assert d[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_weights_change_ranking(self, setup):
+        corpus, engine = setup
+        q = 77
+        by_color = engine.weighted_query(q, {"color": 1.0}, 30)
+        by_location = engine.weighted_query(
+            q, {"color": 0.05, "location": 1.0}, 30)
+        assert by_color != by_location
+
+    def test_location_weight_prefers_near_locations(self, setup):
+        corpus, engine = setup
+        q = 123
+        images = engine.weighted_query(
+            q, {"color": 0.01, "location": 1.0}, 10)
+        # The best images' best blobs should sit near the query blob.
+        qloc = corpus.locations[q]
+        near = 0
+        for image in images[:5]:
+            blobs = corpus.blobs_of_image(image)
+            d = np.sqrt(((corpus.locations[blobs] - qloc) ** 2)
+                        .sum(axis=1))
+            near += d.min() < 0.25
+        assert near >= 3
+
+    def test_unknown_weight_rejected(self, setup):
+        _, engine = setup
+        with pytest.raises(ValueError, match="unknown weight"):
+            engine.weighted_distances(0, np.array([1]), {"smell": 1.0})
+
+
+class TestIndexAssisted:
+    def test_tree_assisted_close_to_exhaustive(self, setup):
+        corpus, engine = setup
+        tree = build_index(corpus.reduced(5), "xjb", page_size=4096)
+        q = 42
+        weights = {"color": 1.0, "texture": 0.3}
+        exhaustive = engine.weighted_query(q, weights, 20)
+        assisted = engine.weighted_query(q, weights, 20, tree=tree,
+                                         num_blobs=400)
+        overlap = len(set(exhaustive) & set(assisted))
+        assert overlap >= 12
+
+    def test_zero_color_weight_with_tree_rejected(self, setup):
+        corpus, engine = setup
+        tree = build_index(corpus.reduced(5), "rtree", page_size=4096)
+        with pytest.raises(ValueError, match="color weight"):
+            engine.weighted_query(0, {"color": 0.0, "texture": 1.0},
+                                  tree=tree)

@@ -1,0 +1,110 @@
+"""Bulk and insertion loading."""
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_load, insertion_load
+from repro.gist import validate_tree
+
+from tests.conftest import brute_knn, make_ext
+
+
+class TestBulkLoad:
+    def test_all_methods_build_valid_trees(self, any_method,
+                                           clustered_points):
+        tree = bulk_load(make_ext(any_method, 3), clustered_points,
+                         page_size=4096)
+        validate_tree(tree, expected_size=len(clustered_points))
+
+    def test_loading_counts_no_query_ios(self, clustered_points):
+        tree = bulk_load(make_ext("rtree", 3), clustered_points,
+                         page_size=4096)
+        assert tree.store.stats.reads == 0
+
+    def test_utilization_near_full_by_default(self, clustered_points):
+        tree = bulk_load(make_ext("rtree", 3), clustered_points,
+                         page_size=4096)
+        utils = [tree.node_utilization(n) for n in tree.leaf_nodes()]
+        assert np.mean(utils) > 0.9
+
+    def test_fill_factor_reduces_utilization(self, clustered_points):
+        tree = bulk_load(make_ext("rtree", 3), clustered_points,
+                         page_size=4096, fill=0.6)
+        utils = [tree.node_utilization(n) for n in tree.leaf_nodes()]
+        assert np.mean(utils) < 0.75
+        validate_tree(tree, expected_size=len(clustered_points))
+
+    def test_invalid_fill_rejected(self, clustered_points):
+        with pytest.raises(ValueError):
+            bulk_load(make_ext("rtree", 3), clustered_points, fill=0.0)
+
+    def test_custom_rids(self):
+        pts = np.random.default_rng(0).normal(size=(100, 2))
+        rids = list(range(1000, 1100))
+        tree = bulk_load(make_ext("rtree", 2), pts, rids=rids,
+                         page_size=2048)
+        hits = tree.knn(pts[0], 3)
+        assert all(1000 <= r < 1100 for _, r in hits)
+
+    def test_rid_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bulk_load(make_ext("rtree", 2), np.zeros((5, 2)), rids=[1, 2])
+
+    def test_single_point(self):
+        tree = bulk_load(make_ext("rtree", 2), np.array([[1.0, 2.0]]))
+        assert tree.height == 1
+        assert tree.knn(np.zeros(2), 1)[0][1] == 0
+
+    def test_single_page_tree(self):
+        pts = np.random.default_rng(1).normal(size=(20, 2))
+        tree = bulk_load(make_ext("rtree", 2), pts, page_size=4096)
+        assert tree.height == 1
+        validate_tree(tree, expected_size=20)
+
+
+class TestInsertionLoad:
+    def test_builds_valid_tree(self, clustered_points):
+        tree = insertion_load(make_ext("rtree", 3),
+                              clustered_points[:600], page_size=4096)
+        validate_tree(tree, expected_size=600)
+
+    def test_shuffle_seed_changes_structure(self, clustered_points):
+        pts = clustered_points[:600]
+        a = insertion_load(make_ext("rtree", 3), pts, page_size=4096,
+                           shuffle_seed=1)
+        b = insertion_load(make_ext("rtree", 3), pts, page_size=4096,
+                           shuffle_seed=2)
+        # Same data, same answers, (almost surely) different trees.
+        q = pts[0]
+        assert set(r for _, r in a.knn(q, 10)) \
+            == set(r for _, r in b.knn(q, 10))
+
+    def test_insertion_vs_bulk_same_answers(self, clustered_points):
+        pts = clustered_points[:700]
+        bulk = bulk_load(make_ext("rtree", 3), pts, page_size=4096)
+        ins = insertion_load(make_ext("rtree", 3), pts, page_size=4096)
+        for q in pts[::233]:
+            want, dk = brute_knn(pts, q, 20)
+            for tree in (bulk, ins):
+                got = set(r for _, r in tree.knn(q, 20))
+                d = np.sqrt(((pts - q) ** 2).sum(axis=1))
+                for rid in got ^ want:
+                    assert d[rid] == pytest.approx(dk)
+
+    def test_bulk_packs_better_than_insertion(self, clustered_points):
+        """The reason the paper bulk-loads: STR packs pages full, so
+        the tree has fewer, fuller leaves than insertion loading."""
+        pts = clustered_points
+        bulk = bulk_load(make_ext("rtree", 3), pts, page_size=4096)
+        ins = insertion_load(make_ext("rtree", 3), pts, page_size=4096,
+                             shuffle_seed=0)
+
+        def leaf_stats(tree):
+            leaves = list(tree.leaf_nodes())
+            utils = [tree.node_utilization(n) for n in leaves]
+            return len(leaves), np.mean(utils)
+
+        bulk_count, bulk_util = leaf_stats(bulk)
+        ins_count, ins_util = leaf_stats(ins)
+        assert bulk_count < ins_count
+        assert bulk_util > ins_util

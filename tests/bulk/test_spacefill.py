@@ -1,0 +1,103 @@
+"""Space-filling-curve orderings (Morton, Hilbert)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bulk import bulk_load
+from repro.bulk.spacefill import hilbert_order, morton_order
+from repro.bulk.str_pack import str_order
+from repro.ams import RTreeExtension
+from repro.gist import validate_tree
+
+
+def _mean_page_area(pts, order, cap=50):
+    areas = []
+    for i in range(0, len(pts), cap):
+        chunk = pts[order[i:i + cap]]
+        if len(chunk) < 2:
+            continue
+        areas.append(np.prod(chunk.max(axis=0) - chunk.min(axis=0)))
+    return float(np.mean(areas))
+
+
+class TestOrderings:
+    @pytest.mark.parametrize("order_fn", [morton_order, hilbert_order])
+    def test_is_permutation(self, order_fn):
+        pts = np.random.default_rng(0).normal(size=(777, 3))
+        order = order_fn(pts, 50)
+        assert sorted(order.tolist()) == list(range(777))
+
+    @pytest.mark.parametrize("order_fn", [morton_order, hilbert_order])
+    def test_empty_and_shape_checks(self, order_fn):
+        assert len(order_fn(np.empty((0, 2)), 10)) == 0
+        with pytest.raises(ValueError):
+            order_fn(np.zeros(5), 10)
+
+    def test_both_curves_are_local(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1, size=(4000, 2))
+        random_area = _mean_page_area(pts, rng.permutation(4000))
+        for order_fn in (morton_order, hilbert_order):
+            assert _mean_page_area(pts, order_fn(pts, 50)) \
+                < 0.1 * random_area
+
+    def test_hilbert_beats_morton_on_uniform_2d(self):
+        """The textbook result: Hilbert has no long jumps."""
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 1, size=(5000, 2))
+        hilbert_area = _mean_page_area(pts, hilbert_order(pts, 50))
+        morton_area = _mean_page_area(pts, morton_order(pts, 50))
+        assert hilbert_area < morton_area
+
+    def test_hilbert_curve_is_continuous_on_grid(self):
+        """Consecutive Hilbert positions of a full 2-D grid must be
+        grid neighbors (the curve's defining property)."""
+        side = 16
+        yy, xx = np.mgrid[0:side, 0:side]
+        pts = np.stack([xx.ravel(), yy.ravel()], axis=1).astype(float)
+        order = hilbert_order(pts, 10, bits=4)
+        walk = pts[order]
+        steps = np.abs(np.diff(walk, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_deterministic(self):
+        pts = np.random.default_rng(3).normal(size=(300, 4))
+        assert np.array_equal(hilbert_order(pts, 10),
+                              hilbert_order(pts, 10))
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 100),
+                                            st.integers(1, 5)),
+                      elements=st.floats(-1e6, 1e6, allow_nan=False,
+                                         width=32)))
+    @settings(max_examples=30, deadline=None)
+    def test_always_permutations(self, pts):
+        for order_fn in (morton_order, hilbert_order):
+            order = order_fn(pts, 10)
+            assert sorted(order.tolist()) == list(range(len(pts)))
+
+
+class TestLoaderIntegration:
+    @pytest.mark.parametrize("order", ["str", "morton", "hilbert"])
+    def test_bulk_load_with_every_ordering(self, order):
+        pts = np.random.default_rng(4).normal(size=(2000, 3))
+        tree = bulk_load(RTreeExtension(3), pts, page_size=2048,
+                         order=order)
+        validate_tree(tree, expected_size=2000)
+        q = pts[9]
+        got = set(r for _, r in tree.knn(q, 12))
+        d = np.sqrt(((pts - q) ** 2).sum(axis=1))
+        assert got == set(np.argsort(d)[:12].tolist())
+
+    def test_callable_ordering_accepted(self):
+        pts = np.random.default_rng(5).normal(size=(500, 2))
+        tree = bulk_load(RTreeExtension(2), pts, page_size=2048,
+                         order=lambda p, cap: str_order(p, cap))
+        validate_tree(tree, expected_size=500)
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(ValueError, match="unknown bulk ordering"):
+            bulk_load(RTreeExtension(2), np.zeros((5, 2)),
+                      order="zigzag")

@@ -1,0 +1,87 @@
+"""STR ordering and page chunking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bulk import chunk_sizes, str_order
+
+
+class TestStrOrder:
+    def test_is_permutation(self):
+        pts = np.random.default_rng(0).normal(size=(500, 3))
+        order = str_order(pts, 25)
+        assert sorted(order.tolist()) == list(range(500))
+
+    def test_one_dimension_is_plain_sort(self):
+        pts = np.array([[3.0], [1.0], [2.0]])
+        assert str_order(pts, 2).tolist() == [1, 2, 0]
+
+    def test_tiles_are_spatially_tight(self):
+        """STR pages must be much tighter than random pages."""
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 1, size=(2000, 2))
+        order = str_order(pts, 50)
+
+        def mean_page_area(permutation):
+            areas = []
+            for i in range(0, 2000, 50):
+                chunk = pts[permutation[i:i + 50]]
+                extent = chunk.max(axis=0) - chunk.min(axis=0)
+                areas.append(np.prod(extent))
+            return np.mean(areas)
+
+        assert mean_page_area(order) \
+            < 0.2 * mean_page_area(rng.permutation(2000))
+
+    def test_empty_input(self):
+        assert len(str_order(np.empty((0, 2)), 10)) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            str_order(np.zeros((5, 2)), 0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            str_order(np.zeros(5), 2)
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(1, 200),
+                                            st.integers(1, 4)),
+                      elements=st.floats(-100, 100, width=32)),
+           st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_always_a_permutation(self, pts, capacity):
+        order = str_order(pts, capacity)
+        assert sorted(order.tolist()) == list(range(len(pts)))
+
+
+class TestChunkSizes:
+    def test_exact_division(self):
+        assert chunk_sizes(100, 10, 4) == [10] * 10
+
+    def test_small_tail_borrows(self):
+        sizes = chunk_sizes(101, 10, 4)
+        assert sum(sizes) == 101
+        assert all(s >= 4 for s in sizes)
+
+    def test_tiny_input_single_chunk(self):
+        assert chunk_sizes(3, 10, 4) == [3]
+
+    def test_zero_items(self):
+        assert chunk_sizes(0, 10, 4) == []
+
+    def test_target_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(10, 20, 2, capacity=10)
+
+    @given(st.integers(1, 2000), st.integers(1, 170))
+    @settings(max_examples=80, deadline=None)
+    def test_chunk_properties(self, n, target):
+        min_entries = max(1, int(0.4 * target))
+        sizes = chunk_sizes(n, target, min_entries)
+        assert sum(sizes) == n
+        assert all(s <= target for s in sizes)
+        if len(sizes) > 1:
+            assert all(s >= min_entries for s in sizes)

@@ -1,0 +1,89 @@
+"""aMAP extension: dual-rectangle minimum-volume predicates (section 5.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.amap import AMapExtension, MapPred, best_bipartition
+from repro.geometry import Rect
+
+
+@pytest.fixture
+def ext():
+    return AMapExtension(2, samples=256, seed=0)
+
+
+class TestBestBipartition:
+    def test_two_clusters_get_two_tight_rects(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(20, 2)) * 0.1
+        b = rng.normal(size=(20, 2)) * 0.1 + 10.0
+        pts = np.concatenate([a, b])
+        pred = best_bipartition(pts, pts, 512, np.random.default_rng(1))
+        whole = Rect.from_points(pts)
+        assert pred.covered_volume() < 0.2 * whole.volume()
+
+    def test_never_worse_than_single_mbr(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            pts = rng.normal(size=(rng.integers(2, 30), 3))
+            pred = best_bipartition(pts, pts, 64, rng)
+            assert pred.covered_volume() \
+                <= Rect.from_points(pts).volume() + 1e-9
+
+    def test_single_point(self):
+        pts = np.array([[1.0, 2.0]])
+        pred = best_bipartition(pts, pts, 16, np.random.default_rng(0))
+        assert pred.contains_point([1.0, 2.0])
+
+    def test_covered_volume_counts_overlap_once(self):
+        pred = MapPred(Rect([0.0, 0.0], [2.0, 1.0]),
+                       Rect([1.0, 0.0], [3.0, 1.0]))
+        assert pred.covered_volume() == pytest.approx(3.0)
+
+
+class TestExtension:
+    def test_pred_for_keys_is_conservative(self, ext):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            keys = rng.normal(size=(40, 2))
+            pred = ext.pred_for_keys(keys)
+            assert all(pred.contains_point(k) for k in keys)
+
+    def test_pred_for_preds_covers_children(self, ext):
+        rng = np.random.default_rng(4)
+        children = [ext.pred_for_keys(rng.normal(size=(10, 2)) + off)
+                    for off in (0.0, 6.0, 12.0)]
+        parent = ext.pred_for_preds(children)
+        for child in children:
+            assert ext.covers_pred(parent, child)
+
+    def test_min_dist_is_min_of_rects(self, ext):
+        pred = MapPred(Rect([0.0, 0.0], [1.0, 1.0]),
+                       Rect([5.0, 0.0], [6.0, 1.0]))
+        q = np.array([4.5, 0.5])
+        assert ext.min_dist(pred, q) == pytest.approx(0.5)
+
+    def test_consistent_checks_either_rect(self, ext):
+        pred = MapPred(Rect([0.0, 0.0], [1.0, 1.0]),
+                       Rect([5.0, 0.0], [6.0, 1.0]))
+        assert ext.consistent(pred, Rect([5.5, 0.5], [7.0, 2.0]))
+        assert not ext.consistent(pred, Rect([2.0, 2.0], [3.0, 3.0]))
+
+    def test_codec_decodes_mappred(self, ext):
+        pred = MapPred(Rect([0.0, 0.0], [1.0, 1.0]),
+                       Rect([2.0, 2.0], [3.0, 3.0]))
+        codec = ext.pred_codec()
+        out = codec.decode(codec.encode(pred))
+        assert isinstance(out, MapPred)
+        assert out.r1 == pred.r1 and out.r2 == pred.r2
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 25), st.just(2)),
+                      elements=st.floats(-100, 100, width=32)))
+    @settings(max_examples=30, deadline=None)
+    def test_conservative_on_arbitrary_data(self, keys):
+        ext = AMapExtension(2, samples=64, seed=1)
+        pred = ext.pred_for_keys(keys)
+        assert all(pred.contains_point(k) for k in keys)

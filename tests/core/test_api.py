@@ -1,0 +1,88 @@
+"""High-level API: build_index / analyze_workload / compare_methods."""
+
+import numpy as np
+import pytest
+
+from repro.core import EXTENSIONS, analyze_workload, build_index, compare_methods
+from repro.core.api import make_extension
+from repro.gist import validate_tree
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(8, 3)) * 4
+    return np.concatenate([c + rng.normal(size=(250, 3)) * 0.5
+                           for c in centers])
+
+
+class TestBuildIndex:
+    def test_registry_contains_all_six(self):
+        assert set(EXTENSIONS) == {"rtree", "rstar", "sstree", "srtree",
+                                   "amap", "xjb", "jb"}
+
+    def test_unknown_method_rejected(self, vectors):
+        with pytest.raises(ValueError, match="unknown access method"):
+            build_index(vectors, "btree")
+
+    def test_bulk_and_insert_loading(self, vectors):
+        for loading in ("bulk", "insert"):
+            tree = build_index(vectors[:500], "rtree", page_size=2048,
+                               loading=loading)
+            validate_tree(tree, expected_size=500)
+
+    def test_unknown_loading_rejected(self, vectors):
+        with pytest.raises(ValueError, match="loading"):
+            build_index(vectors, "rtree", loading="magic")
+
+    def test_xjb_auto_x(self, vectors):
+        tree = build_index(vectors, "xjb", page_size=2048, x="auto")
+        assert tree.ext.x >= 0
+        validate_tree(tree, expected_size=len(vectors))
+
+    def test_method_options_forwarded(self, vectors):
+        tree = build_index(vectors, "xjb", page_size=2048, x=2)
+        assert tree.ext.x == 2
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            build_index(np.zeros(10), "rtree")
+
+    def test_custom_rids(self, vectors):
+        rids = [i * 7 for i in range(200)]
+        tree = build_index(vectors[:200], "rtree", page_size=2048,
+                           rids=rids)
+        hits = tree.knn(vectors[0], 5)
+        assert all(r % 7 == 0 for _, r in hits)
+
+
+class TestAnalyze:
+    def test_report_accounts_for_all_leaf_ios(self, vectors):
+        tree = build_index(vectors, "rtree", page_size=2048)
+        queries = vectors[::100]
+        report = analyze_workload(tree, vectors, queries, k=50)
+        assert report.num_queries == len(queries)
+        assert report.total_leaf_ios >= report.excess_coverage_leaf
+        assert report.total_leaf_ios > 0
+        fractions = report.leaf_loss_fractions
+        assert 0 <= sum(fractions.values()) <= 1.5
+
+    def test_compare_shares_clustering(self, vectors):
+        queries = vectors[::150]
+        reports = compare_methods(vectors, queries, k=50,
+                                  methods=["rtree", "xjb"],
+                                  page_size=2048)
+        assert set(reports) == {"rtree", "xjb"}
+        # Same workload, same data: the optimal baseline is shared.
+        assert reports["rtree"].optimal_leaf_ios \
+            == reports["xjb"].optimal_leaf_ios
+
+
+class TestMakeExtension:
+    def test_names_round_trip(self):
+        for name in EXTENSIONS:
+            assert make_extension(name, 3).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_extension("nope", 3)

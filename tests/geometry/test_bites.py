@@ -1,0 +1,177 @@
+"""Unit and property tests for the corner-bite geometry (paper section 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import Bite, BittenRect, Rect, carve_bites
+
+
+def finite_floats():
+    return st.floats(min_value=-100.0, max_value=100.0, allow_nan=False,
+                     allow_infinity=False, width=32)
+
+
+def point_arrays(min_points=2, max_points=40, dim=2):
+    return hnp.arrays(np.float64, st.tuples(
+        st.integers(min_points, max_points), st.just(dim)),
+        elements=finite_floats())
+
+
+class TestBite:
+    def test_volume_and_emptiness(self):
+        corner = np.array([0.0, 0.0])
+        b = Bite(0, corner, np.array([2.0, 3.0]))
+        assert b.volume() == 6.0
+        assert not b.is_empty()
+        empty = Bite(0, corner, np.array([0.0, 3.0]))
+        assert empty.is_empty()
+
+    def test_half_open_membership(self):
+        # Low-low corner bite: closed at the MBR faces, open at inner faces.
+        b = Bite(0, np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert b.removes_point([0.5, 0.5])
+        assert b.removes_point([0.0, 0.5])       # on the MBR face: removed
+        assert not b.removes_point([1.0, 0.5])   # on the inner face: kept
+        assert not b.removes_point([1.0, 1.0])
+
+    def test_half_open_membership_high_corner(self):
+        b = Bite(0b11, np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+        assert b.removes_point([2.0, 2.0])
+        assert b.removes_point([1.5, 2.0])
+        assert not b.removes_point([1.0, 1.5])   # on the inner face: kept
+
+    def test_blocks_rect(self):
+        b = Bite(0, np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        assert b.blocks_rect(np.array([0.5, 0.5]), np.array([2.0, 2.0]))
+        # Touching only the open inner face does not block.
+        assert not b.blocks_rect(np.array([1.0, 0.0]), np.array([2.0, 1.0]))
+        # Touching the closed MBR-boundary face does block.
+        assert b.blocks_rect(np.array([0.0, 0.0]), np.array([0.0, 0.5]))
+
+
+class TestCarveFromPoints:
+    def test_l_shaped_data_gets_corner_bite(self):
+        # Points fill an L: the upper-right corner of the MBR is empty.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0],
+                        [0.0, 1.0], [0.0, 2.0], [2.0, 0.5], [0.5, 2.0]])
+        bites = carve_bites(Rect.from_points(pts), points=pts)
+        # Corner mask 0b11 is the upper-right (hi, hi) corner.
+        upper_right = [b for b in bites if b.corner_mask == 0b11]
+        assert upper_right, "expected a bite at the empty corner"
+        assert upper_right[0].volume() > 0.5
+
+    def test_no_point_ever_removed_by_a_bite(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(60, 3))
+        bites = carve_bites(Rect.from_points(pts), points=pts)
+        for b in bites:
+            assert not b.removes_points(pts).any()
+
+    def test_diagonal_data_bites_both_off_corners(self):
+        pts = np.array([[float(i), float(i)] for i in range(10)])
+        bites = carve_bites(Rect.from_points(pts), points=pts)
+        masks = {b.corner_mask for b in bites}
+        assert 0b01 in masks and 0b10 in masks
+
+    def test_requires_exactly_one_obstacle_kind(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        r = Rect.from_points(pts)
+        with pytest.raises(ValueError):
+            carve_bites(r)
+        with pytest.raises(ValueError):
+            carve_bites(r, points=pts, rects=[r])
+
+
+class TestCarveFromRects:
+    def test_bites_avoid_child_rects(self):
+        children = [Rect([0.0, 0.0], [1.0, 1.0]),
+                    Rect([3.0, 0.0], [4.0, 1.0]),
+                    Rect([0.0, 3.0], [1.0, 4.0])]
+        parent = Rect.from_rects(children)
+        bites = carve_bites(parent, rects=children)
+        for b in bites:
+            for c in children:
+                assert not b.blocks_rect(c.lo, c.hi)
+        # The (hi, hi) corner region is empty of children: expect a big bite.
+        ur = [b for b in bites if b.corner_mask == 0b11]
+        assert ur and ur[0].volume() >= 4.0
+
+
+class TestBittenRect:
+    def test_from_points_is_conservative(self):
+        rng = np.random.default_rng(4)
+        pts = rng.normal(size=(50, 2))
+        br = BittenRect.from_points(pts)
+        assert br.contains_points(pts).all()
+
+    def test_max_bites_keeps_largest(self):
+        pts = np.array([[float(i), float(i)] for i in range(10)])
+        full = BittenRect.from_points(pts)
+        limited = BittenRect.from_points(pts, max_bites=1)
+        assert len(limited.bites) == 1
+        best = max(full.bites, key=lambda b: b.volume())
+        assert limited.bites[0].volume() == pytest.approx(best.volume())
+
+    def test_volume_shrinks_with_bites(self):
+        pts = np.array([[float(i), float(i)] for i in range(10)])
+        br = BittenRect.from_points(pts)
+        assert br.volume() < br.rect.volume()
+
+    def test_min_dist_at_bitten_corner_exceeds_mbr_dist(self):
+        # Diagonal data: query beyond the empty (hi, lo) corner must see a
+        # larger distance than the plain MBR reports.
+        pts = np.array([[float(i), float(i)] for i in range(11)])
+        br = BittenRect.from_points(pts)
+        q = np.array([12.0, -2.0])
+        d_mbr = br.rect.min_dist(q)
+        d_bitten = br.min_dist(q)
+        assert d_bitten > d_mbr + 0.1
+
+    def test_min_dist_zero_inside_region(self):
+        pts = np.array([[float(i), float(i)] for i in range(11)])
+        br = BittenRect.from_points(pts)
+        assert br.min_dist([5.0, 5.0]) == 0.0
+
+    def test_min_dist_unchanged_when_clamp_hits_data(self):
+        # Directly above the (10, 10) data point the clamp point is the
+        # data point itself, which no bite may remove, so the bitten
+        # distance equals the plain MBR distance.
+        pts = np.array([[float(i), float(i)] for i in range(11)])
+        br = BittenRect.from_points(pts)
+        q = np.array([10.0, 20.0])
+        assert br.min_dist(q) == pytest.approx(br.rect.min_dist(q))
+        assert br.min_dist(q) == pytest.approx(10.0)
+
+
+class TestBittenRectProperties:
+    @given(point_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_all_points_remain_covered(self, pts):
+        br = BittenRect.from_points(pts)
+        assert br.contains_points(pts).all()
+
+    @given(point_arrays(min_points=3))
+    @settings(max_examples=60, deadline=None)
+    def test_min_dist_is_valid_lower_bound(self, pts):
+        br = BittenRect.from_points(pts[1:])
+        q = pts[0]
+        true_min = np.sqrt(((pts[1:] - q) ** 2).sum(axis=1)).min()
+        assert br.min_dist(q) <= true_min + 1e-7
+
+    @given(point_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_min_dist_dominates_mbr_dist(self, pts):
+        br = BittenRect.from_points(pts)
+        rng = np.random.default_rng(0)
+        for q in rng.normal(scale=50.0, size=(5, pts.shape[1])):
+            assert br.min_dist(q) >= br.rect.min_dist(q) - 1e-9
+
+    @given(point_arrays(min_points=4, dim=3))
+    @settings(max_examples=40, deadline=None)
+    def test_xjb_truncation_still_conservative(self, pts):
+        br = BittenRect.from_points(pts, max_bites=2)
+        assert len(br.bites) <= 2
+        assert br.contains_points(pts).all()

@@ -1,0 +1,80 @@
+"""The probe-cover bite construction (paper section 8 objective)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import BittenRect, Rect, carve_bites
+
+
+class TestProbeCover:
+    def test_conservative(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(80, 3))
+        br = BittenRect.from_points(pts, method="probe")
+        assert br.contains_points(pts).all()
+
+    def test_rect_obstacles_respected(self):
+        children = [Rect([0.0, 0.0], [1.0, 1.0]),
+                    Rect([4.0, 4.0], [5.0, 5.0])]
+        parent = Rect.from_rects(children)
+        bites = carve_bites(parent, rects=children, method="probe")
+        for b in bites:
+            for c in children:
+                assert not b.blocks_rect(c.lo, c.hi)
+
+    def test_at_most_one_bite_per_corner(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(60, 3))
+        bites = carve_bites(Rect.from_points(pts), points=pts,
+                            method="probe")
+        masks = [b.corner_mask for b in bites]
+        assert len(masks) == len(set(masks))
+        assert len(bites) <= 8
+
+    def test_covers_more_probes_than_sweep_on_diagonal(self):
+        """Set-cover optimizes graze coverage directly, so it should
+        never cover fewer face probes than the volume heuristic."""
+        pts = np.array([[float(i), float(i)] for i in range(30)])
+        rect = Rect.from_points(pts)
+        rng = np.random.default_rng(2)
+        probes = []
+        for d in range(2):
+            for side in (0, 1):
+                face = rect.lo + rng.random((25, 2)) * rect.extents
+                face[:, d] = rect.lo[d] if side == 0 else rect.hi[d]
+                probes.append(face)
+        probes = np.concatenate(probes)
+
+        def coverage(method):
+            bites = carve_bites(rect, points=pts, method=method)
+            covered = np.zeros(len(probes), dtype=bool)
+            for b in bites:
+                covered |= b.removes_points(probes)
+            return covered.sum()
+
+        assert coverage("probe") >= coverage("sweep") - 2
+
+    def test_min_dist_still_lower_bound(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(50, 4))
+        br = BittenRect.from_points(pts, method="probe")
+        for q in rng.normal(scale=4.0, size=(10, 4)):
+            true_min = np.sqrt(((pts - q) ** 2).sum(axis=1)).min()
+            assert br.min_dist(q) <= true_min + 1e-9
+
+    def test_unknown_method_rejected(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            carve_bites(Rect.from_points(pts), points=pts,
+                        method="telepathy")
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(3, 30),
+                                            st.just(2)),
+                      elements=st.floats(-50, 50, width=32)))
+    @settings(max_examples=25, deadline=None)
+    def test_probe_conservative_property(self, pts):
+        br = BittenRect.from_points(pts, method="probe")
+        assert br.contains_points(pts).all()

@@ -1,0 +1,105 @@
+"""Delete condensation edge cases on minimal-fanout (tall) trees.
+
+With fanout-2 index nodes every delete cascade exercises underflow
+handling, orphan reinsertion at upper levels, and root shrinkage —
+the rarely-hit paths of the GiST DELETE template.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ams import RTreeExtension
+from repro.bulk import bulk_load
+from repro.gist import GiST, validate_tree
+
+#: 128-byte pages: 4 leaf entries (2-D), 2 index entries — a tall tree.
+TINY_PAGE = 128
+
+
+def _tall_tree(n=64, seed=0):
+    pts = np.random.default_rng(seed).normal(size=(n, 2))
+    tree = bulk_load(RTreeExtension(2), pts, page_size=TINY_PAGE)
+    return tree, pts
+
+
+class TestTallTrees:
+    def test_bulk_load_is_tall(self):
+        tree, _ = _tall_tree()
+        assert tree.height >= 4
+        validate_tree(tree, expected_size=64)
+
+    def test_delete_everything_in_order(self):
+        tree, pts = _tall_tree()
+        for i in range(64):
+            assert tree.delete(pts[i], i)
+            validate_tree(tree, expected_size=64 - i - 1)
+        assert tree.root_id is None
+
+    def test_delete_everything_reverse(self):
+        tree, pts = _tall_tree()
+        for i in reversed(range(64)):
+            assert tree.delete(pts[i], i)
+        assert tree.size == 0
+
+    def test_alternating_delete_insert_churn(self):
+        tree, pts = _tall_tree()
+        rng = np.random.default_rng(1)
+        live = set(range(64))
+        for step in range(150):
+            if live and (step % 3 != 0 or len(live) > 60):
+                rid = int(rng.choice(sorted(live)))
+                assert tree.delete(pts[rid], rid)
+                live.discard(rid)
+            else:
+                candidates = [i for i in range(64) if i not in live]
+                if not candidates:
+                    continue
+                rid = candidates[0]
+                tree.insert(pts[rid], rid)
+                live.add(rid)
+            validate_tree(tree, expected_size=len(live))
+        if live:
+            got = set(r for _, r in tree.knn(np.zeros(2), len(live)))
+            assert got == live
+
+    def test_tree_slims_as_it_empties(self):
+        # With min fill 1, single-child inner chains are legal, so the
+        # height need not drop until the root itself goes single-child;
+        # the node count, however, must shrink monotonically overall.
+        tree, pts = _tall_tree()
+        start_height = tree.height
+        start_nodes = tree.num_nodes()
+        for i in range(56):
+            tree.delete(pts[i], i)
+        assert tree.height <= start_height
+        assert tree.num_nodes() < start_nodes
+        validate_tree(tree, expected_size=8)
+
+    def test_orphan_reinsertion_preserves_answers(self):
+        """Heavy one-sided deletion forces subtree orphaning; remaining
+        data must stay findable."""
+        rng = np.random.default_rng(2)
+        left = rng.normal(size=(32, 2)) - 10
+        right = rng.normal(size=(32, 2)) + 10
+        pts = np.concatenate([left, right])
+        tree = bulk_load(RTreeExtension(2), pts, page_size=TINY_PAGE)
+        # Carve out the left half in random order.
+        for i in rng.permutation(32):
+            assert tree.delete(pts[i], int(i))
+        validate_tree(tree, expected_size=32)
+        got = set(r for _, r in tree.knn(np.array([10.0, 0.0]), 32))
+        assert got == set(range(32, 64))
+
+
+class TestEmptyTreeTransitions:
+    def test_grow_from_empty_after_full_drain(self):
+        tree = GiST(RTreeExtension(2), page_size=TINY_PAGE)
+        pts = np.random.default_rng(3).normal(size=(20, 2))
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        for i in range(20):
+            tree.delete(pts[i], i)
+        assert tree.root_id is None
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        validate_tree(tree, expected_size=20)

@@ -1,0 +1,108 @@
+"""Incremental NN cursors and stop-predicate collection."""
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_load
+from repro.gist.cursor import knn_until, nn_cursor
+
+from tests.conftest import make_ext
+
+
+class TestCursorOrder:
+    def test_yields_in_distance_order(self, any_method, clustered_points):
+        pts = clustered_points
+        tree = bulk_load(make_ext(any_method, 3), pts, page_size=4096)
+        q = pts[42]
+        dists = []
+        cursor = tree.nn_cursor(q)
+        for _ in range(60):
+            d, _ = next(cursor)
+            dists.append(d)
+        assert dists == sorted(dists)
+
+    def test_prefix_equals_knn(self, any_method, clustered_points):
+        pts = clustered_points
+        tree = bulk_load(make_ext(any_method, 3), pts, page_size=4096)
+        q = pts[0] + 0.1
+        from_cursor = []
+        cursor = tree.nn_cursor(q)
+        for _ in range(25):
+            from_cursor.append(next(cursor))
+        from_knn = tree.knn(q, 25)
+        assert [r for _, r in from_cursor] == [r for _, r in from_knn]
+
+    def test_exhausts_whole_tree(self, clustered_points):
+        pts = clustered_points[:200]
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        all_hits = list(tree.nn_cursor(np.zeros(3)))
+        assert len(all_hits) == 200
+        assert {r for _, r in all_hits} == set(range(200))
+
+    def test_empty_tree_yields_nothing(self):
+        tree = bulk_load(make_ext("rtree", 2), np.empty((0, 2)))
+        assert list(tree.nn_cursor(np.zeros(2))) == []
+
+    def test_lazy_io(self, clustered_points):
+        """A barely-advanced cursor must not read the whole tree."""
+        pts = clustered_points
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=4096)
+        tree.store.stats.reset()
+        cursor = tree.nn_cursor(pts[3])
+        next(cursor)
+        shallow = tree.store.stats.reads
+        for _ in range(500):
+            next(cursor)
+        deep = tree.store.stats.reads
+        assert shallow < deep
+        assert shallow <= tree.height + 2
+
+
+class TestKnnUntil:
+    def test_stop_after_fixed_count(self, clustered_points):
+        pts = clustered_points
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=4096)
+        out = knn_until(tree, pts[5], lambda res: len(res) >= 17)
+        assert len(out) == 17
+
+    def test_stop_on_distance_threshold(self, clustered_points):
+        pts = clustered_points
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=4096)
+        out = knn_until(tree, pts[5],
+                        lambda res: res[-1][0] > 1.0)
+        assert out[-1][0] > 1.0
+        assert all(d <= out[-1][0] for d, _ in out)
+
+    def test_never_firing_predicate_exhausts(self, clustered_points):
+        pts = clustered_points[:100]
+        tree = bulk_load(make_ext("rtree", 3), pts, page_size=2048)
+        out = knn_until(tree, np.zeros(3), lambda res: False)
+        assert len(out) == 100
+
+
+class TestImageCountQueries:
+    def test_am_query_images_returns_requested_coverage(self):
+        from repro.blobworld import BlobworldEngine, build_corpus
+        from repro.core import build_index
+        corpus = build_corpus(2000, 320, seed=0)
+        engine = BlobworldEngine(corpus)
+        tree = build_index(corpus.reduced(5), "xjb", page_size=4096)
+        images = engine.am_query_images(tree, 7, num_images=30, dims=5,
+                                        top_images=30)
+        assert len(images) == 30
+        assert int(corpus.image_ids[7]) in images
+
+    def test_image_count_contract_vs_blob_count(self):
+        """Retrieving n images needs >= n blobs (duplicates collapse)."""
+        from repro.blobworld import BlobworldEngine, build_corpus
+        from repro.core import build_index
+        corpus = build_corpus(2000, 320, seed=1)
+        engine = BlobworldEngine(corpus)
+        tree = build_index(corpus.reduced(5), "rtree", page_size=4096)
+        q = 100
+        by_images = engine.am_query_images(tree, q, num_images=25,
+                                           dims=5, top_images=25)
+        by_blobs = engine.am_query(tree, q, num_blobs=25, dims=5,
+                                   top_images=25)
+        # The image-contract query covers at least as many images.
+        assert len(by_images) >= len(by_blobs)

@@ -1,0 +1,116 @@
+"""GiST INSERT / DELETE template algorithms and tree invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bulk import bulk_load, insertion_load
+from repro.gist import GiST, validate_tree
+
+from tests.conftest import brute_knn, make_ext
+
+
+class TestInsert:
+    def test_incremental_inserts_stay_valid(self, any_method):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(400, 2))
+        tree = GiST(make_ext(any_method, 2), page_size=2048)
+        for i, p in enumerate(pts):
+            tree.insert(p, i)
+        validate_tree(tree, expected_size=400)
+
+    def test_inserted_data_findable(self, any_method):
+        rng = np.random.default_rng(2)
+        pts = rng.normal(size=(300, 2))
+        tree = insertion_load(make_ext(any_method, 2), pts,
+                              page_size=2048)
+        q = pts[123]
+        got = set(r for _, r in tree.knn(q, 10))
+        want, dk = brute_knn(pts, q, 10)
+        d = np.sqrt(((pts - q) ** 2).sum(axis=1))
+        for rid in got ^ want:
+            assert d[rid] == pytest.approx(dk)
+
+    def test_root_split_grows_height(self):
+        tree = GiST(make_ext("rtree", 2), page_size=2048)
+        rng = np.random.default_rng(3)
+        heights = set()
+        for i in range(500):
+            tree.insert(rng.normal(size=2), i)
+            heights.add(tree.height)
+        assert max(heights) >= 2
+        assert heights == set(range(1, max(heights) + 1))
+
+    def test_insert_into_bulk_loaded_tree(self, any_method):
+        rng = np.random.default_rng(4)
+        pts = rng.normal(size=(500, 2))
+        tree = bulk_load(make_ext(any_method, 2), pts[:400],
+                         page_size=2048)
+        for i in range(400, 500):
+            tree.insert(pts[i], i)
+        validate_tree(tree, expected_size=500)
+
+
+class TestDelete:
+    def test_delete_returns_false_for_missing(self):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(100, 2))
+        tree = bulk_load(make_ext("rtree", 2), pts, page_size=2048)
+        assert not tree.delete(np.array([99.0, 99.0]), 12345)
+        assert tree.size == 100
+
+    def test_delete_half_keeps_invariants(self):
+        rng = np.random.default_rng(6)
+        pts = rng.normal(size=(600, 2))
+        tree = insertion_load(make_ext("rtree", 2), pts, page_size=2048)
+        for i in range(0, 600, 2):
+            assert tree.delete(pts[i], i)
+        validate_tree(tree, expected_size=300)
+        remaining = set(range(1, 600, 2))
+        got = set(r for _, r in tree.knn(np.zeros(2), 300))
+        assert got == remaining
+
+    def test_delete_everything_empties_tree(self):
+        rng = np.random.default_rng(7)
+        pts = rng.normal(size=(150, 2))
+        tree = insertion_load(make_ext("rtree", 2), pts, page_size=2048)
+        for i in range(150):
+            assert tree.delete(pts[i], i)
+        assert tree.size == 0
+        assert tree.knn(np.zeros(2), 5) == []
+        tree.insert(np.zeros(2), 0)
+        validate_tree(tree, expected_size=1)
+
+    def test_delete_then_reinsert(self):
+        rng = np.random.default_rng(8)
+        pts = rng.normal(size=(200, 2))
+        tree = insertion_load(make_ext("rtree", 2), pts, page_size=2048)
+        for i in range(50):
+            tree.delete(pts[i], i)
+        for i in range(50):
+            tree.insert(pts[i], i)
+        validate_tree(tree, expected_size=200)
+
+
+class TestMixedOperations:
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "delete"]),
+                              st.integers(0, 59)), min_size=1,
+                    max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_random_op_sequences_keep_invariants(self, ops):
+        rng = np.random.default_rng(9)
+        pool = rng.normal(size=(60, 2))
+        tree = GiST(make_ext("rtree", 2), page_size=2048)
+        live = set()
+        for op, i in ops:
+            if op == "insert" and i not in live:
+                tree.insert(pool[i], i)
+                live.add(i)
+            elif op == "delete" and i in live:
+                assert tree.delete(pool[i], i)
+                live.discard(i)
+        validate_tree(tree, expected_size=len(live))
+        if live:
+            got = set(r for _, r in tree.knn(np.zeros(2), len(live)))
+            assert got == live

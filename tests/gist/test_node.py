@@ -1,0 +1,93 @@
+"""Node mutators and per-node computation caches."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.gist import IndexEntry, LeafEntry, Node
+
+
+def _leaf(n=5):
+    entries = [LeafEntry(np.array([float(i), 0.0]), i) for i in range(n)]
+    return Node(1, 0, entries)
+
+
+def _inner(n=3):
+    entries = [IndexEntry(Rect([float(i), 0.0], [i + 1.0, 1.0]), i + 10)
+               for i in range(n)]
+    return Node(2, 1, entries)
+
+
+class TestAccessors:
+    def test_leaf_properties(self):
+        node = _leaf()
+        assert node.is_leaf and len(node) == 5
+        assert node.rids() == [0, 1, 2, 3, 4]
+        assert node.keys_array().shape == (5, 2)
+
+    def test_inner_properties(self):
+        node = _inner()
+        assert not node.is_leaf
+        assert node.children() == [10, 11, 12]
+        assert len(node.preds()) == 3
+
+    def test_wrong_level_accessors_raise(self):
+        with pytest.raises(ValueError):
+            _inner().keys_array()
+        with pytest.raises(ValueError):
+            _inner().rids()
+        with pytest.raises(ValueError):
+            _leaf().preds()
+        with pytest.raises(ValueError):
+            _leaf().children()
+
+    def test_find_child_index(self):
+        node = _inner()
+        assert node.find_child_index(11) == 1
+        with pytest.raises(KeyError):
+            node.find_child_index(99)
+
+
+class TestCacheInvalidation:
+    def test_keys_array_cached(self):
+        node = _leaf()
+        a = node.keys_array()
+        assert node.keys_array() is a
+
+    def test_add_entry_invalidates(self):
+        node = _leaf()
+        node.keys_array()
+        node.add_entry(LeafEntry(np.array([9.0, 9.0]), 99))
+        assert node.keys_array().shape == (6, 2)
+
+    def test_remove_entry_invalidates(self):
+        node = _leaf()
+        node.keys_array()
+        node.remove_entry_at(0)
+        assert node.keys_array().shape == (4, 2)
+        assert node.rids() == [1, 2, 3, 4]
+
+    def test_replace_entry_invalidates(self):
+        node = _leaf()
+        node.cache["anything"] = object()
+        node.replace_entry(2, LeafEntry(np.array([7.0, 7.0]), 77))
+        assert node.cache == {}
+        assert node.rids()[2] == 77
+
+    def test_set_entries_invalidates(self):
+        node = _leaf()
+        node.cache["x"] = 1
+        node.set_entries([LeafEntry(np.zeros(2), 0)])
+        assert node.cache == {}
+        assert len(node) == 1
+
+    def test_extension_caches_rebuild_after_mutation(self):
+        from repro.ams import RTreeExtension
+        ext = RTreeExtension(2)
+        node = _inner()
+        q = np.array([10.0, 0.5])
+        before = ext.min_dists_node(node, q)
+        node.add_entry(IndexEntry(Rect([9.5, 0.0], [10.5, 1.0]), 42))
+        after = ext.min_dists_node(node, q)
+        assert len(after) == len(before) + 1
+        assert after[-1] == 0.0

@@ -1,0 +1,65 @@
+"""Save/load roundtrips through real page images."""
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_load
+from repro.gist import validate_tree
+from repro.gist.persist import load_tree, save_tree
+
+from tests.conftest import make_ext
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_queries(self, any_method, tmp_path):
+        pts = np.random.default_rng(0).normal(size=(1500, 3))
+        tree = bulk_load(make_ext(any_method, 3), pts, page_size=4096)
+        path = str(tmp_path / "tree.gist")
+        save_tree(tree, path)
+        reloaded = load_tree(make_ext(any_method, 3), path)
+        validate_tree(reloaded, expected_size=1500)
+        for q in pts[::571]:
+            a = [r for _, r in tree.knn(q, 12)]
+            b = [r for _, r in reloaded.knn(q, 12)]
+            assert a == b
+
+    def test_reloaded_tree_accepts_inserts(self, tmp_path):
+        pts = np.random.default_rng(1).normal(size=(500, 2))
+        tree = bulk_load(make_ext("rtree", 2), pts, page_size=2048)
+        path = str(tmp_path / "t.gist")
+        save_tree(tree, path)
+        reloaded = load_tree(make_ext("rtree", 2), path)
+        for i in range(500, 600):
+            reloaded.insert(np.random.default_rng(i).normal(size=2), i)
+        validate_tree(reloaded, expected_size=600)
+
+    def test_empty_tree_roundtrip(self, tmp_path):
+        tree = bulk_load(make_ext("rtree", 2), np.empty((0, 2)))
+        path = str(tmp_path / "e.gist")
+        save_tree(tree, path)
+        reloaded = load_tree(make_ext("rtree", 2), path)
+        assert reloaded.size == 0
+
+
+class TestHeaderChecks:
+    def test_extension_mismatch_rejected(self, tmp_path):
+        pts = np.random.default_rng(2).normal(size=(200, 2))
+        tree = bulk_load(make_ext("rtree", 2), pts, page_size=2048)
+        path = str(tmp_path / "t.gist")
+        save_tree(tree, path)
+        with pytest.raises(ValueError, match="saved by"):
+            load_tree(make_ext("sstree", 2), path)
+
+    def test_dimension_mismatch_rejected(self, tmp_path):
+        pts = np.random.default_rng(3).normal(size=(200, 2))
+        tree = bulk_load(make_ext("rtree", 2), pts, page_size=2048)
+        path = str(tmp_path / "t.gist")
+        save_tree(tree, path)
+        with pytest.raises(ValueError, match="dimension"):
+            load_tree(make_ext("rtree", 3), path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.gist"
+        path.write_bytes(b"\x09\x00\x00\x00{\"a\": 1}" + b"\x00" * 100)
+        with pytest.raises(ValueError, match="not a saved GiST"):
+            load_tree(make_ext("rtree", 2), str(path))

@@ -1,0 +1,118 @@
+"""Stateful differential testing: the GiST vs a brute-force model.
+
+Hypothesis drives random interleavings of inserts, deletes, k-NN,
+range, and sphere queries against both the tree and a plain dict of
+vectors; every query must agree and every step must preserve the tree
+invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.ams import RTreeExtension
+from repro.core.xjb import XJBExtension
+from repro.geometry import Rect
+from repro.gist import GiST, validate_tree
+
+_COORD = st.integers(-40, 40)
+_POINT = st.tuples(_COORD, _COORD)
+
+
+class TreeModelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tree = GiST(RTreeExtension(2), page_size=2048)
+        self.model = {}
+        self.next_rid = 0
+
+    # -- operations ----------------------------------------------------
+
+    @rule(p=_POINT)
+    def insert(self, p):
+        key = np.array(p, dtype=np.float64)
+        self.tree.insert(key, self.next_rid)
+        self.model[self.next_rid] = key
+        self.next_rid += 1
+
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        if not self.model:
+            return
+        rid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.delete(self.model[rid], rid)
+        del self.model[rid]
+
+    @rule(p=_POINT)
+    def delete_missing(self, p):
+        assert not self.tree.delete(np.array(p, dtype=np.float64) + 0.5,
+                                    10 ** 9)
+
+    @rule(p=_POINT, k=st.integers(1, 8))
+    def knn_agrees(self, p, k):
+        q = np.array(p, dtype=np.float64) + 0.25
+        got = self.tree.knn(q, k)
+        assert len(got) == min(k, len(self.model))
+        if not self.model:
+            return
+        rids = np.array(sorted(self.model))
+        pts = np.stack([self.model[r] for r in rids])
+        d = np.sqrt(((pts - q) ** 2).sum(axis=1))
+        want_dists = np.sort(d)[:k]
+        assert np.allclose([dist for dist, _ in got], want_dists)
+
+    @rule(a=_POINT, b=_POINT)
+    def range_agrees(self, a, b):
+        lo = np.minimum(a, b).astype(np.float64)
+        hi = np.maximum(a, b).astype(np.float64)
+        box = Rect(lo, hi)
+        got = sorted(e.rid for e in self.tree.search(box))
+        want = sorted(r for r, key in self.model.items()
+                      if box.contains_point(key))
+        assert got == want
+
+    @rule(p=_POINT, radius=st.integers(0, 20))
+    def sphere_agrees(self, p, radius):
+        center = np.array(p, dtype=np.float64)
+        got = sorted(r for _, r in
+                     self.tree.sphere_search(center, float(radius)))
+        want = sorted(
+            r for r, key in self.model.items()
+            if np.linalg.norm(key - center) <= radius)
+        assert got == want
+
+    # -- invariants ------------------------------------------------------
+
+    @invariant()
+    def tree_is_structurally_sound(self):
+        validate_tree(self.tree, expected_size=len(self.model))
+
+
+TestTreeModel = TreeModelMachine.TestCase
+TestTreeModel.settings = settings(max_examples=25,
+                                  stateful_step_count=40,
+                                  deadline=None)
+
+
+class XJBModelMachine(TreeModelMachine):
+    """The same machine over an XJB tree (bitten predicates + gap
+    split), whose maintenance paths are the future-work code."""
+
+    def __init__(self):
+        RuleBasedStateMachine.__init__(self)
+        self.tree = GiST(XJBExtension(2, x=3), page_size=2048)
+        self.model = {}
+        self.next_rid = 0
+
+
+TestXJBModel = XJBModelMachine.TestCase
+TestXJBModel.settings = settings(max_examples=15,
+                                 stateful_step_count=30,
+                                 deadline=None)

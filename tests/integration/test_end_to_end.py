@@ -1,0 +1,65 @@
+"""End-to-end: corpus -> SVD -> index -> two-stage query -> analysis."""
+
+import numpy as np
+import pytest
+
+from repro.blobworld import BlobworldEngine, build_corpus
+from repro.blobworld.query import recall
+from repro.core import analyze_workload, build_index
+from repro.gist import validate_tree
+from repro.workload import make_workload, run_workload
+
+from tests.conftest import ALL_METHODS, brute_knn
+
+
+@pytest.fixture(scope="module")
+def stack():
+    corpus = build_corpus(num_blobs=4000, num_images=640, seed=0)
+    vectors = corpus.reduced(5)
+    return corpus, vectors
+
+
+class TestFullStack:
+    def test_every_method_serves_blobworld_queries(self, stack,
+                                                   any_method):
+        corpus, vectors = stack
+        tree = build_index(vectors, any_method, page_size=4096)
+        validate_tree(tree, expected_size=corpus.num_blobs)
+        engine = BlobworldEngine(corpus)
+        q = 77
+        full = engine.full_query(q, 40)
+        via_am = engine.am_query(tree, q, 200, dims=5, top_images=40)
+        assert recall(full, via_am) > 0.5
+        assert int(corpus.image_ids[q]) in via_am
+
+    def test_knn_exact_on_real_vectors(self, stack, any_method):
+        _, vectors = stack
+        tree = build_index(vectors, any_method, page_size=4096)
+        q = vectors[13]
+        got = set(r for _, r in tree.knn(q, 50))
+        want, dk = brute_knn(vectors, q, 50)
+        d = np.sqrt(((vectors - q) ** 2).sum(axis=1))
+        for rid in got ^ want:
+            assert d[rid] == pytest.approx(dk)
+
+    def test_analysis_over_blobworld_workload(self, stack):
+        corpus, vectors = stack
+        tree = build_index(vectors, "rtree", page_size=4096)
+        wl = make_workload(vectors, 10, k=100, seed=1)
+        result = run_workload(tree, wl, vectors)
+        report = result.report
+        assert report.total_leaf_ios > 0
+        # Bulk-loaded: excess coverage dominates the other losses
+        # (the paper's headline observation in section 4).
+        assert report.excess_coverage_leaf >= report.utilization_loss
+        assert result.pages_touched_fraction < 1.0
+
+
+class TestAnalyzeAPI:
+    def test_analyze_workload_smoke(self, stack):
+        corpus, vectors = stack
+        tree = build_index(vectors, "xjb", page_size=4096)
+        queries = vectors[corpus.sample_query_blobs(8, seed=2)]
+        report = analyze_workload(tree, vectors, queries, k=100)
+        assert report.tree_name == "xjb"
+        assert report.num_queries == 8

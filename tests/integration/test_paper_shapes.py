@@ -1,0 +1,99 @@
+"""Scaled-down assertions of the paper's qualitative findings.
+
+Each test pins one of the orderings the evaluation section reports; the
+benchmark suite reproduces the full tables at larger scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blobworld import build_corpus
+from repro.core import compare_methods
+from repro.constants import NUMBER_SIZE
+from repro.storage.codecs import (
+    DualRectCodec,
+    JBCodec,
+    RectCodec,
+    XJBCodec,
+)
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    corpus = build_corpus(num_blobs=8000, num_images=1280, seed=0)
+    vectors = corpus.reduced(5)
+    queries = vectors[corpus.sample_query_blobs(15, seed=1)]
+    return compare_methods(
+        vectors, queries, k=60, page_size=4096,
+        methods=["rtree", "sstree", "srtree", "amap", "xjb", "jb"])
+
+
+class TestSection4Traditional:
+    def test_excess_coverage_dominates_bulk_losses(self, analysis):
+        """Figure 7: for STR bulk loads, EC is the big leaf-level loss."""
+        for name in ("rtree", "sstree", "srtree"):
+            r = analysis[name]
+            assert r.excess_coverage_leaf >= r.utilization_loss
+            assert r.excess_coverage_leaf >= r.clustering_loss
+
+    def test_sstree_is_the_worst(self, analysis):
+        """Figures 7-8: the SS-tree's spherical BPs interact badly with
+        STR's rectangular tiles."""
+        assert analysis["sstree"].excess_coverage_leaf \
+            > 1.5 * analysis["rtree"].excess_coverage_leaf
+        assert analysis["sstree"].total_leaf_ios \
+            > analysis["rtree"].total_leaf_ios
+
+    def test_srtree_comparable_to_rtree(self, analysis):
+        """Figure 8: R-tree and SR-tree are comparable, the SR-tree
+        saving a little leaf-level excess coverage."""
+        r = analysis["rtree"].excess_coverage_leaf
+        sr = analysis["srtree"].excess_coverage_leaf
+        assert sr <= r * 1.1
+
+
+class TestSection6Custom:
+    def test_leaf_excess_coverage_ordering(self, analysis):
+        """Figures 14-15: jb <= xjb <= rtree at the leaf level."""
+        assert analysis["jb"].excess_coverage_leaf \
+            <= analysis["xjb"].excess_coverage_leaf + 1e-9
+        assert analysis["xjb"].excess_coverage_leaf \
+            <= analysis["rtree"].excess_coverage_leaf + 1e-9
+
+    def test_amap_leaf_no_worse_inner_higher(self, analysis):
+        """Section 6: aMAP is better-or-equal at the leaves but pays at
+        least as many inner I/Os per fanout halving."""
+        assert analysis["amap"].total_leaf_ios \
+            <= analysis["rtree"].total_leaf_ios + 1e-9
+        assert analysis["amap"].num_inner >= analysis["rtree"].num_inner
+
+    def test_height_ordering(self, analysis):
+        """Section 6: h(rtree) <= h(xjb) <= h(jb)."""
+        assert analysis["rtree"].height <= analysis["xjb"].height \
+            <= analysis["jb"].height
+
+    def test_fraction_of_pages_touched_is_small(self, analysis):
+        """Section 3.2 / footnote 8: the rectangle-based AMs touch less
+        than 1/15 of the leaf pages per query even at this small scale
+        (the paper's full scale measures < 1/50).  The SS-tree is
+        excluded: the paper itself shows its excess coverage exceeding
+        the other trees' total I/Os."""
+        for name in ("rtree", "srtree", "amap", "xjb", "jb"):
+            report = analysis[name]
+            assert report.leaf_ios_per_query < report.num_leaves / 15.0
+
+
+class TestTable3:
+    def test_bp_size_ordering(self):
+        d = 5
+        mbr = RectCodec(d).numbers
+        amap = DualRectCodec(d).numbers
+        xjb = XJBCodec(d, 10).numbers
+        jb = JBCodec(d).numbers
+        assert mbr < amap < xjb < jb
+        assert (mbr, amap, xjb, jb) == (10, 20, 70, 170)
+
+    def test_jb_grows_exponentially_with_dim(self):
+        sizes = [JBCodec(d).numbers for d in (2, 3, 4, 5)]
+        ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+        assert all(r > 1.5 for r in ratios)

@@ -1,0 +1,93 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.gist.node import Node
+from repro.storage.buffer import BufferPool
+from repro.storage.pagefile import MemoryPageFile
+
+
+def _store_with(n):
+    store = MemoryPageFile()
+    nodes = []
+    for _ in range(n):
+        node = Node(store.allocate(), 0)
+        store.write(node)
+        nodes.append(node)
+    return store, nodes
+
+
+class TestLRU:
+    def test_hit_after_first_read(self):
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(nodes[0].page_id)
+        pool.read(nodes[0].page_id)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert store.stats.reads == 1  # only the miss reached the store
+
+    def test_eviction_order_is_lru(self):
+        store, nodes = _store_with(3)
+        pool = BufferPool(store, capacity_pages=2)
+        a, b, c = (n.page_id for n in nodes)
+        pool.read(a)
+        pool.read(b)
+        pool.read(a)       # a becomes most recent
+        pool.read(c)       # evicts b
+        pool.read(a)       # hit
+        pool.read(b)       # miss again
+        assert pool.stats.misses == 4
+        assert pool.stats.hits == 2
+
+    def test_capacity_must_be_positive(self):
+        store, _ = _store_with(1)
+        with pytest.raises(ValueError):
+            BufferPool(store, capacity_pages=0)
+
+
+class TestIntegration:
+    def test_write_through_updates_frame(self):
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(nodes[0].page_id)
+        replacement = Node(nodes[0].page_id, 0)
+        pool.write(replacement)
+        assert pool.read(nodes[0].page_id) is replacement
+
+    def test_pin_pages_does_not_count(self):
+        store, nodes = _store_with(2)
+        pool = BufferPool(store, capacity_pages=4)
+        pool.pin_pages([n.page_id for n in nodes])
+        assert pool.stats.accesses == 0
+        assert store.stats.reads == 0
+        pool.read(nodes[0].page_id)
+        assert pool.stats.hits == 1
+
+    def test_clear_forgets_frames(self):
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(nodes[0].page_id)
+        pool.clear()
+        pool.read(nodes[0].page_id)
+        assert pool.stats.misses == 2
+
+    def test_tree_runs_through_buffer_pool(self):
+        import numpy as np
+        from repro.ams import RTreeExtension
+        from repro.bulk import bulk_load
+        from repro.gist import GiST
+
+        pts = np.random.default_rng(0).normal(size=(2000, 3))
+        store = MemoryPageFile()
+        tree = bulk_load(RTreeExtension(3), pts, store=store,
+                         page_size=4096)
+        pool = BufferPool(store, capacity_pages=64)
+        buffered = GiST(tree.ext, store=pool, page_size=4096)
+        buffered.adopt(store.peek(tree.root_id), tree.height, tree.size)
+
+        q = pts[0]
+        first = buffered.knn(q, 10)
+        second = buffered.knn(q, 10)
+        assert [r for _, r in first] == [r for _, r in second]
+        assert pool.stats.hits > 0

@@ -1,0 +1,108 @@
+"""Property-based fuzzing of every fixed-size codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import BittenRect, Rect, Sphere
+from repro.storage.codecs import (
+    DualRectCodec,
+    IndexEntryCodec,
+    JBCodec,
+    LeafEntryCodec,
+    RectCodec,
+    SphereCodec,
+    VectorCodec,
+    XJBCodec,
+)
+
+floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+                   allow_infinity=False, width=32)
+
+
+def vectors(dim):
+    return hnp.arrays(np.float64, (dim,), elements=floats)
+
+
+@st.composite
+def rects(draw, dim=3):
+    a = draw(vectors(dim))
+    b = draw(vectors(dim))
+    return Rect(np.minimum(a, b), np.maximum(a, b))
+
+
+class TestFuzzRoundtrips:
+    @given(vectors(4))
+    @settings(max_examples=60)
+    def test_vector(self, v):
+        c = VectorCodec(4)
+        out = c.decode(c.encode(v))
+        assert np.array_equal(out, v)
+        assert len(c.encode(v)) == c.size
+
+    @given(rects())
+    @settings(max_examples=60)
+    def test_rect(self, r):
+        c = RectCodec(3)
+        assert c.decode(c.encode(r)) == r
+
+    @given(vectors(3), st.floats(0, 1e9, allow_nan=False, width=32))
+    @settings(max_examples=60)
+    def test_sphere(self, center, radius):
+        c = SphereCodec(3)
+        s = Sphere(center, radius)
+        assert c.decode(c.encode(s)) == s
+
+    @given(rects(), rects())
+    @settings(max_examples=40)
+    def test_dual_rect(self, r1, r2):
+        c = DualRectCodec(3)
+        o1, o2 = c.decode(c.encode((r1, r2)))
+        assert (o1, o2) == (r1, r2)
+
+    @given(vectors(5), st.integers(-2**62, 2**62))
+    @settings(max_examples=60)
+    def test_leaf_entry(self, key, rid):
+        c = LeafEntryCodec(5)
+        k, r = c.decode(c.encode((key, rid)))
+        assert np.array_equal(k, key) and r == rid
+
+    @given(rects(), st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_index_entry(self, pred, child):
+        c = IndexEntryCodec(RectCodec(3))
+        p, ch = c.decode(c.encode((pred, child)))
+        assert p == pred and ch == child
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 25),
+                                            st.just(3)),
+                      elements=st.floats(-1e4, 1e4, allow_nan=False,
+                                         width=32)),
+           st.integers(0, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_xjb_region_semantics_survive(self, pts, x):
+        """Decoded XJB predicates keep the exact same covered region."""
+        br = BittenRect.from_points(pts, max_bites=x)
+        c = XJBCodec(3, 8)
+        out = c.decode(c.encode(br))
+        rng = np.random.default_rng(0)
+        lo, hi = br.rect.lo - 1.0, br.rect.hi + 1.0
+        probes = lo + rng.random((300, 3)) * (hi - lo)
+        assert np.array_equal(out.contains_points(probes),
+                              br.contains_points(probes))
+
+    @given(hnp.arrays(np.float64, st.tuples(st.integers(2, 25),
+                                            st.just(2)),
+                      elements=st.floats(-1e4, 1e4, allow_nan=False,
+                                         width=32)))
+    @settings(max_examples=40, deadline=None)
+    def test_jb_min_dist_survives(self, pts):
+        """Distance refinement behaves identically after a roundtrip."""
+        br = BittenRect.from_points(pts)
+        out = JBCodec(2).decode(JBCodec(2).encode(br))
+        rng = np.random.default_rng(1)
+        for q in rng.normal(scale=2e4, size=(5, 2)):
+            assert out.min_dist(q) == pytest.approx(br.min_dist(q),
+                                                    rel=1e-9, abs=1e-9)

@@ -1,0 +1,51 @@
+"""Tests for the disk cost model (paper section 3.2, footnote 4)."""
+
+import pytest
+
+from repro.storage.iomodel import DiskModel
+
+
+class TestPaperArithmetic:
+    def test_random_sequential_ratio_near_14(self):
+        # The paper derives "14 sequential I/Os for each random I/O"
+        # and rounds to "around 15x".
+        model = DiskModel()
+        assert 12.0 < model.random_to_sequential_ratio < 15.0
+
+    def test_transfer_time_for_8k_page(self):
+        model = DiskModel()
+        # 8192 bytes at 9 MB/s ~ 0.91 ms
+        assert model.transfer_ms == pytest.approx(8192 / 9e6 * 1e3)
+
+    def test_breakeven_fraction_is_reciprocal(self):
+        model = DiskModel()
+        assert model.breakeven_fraction() == pytest.approx(
+            1.0 / model.random_to_sequential_ratio)
+
+
+class TestWorkloadCosts:
+    def test_scan_cost_scales_linearly(self):
+        model = DiskModel()
+        base = model.scan_ms(0)
+        assert model.scan_ms(100) == pytest.approx(
+            base + 100 * model.sequential_io_ms)
+
+    def test_index_beats_scan_below_breakeven(self):
+        model = DiskModel()
+        total = 10_000
+        below = int(total * model.breakeven_fraction() * 0.5)
+        above = int(total * model.breakeven_fraction() * 2.0)
+        assert model.index_beats_scan(below, total)
+        assert not model.index_beats_scan(above, total)
+
+    def test_one_in_fifty_beats_scan(self):
+        # Footnote 8: the AMs hit < 1 in 50 pages, comfortably beating
+        # the scan.
+        model = DiskModel()
+        assert model.index_beats_scan(200, 10_000)
+
+    def test_faster_disk_changes_ratio(self):
+        slow = DiskModel(throughput_mb_s=9.0)
+        fast = DiskModel(throughput_mb_s=90.0)
+        assert fast.random_to_sequential_ratio \
+            > slow.random_to_sequential_ratio

@@ -1,0 +1,33 @@
+"""Tests for page layout arithmetic."""
+
+import pytest
+
+from repro.storage.page import PAGE_HEADER_SIZE, entries_per_page, page_payload
+
+
+class TestPagePayload:
+    def test_payload_excludes_header(self):
+        assert page_payload(4096) == 4096 - PAGE_HEADER_SIZE
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(ValueError):
+            page_payload(PAGE_HEADER_SIZE)
+
+
+class TestEntriesPerPage:
+    def test_paper_leaf_fanout(self):
+        # 5-D leaf entries: 5 * 8 key + 8 rid = 48 bytes; the paper's 8 KB
+        # pages hold 170, matching "between 100 and 200 data points".
+        assert entries_per_page(8192, 48) == 170
+
+    def test_jb_index_fanout_is_small(self):
+        # JB predicate at D=5: (2 + 32) * 5 * 8 = 1360 bytes + 8 pointer.
+        assert entries_per_page(8192, 1368) == 5
+
+    def test_fanout_one_rejected(self):
+        with pytest.raises(ValueError):
+            entries_per_page(4096, 3000)
+
+    def test_bad_entry_size_rejected(self):
+        with pytest.raises(ValueError):
+            entries_per_page(4096, 0)

@@ -1,0 +1,57 @@
+"""Scale profiles and environment-driven selection."""
+
+import pytest
+
+from repro.constants import (
+    PAPER_SCALE,
+    SCALE_PROFILES,
+    ScaleProfile,
+    active_profile,
+)
+
+
+class TestProfiles:
+    def test_all_profiles_coherent(self):
+        for profile in SCALE_PROFILES.values():
+            assert profile.num_blobs > profile.num_images
+            assert profile.num_queries > 0
+            assert profile.neighbors > 0
+            assert profile.page_size >= 1024
+
+    def test_profiles_scale_together(self):
+        smoke = SCALE_PROFILES["smoke"]
+        full = SCALE_PROFILES["full"]
+        assert smoke.num_blobs < full.num_blobs
+        assert smoke.num_queries < full.num_queries
+
+    def test_paper_scale_records_the_corpus(self):
+        assert PAPER_SCALE.num_blobs == 221_231
+        assert PAPER_SCALE.num_images == 35_000
+        assert PAPER_SCALE.num_queries == 5_531
+        assert PAPER_SCALE.neighbors == 200
+        assert PAPER_SCALE.blobs_per_image == pytest.approx(6.32, abs=0.01)
+
+    def test_profiles_keep_blobs_per_image_ratio(self):
+        target = PAPER_SCALE.blobs_per_image
+        for profile in SCALE_PROFILES.values():
+            assert profile.blobs_per_image == pytest.approx(target,
+                                                            rel=0.05)
+
+
+class TestActiveProfile:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert active_profile().name == "default"
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert active_profile().name == "smoke"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError, match="galactic"):
+            active_profile()
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            SCALE_PROFILES["smoke"].num_blobs = 1

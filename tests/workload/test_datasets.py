@@ -1,0 +1,125 @@
+"""Dataset families and dynamic workloads (paper section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_load
+from repro.gist import validate_tree
+from repro.workload.datasets import (
+    DATASET_FAMILIES,
+    curved_manifold,
+    diagonal_band,
+    gaussian_clusters,
+    heavy_tailed,
+    make_dynamic_workload,
+    run_dynamic_workload,
+    uniform,
+)
+
+from tests.conftest import brute_knn, make_ext
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("name", sorted(DATASET_FAMILIES))
+    def test_shapes_and_determinism(self, name):
+        factory = DATASET_FAMILIES[name]
+        a = factory(500, 4, seed=3)
+        b = factory(500, 4, seed=3)
+        assert a.shape == (500, 4)
+        assert np.array_equal(a, b)
+        assert np.isfinite(a).all()
+
+    def test_uniform_fills_the_cube(self):
+        pts = uniform(5000, 3, seed=0)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+        # every octant populated
+        octants = (pts > 0.5) @ (1 << np.arange(3))
+        assert len(np.unique(octants)) == 8
+
+    def test_diagonal_band_is_thin(self):
+        pts = diagonal_band(2000, 4, seed=1, thickness=0.01)
+        spread = np.abs(pts - pts.mean(axis=1, keepdims=True)).max()
+        assert spread < 0.1
+
+    def test_manifold_intrinsic_dimension(self):
+        pts = curved_manifold(3000, 5, seed=2, intrinsic=2)
+        eigvals = np.sort(np.linalg.eigvalsh(np.cov(pts.T)))[::-1]
+        # A 2-D sheet spans at most 3 strong linear directions; the
+        # remaining ones carry only the noise floor.
+        assert eigvals[3] < 0.1 * eigvals[0]
+        assert eigvals[4] < 0.01 * eigvals[0]
+
+    def test_manifold_bad_intrinsic(self):
+        with pytest.raises(ValueError):
+            curved_manifold(100, 3, intrinsic=3)
+
+    def test_heavy_tail_has_outliers(self):
+        pts = heavy_tailed(3000, 3, seed=4)
+        radius = np.sqrt((pts ** 2).sum(axis=1))
+        assert radius.max() > 2.5 * np.percentile(radius, 90)
+
+    @pytest.mark.parametrize("name", sorted(DATASET_FAMILIES))
+    def test_knn_exact_on_every_family(self, name):
+        pts = DATASET_FAMILIES[name](2000, 3, seed=5)
+        tree = bulk_load(make_ext("xjb", 3), pts, page_size=4096)
+        q = pts[10]
+        got = set(r for _, r in tree.knn(q, 15))
+        want, dk = brute_knn(pts, q, 15)
+        d = np.sqrt(((pts - q) ** 2).sum(axis=1))
+        for rid in got ^ want:
+            assert d[rid] == pytest.approx(dk)
+
+
+class TestDynamicWorkload:
+    def _setup(self, method="rtree", n=1200, num_ops=150, k=20):
+        pts = gaussian_clusters(n, 3, seed=0)
+        tree = bulk_load(make_ext(method, 3), pts[:n // 2],
+                         page_size=2048)
+        ops = make_dynamic_workload(pts, num_ops, k, seed=1)
+        return pts, tree, ops
+
+    def test_ops_are_consistent(self):
+        pts, _, ops = self._setup()
+        inserted, deleted = set(), set()
+        for op in ops:
+            if op.kind == "insert":
+                assert op.rid >= len(pts) // 2
+                assert op.rid not in inserted
+                inserted.add(op.rid)
+            elif op.kind == "delete":
+                assert op.rid not in deleted
+                deleted.add(op.rid)
+            else:
+                assert op.query is not None
+
+    def test_run_keeps_tree_valid_and_exact(self):
+        pts, tree, ops = self._setup()
+        result = run_dynamic_workload(tree, pts, ops, k=20)
+        validate_tree(tree)
+        assert result.inserts > 0 and result.deletes > 0
+        assert len(result.query_leaf_ios) == len(result.query_results)
+        # Final state answers queries exactly.
+        live = set(range(len(pts) // 2))
+        for op in ops:
+            if op.kind == "insert":
+                live.add(op.rid)
+            elif op.kind == "delete":
+                live.discard(op.rid)
+        q = pts[next(iter(live))]
+        got = set(r for _, r in tree.knn(q, 10))
+        live_pts = np.array(sorted(live))
+        d = np.sqrt(((pts[live_pts] - q) ** 2).sum(axis=1))
+        want = set(live_pts[np.argsort(d)[:10]].tolist())
+        dk = np.sort(d)[9]
+        for rid in got ^ want:
+            assert float(np.linalg.norm(pts[rid] - q)) \
+                == pytest.approx(dk)
+
+    def test_dynamic_works_for_custom_ams(self):
+        """Future-work item: insertion/deletion for XJB and JB."""
+        for method in ("xjb", "jb"):
+            pts, tree, ops = self._setup(method=method, n=800,
+                                         num_ops=80)
+            result = run_dynamic_workload(tree, pts, ops, k=20)
+            validate_tree(tree)
+            assert result.mean_query_leaf_ios > 0
