@@ -7,7 +7,9 @@ Covers the end-to-end workflow a downstream user needs:
 - ``query``   — run a two-stage Blobworld query through a saved index;
 - ``analyze`` — amdb-style loss comparison of access methods;
 - ``recall``  — the Figure 6 recall grid;
-- ``info``    — inspect a saved index.
+- ``info``    — inspect a saved index;
+- ``fsck``    — scrub a saved index page-by-page (checksums,
+  reachability), exit 1 if damaged.
 """
 
 from __future__ import annotations
@@ -140,6 +142,14 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_fsck(args) -> int:
+    from repro.gist.validate import scrub_file
+
+    report = scrub_file(args.index)
+    print(report.format())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("info", help="inspect a saved index")
     p.add_argument("index")
     p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("fsck", help="scrub a saved index for damage")
+    p.add_argument("index")
+    p.set_defaults(func=_cmd_fsck)
 
     return parser
 

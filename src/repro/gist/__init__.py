@@ -14,11 +14,12 @@ live in :mod:`repro.ams` (traditional) and :mod:`repro.core` (the paper's
 custom designs).
 """
 
+from repro.gist.degrade import DegradationReport, QuarantinedPage
 from repro.gist.entry import IndexEntry, LeafEntry
 from repro.gist.node import Node
 from repro.gist.extension import GiSTExtension
 from repro.gist.tree import GiST
-from repro.gist.validate import validate_tree
+from repro.gist.validate import ScrubReport, scrub_file, validate_tree
 
 __all__ = [
     "IndexEntry",
@@ -27,4 +28,8 @@ __all__ = [
     "GiSTExtension",
     "GiST",
     "validate_tree",
+    "scrub_file",
+    "ScrubReport",
+    "DegradationReport",
+    "QuarantinedPage",
 ]

@@ -32,21 +32,24 @@ def nn_cursor(tree, query: np.ndarray) -> Iterator[Tuple[float, int]]:
     query = np.asarray(query, dtype=np.float64)
     ext = tree.ext
     counter = itertools.count()
-    heap = [(0.0, next(counter), _NODE, (None, tree.root_id), True)]
+    heap = [(0.0, next(counter), _NODE,
+             (None, tree.root_id, tree.height - 1), True)]
 
     while heap:
         dist, _, kind, payload, refined = heapq.heappop(heap)
         if kind == _POINT:
             yield dist, payload
             continue
-        pred, page_id = payload
+        pred, page_id, level = payload
         if not refined and ext.has_refinement and pred is not None:
             tight = ext.refine_dist(pred, query, dist)
             if heap and tight > heap[0][0]:
                 heapq.heappush(
                     heap, (tight, next(counter), _NODE, payload, True))
                 continue
-        node = tree._read(page_id)
+        node = tree._read_query(page_id, level)
+        if node is None:
+            continue
         if node.is_leaf:
             if not node.entries:
                 continue
@@ -61,7 +64,8 @@ def nn_cursor(tree, query: np.ndarray) -> Iterator[Tuple[float, int]]:
             for entry, d in zip(node.entries, dists):
                 heapq.heappush(
                     heap, (float(d), next(counter), _NODE,
-                           (entry.pred, entry.child), not lazy))
+                           (entry.pred, entry.child, node.level - 1),
+                           not lazy))
 
 
 def knn_until(tree, query: np.ndarray, stop) -> list:

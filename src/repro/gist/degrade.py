@@ -1,0 +1,74 @@
+"""Degraded-mode bookkeeping: what a quarantined query run gave up.
+
+When a tree runs with quarantine enabled (see
+:meth:`repro.gist.tree.GiST.enable_quarantine`), a corrupt page no
+longer aborts the query — the subtree it roots is pruned and the loss is
+recorded here, so a workload can finish and report *how degraded* its
+answers are instead of crashing mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class QuarantinedPage:
+    """One pruned subtree root."""
+
+    page_id: int
+    #: tree level of the unreadable page (None when unknown).
+    level: Optional[int]
+    #: stringified cause (the PageCorruptError message).
+    error: str
+    #: rough count of leaf entries the pruned subtree held, from the
+    #: tree's fill model — the page is unreadable, so this cannot be
+    #: exact, only an honest order of magnitude.
+    estimated_candidates_lost: int
+
+
+@dataclass
+class DegradationReport:
+    """Everything a degraded run gave up, and how it scored anyway."""
+
+    pages: Dict[int, QuarantinedPage] = field(default_factory=dict)
+    #: measured recall of the degraded run against brute force, filled
+    #: in by :func:`repro.workload.runner.run_workload`.
+    recall: Optional[float] = None
+
+    def record(self, page_id: int, level: Optional[int], error,
+               estimated_candidates_lost: int) -> QuarantinedPage:
+        """Register a pruned page (idempotent per page id)."""
+        entry = self.pages.get(page_id)
+        if entry is None:
+            entry = QuarantinedPage(
+                page_id=page_id, level=level, error=str(error),
+                estimated_candidates_lost=estimated_candidates_lost)
+            self.pages[page_id] = entry
+        return entry
+
+    @property
+    def pages_quarantined(self) -> int:
+        return len(self.pages)
+
+    @property
+    def estimated_candidates_lost(self) -> int:
+        return sum(p.estimated_candidates_lost for p in self.pages.values())
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.pages)
+
+    def summary(self) -> str:
+        if not self.is_degraded:
+            return "no pages quarantined"
+        lines = [f"{self.pages_quarantined} page(s) quarantined, "
+                 f"~{self.estimated_candidates_lost} candidates lost"]
+        for page in sorted(self.pages.values(), key=lambda p: p.page_id):
+            level = "?" if page.level is None else page.level
+            lines.append(f"  page {page.page_id} (level {level}): "
+                         f"{page.error}")
+        if self.recall is not None:
+            lines.append(f"degraded recall: {self.recall:.4f}")
+        return "\n".join(lines)

@@ -33,9 +33,12 @@ def sphere_search(tree, center: np.ndarray,
     center = np.asarray(center, dtype=np.float64)
     ext = tree.ext
     results: List[Tuple[float, int]] = []
-    stack = [tree.root_id]
+    stack = [(tree.root_id, tree.height - 1)]
     while stack:
-        node = tree._read(stack.pop())
+        page_id, level = stack.pop()
+        node = tree._read_query(page_id, level)
+        if node is None:
+            continue
         if node.is_leaf:
             if not node.entries:
                 continue
@@ -51,7 +54,7 @@ def sphere_search(tree, center: np.ndarray,
                 if ext.has_refinement and lower <= radius:
                     lower = ext.refine_dist(entry.pred, center, lower)
                 if lower <= radius:
-                    stack.append(entry.child)
+                    stack.append((entry.child, node.level - 1))
     return results
 
 

@@ -44,9 +44,10 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
     counter = itertools.count()
 
     # Heap items: (dist, tiebreak, kind, payload, refined)
-    #   kind _NODE:  payload = (pred_or_None, page_id)
+    #   kind _NODE:  payload = (pred_or_None, page_id, level)
     #   kind _POINT: payload = rid
-    heap = [(0.0, next(counter), _NODE, (None, tree.root_id), True)]
+    heap = [(0.0, next(counter), _NODE,
+             (None, tree.root_id, tree.height - 1), True)]
     results: List[Tuple[float, int]] = []
 
     while heap and len(results) < k:
@@ -56,7 +57,7 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
             results.append((dist, payload))
             continue
 
-        pred, page_id = payload
+        pred, page_id, level = payload
         if not refined and ext.has_refinement and pred is not None:
             tight = ext.refine_dist(pred, query, dist)
             if heap and tight > heap[0][0]:
@@ -64,7 +65,9 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
                     heap, (tight, next(counter), _NODE, payload, True))
                 continue
 
-        node = tree._read(page_id)
+        node = tree._read_query(page_id, level)
+        if node is None:
+            continue
         if node.is_leaf:
             if not node.entries:
                 continue
@@ -79,6 +82,7 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
             for entry, d in zip(node.entries, dists):
                 heapq.heappush(
                     heap, (float(d), next(counter), _NODE,
-                           (entry.pred, entry.child), not lazy))
+                           (entry.pred, entry.child, node.level - 1),
+                           not lazy))
 
     return results

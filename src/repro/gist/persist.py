@@ -3,6 +3,12 @@
 The byte accounting the tree does in memory is made honest here: every
 node round-trips through the fixed-size node codec into a page-sized
 slot of a single file, with a small JSON superblock in page 0.
+
+Resilience: the superblock carries a CRC32C trailer in its last 8 bytes
+and every node page is sealed by the codec, so a truncated, bit-flipped,
+or otherwise damaged file fails loading with a typed
+:class:`~repro.storage.errors.StorageError` subclass naming the file —
+never a raw ``struct.error`` or ``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -15,9 +21,15 @@ from repro.gist.entry import IndexEntry, LeafEntry
 from repro.gist.node import Node
 from repro.gist.tree import GiST
 from repro.storage.codecs import NodeCodec
+from repro.storage.errors import PageCorruptError
+from repro.storage.integrity import FORMAT_EPOCH, crc32c
+from repro.storage.page import PAGE_HEADER_SIZE
 from repro.storage.pagefile import MemoryPageFile
 
 _MAGIC = "repro-gist-v1"
+
+#: bytes reserved at the end of page 0 for (crc32c, epoch).
+_SUPERBLOCK_TRAILER = 8
 
 
 def save_tree(tree: GiST, path: str) -> None:
@@ -39,11 +51,13 @@ def save_tree(tree: GiST, path: str) -> None:
         "root_slot": slot_of.get(tree.root_id, 0),
     }
     blob = json.dumps(header).encode()
-    if len(blob) + 4 > tree.page_size:
+    if len(blob) + 4 + _SUPERBLOCK_TRAILER > tree.page_size:
         raise ValueError("superblock overflow")
+    page0 = struct.pack("<I", len(blob)) + blob
+    page0 += b"\x00" * (tree.page_size - _SUPERBLOCK_TRAILER - len(page0))
+    page0 += struct.pack("<II", crc32c(page0), FORMAT_EPOCH)
     with open(path, "wb") as f:
-        f.write(struct.pack("<I", len(blob)) + blob)
-        f.write(b"\x00" * (tree.page_size - 4 - len(blob)))
+        f.write(page0)
         for node in nodes:
             entries = node.entries
             if not node.is_leaf:
@@ -51,6 +65,67 @@ def save_tree(tree: GiST, path: str) -> None:
                            for e in entries]
             f.write(codec.encode(slot_of[node.page_id], node.level,
                                  [tuple(e) for e in entries]))
+
+
+def read_superblock(raw: bytes, path: str) -> dict:
+    """Parse and verify the page-0 superblock of a saved index.
+
+    Raises :class:`PageCorruptError` (naming ``path``) on any damage:
+    truncation, unparseable JSON, wrong magic, implausible geometry, or
+    a checksum mismatch.  Legacy superblocks without a trailer verify
+    by structure only.
+    """
+    if len(raw) < 4:
+        raise PageCorruptError("not a saved GiST (file too short)",
+                               path=path)
+    (hlen,) = struct.unpack_from("<I", raw, 0)
+    if hlen <= 0 or 4 + hlen > len(raw):
+        raise PageCorruptError("not a saved GiST (bad superblock length)",
+                               path=path)
+    try:
+        header = json.loads(raw[4:4 + hlen])
+    except ValueError:
+        raise PageCorruptError("not a saved GiST (superblock is not JSON)",
+                               path=path) from None
+    if not isinstance(header, dict) or header.get("magic") != _MAGIC:
+        raise PageCorruptError("not a saved GiST (bad magic)", path=path)
+
+    def _int_field(key, minimum):
+        value = header.get(key)
+        if not isinstance(value, int) or value < minimum:
+            raise PageCorruptError(
+                f"superblock field {key!r} invalid: {value!r}", path=path)
+        return value
+
+    page_size = _int_field("page_size", PAGE_HEADER_SIZE + 1)
+    _int_field("dim", 1)
+    num_nodes = _int_field("num_nodes", 0)
+    _int_field("height", 0)
+    _int_field("size", 0)
+    root_slot = _int_field("root_slot", 0)
+    if root_slot > num_nodes:
+        raise PageCorruptError(
+            f"superblock root_slot {root_slot} exceeds num_nodes "
+            f"{num_nodes}", path=path)
+    if len(raw) < (num_nodes + 1) * page_size:
+        raise PageCorruptError(
+            f"superblock claims {num_nodes} nodes of {page_size} bytes "
+            f"but the file holds only {len(raw)} bytes", path=path)
+    if not isinstance(header.get("extension"), str):
+        raise PageCorruptError("superblock field 'extension' invalid",
+                               path=path)
+
+    # Checksum trailer (legacy files carry zeros there: skip).
+    if len(raw) >= page_size:
+        crc, epoch = struct.unpack_from(
+            "<II", raw, page_size - _SUPERBLOCK_TRAILER)
+        if not (crc == 0 and epoch == 0):
+            actual = crc32c(raw[:page_size - _SUPERBLOCK_TRAILER])
+            if actual != crc:
+                raise PageCorruptError(
+                    f"superblock checksum mismatch: stored {crc:#010x}, "
+                    f"computed {actual:#010x}", path=path)
+    return header
 
 
 def load_tree(extension=None, path: str = None) -> GiST:
@@ -64,13 +139,7 @@ def load_tree(extension=None, path: str = None) -> GiST:
         extension, path = None, extension
     with open(path, "rb") as f:
         raw = f.read()
-    try:
-        (hlen,) = struct.unpack_from("<I", raw, 0)
-        header = json.loads(raw[4:4 + hlen])
-    except (struct.error, ValueError):
-        raise ValueError(f"{path} is not a saved GiST") from None
-    if not isinstance(header, dict) or header.get("magic") != _MAGIC:
-        raise ValueError(f"{path} is not a saved GiST")
+    header = read_superblock(raw, path)
     if extension is None:
         from repro.core.api import make_extension
         extension = make_extension(header["extension"], header["dim"],
@@ -91,7 +160,10 @@ def load_tree(extension=None, path: str = None) -> GiST:
     root = None
     for slot in range(1, header["num_nodes"] + 1):
         image = raw[slot * page_size:(slot + 1) * page_size]
-        page_id, level, raw_entries = codec.decode(image)
+        page_id, level, raw_entries = codec.decode(image, path=path)
+        if page_id != slot:
+            raise PageCorruptError(f"slot {slot} holds page {page_id}",
+                                   path=path)
         if level == 0:
             entries = [LeafEntry(k, rid) for k, rid in raw_entries]
         else:

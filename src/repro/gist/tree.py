@@ -18,12 +18,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.constants import DEFAULT_PAGE_SIZE
+from repro.constants import DEFAULT_PAGE_SIZE, TARGET_UTILIZATION
+from repro.gist.degrade import DegradationReport
 from repro.gist.entry import IndexEntry, LeafEntry
 from repro.gist.extension import GiSTExtension
 from repro.gist.node import Node
 from repro.gist.nn import knn_search
 from repro.storage.codecs import IndexEntryCodec, LeafEntryCodec
+from repro.storage.errors import PageCorruptError
 from repro.storage.page import entries_per_page, page_payload
 from repro.storage.pagefile import MemoryPageFile
 
@@ -49,6 +51,11 @@ class GiST:
         self.height = 0
         #: number of stored (key, RID) pairs.
         self.size = 0
+        #: when True, corrupt pages are pruned from query results and
+        #: recorded in :attr:`degradation` instead of raising.
+        self.quarantine_enabled = False
+        self.degradation: Optional[DegradationReport] = None
+        self._quarantined: set = set()
 
     # -- capacities ---------------------------------------------------------
 
@@ -68,6 +75,60 @@ class GiST:
         """Uncounted read — maintenance work."""
         return self.store.peek(page_id)
 
+    # -- degraded mode -------------------------------------------------------
+
+    def enable_quarantine(
+            self, report: Optional[DegradationReport] = None
+            ) -> DegradationReport:
+        """Switch query paths to degraded mode.
+
+        A :class:`~repro.storage.errors.PageCorruptError` during search
+        then prunes the corrupt subtree (its candidates are lost, the
+        query completes) and records it in the returned
+        :class:`DegradationReport` instead of propagating.
+        """
+        self.quarantine_enabled = True
+        self.degradation = report if report is not None \
+            else DegradationReport()
+        return self.degradation
+
+    def disable_quarantine(self) -> None:
+        self.quarantine_enabled = False
+
+    def _read_query(self, page_id: int,
+                    level: Optional[int] = None) -> Optional[Node]:
+        """Counted read for query paths; None when quarantined.
+
+        ``level`` is the level the caller expects the page at (known
+        from the parent), used only to estimate what was lost.
+        """
+        if self.quarantine_enabled and page_id in self._quarantined:
+            return None
+        try:
+            return self._read(page_id)
+        except PageCorruptError as exc:
+            if not self.quarantine_enabled:
+                raise
+            self._quarantine(page_id, level, exc)
+            return None
+
+    def _quarantine(self, page_id: int, level: Optional[int], exc) -> None:
+        self._quarantined.add(page_id)
+        self.degradation.record(page_id, level, exc,
+                                self._estimate_candidates(level))
+
+    def _estimate_candidates(self, level: Optional[int]) -> int:
+        """Leaf entries a subtree rooted at ``level`` roughly held.
+
+        The page is unreadable, so this uses the tree's fill model:
+        target utilization times capacity, compounded per level.
+        """
+        leaf_fill = max(1, round(TARGET_UTILIZATION * self.leaf_capacity))
+        if level is None or level <= 0:
+            return leaf_fill
+        inner_fill = max(2, round(TARGET_UTILIZATION * self.index_capacity))
+        return leaf_fill * inner_fill ** level
+
     def _new_node(self, level: int, entries=None) -> Node:
         node = Node(self.store.allocate(), level, entries)
         self.store.write(node)
@@ -80,9 +141,12 @@ class GiST:
         if self.root_id is None:
             return []
         results: List[LeafEntry] = []
-        stack = [self.root_id]
+        stack = [(self.root_id, self.height - 1)]
         while stack:
-            node = self._read(stack.pop())
+            page_id, level = stack.pop()
+            node = self._read_query(page_id, level)
+            if node is None:
+                continue
             if node.is_leaf:
                 if node.entries:
                     inside = query_rect.contains_points(node.keys_array())
@@ -91,7 +155,7 @@ class GiST:
             else:
                 for entry in node.entries:
                     if self.ext.consistent(entry.pred, query_rect):
-                        stack.append(entry.child)
+                        stack.append((entry.child, node.level - 1))
         return results
 
     def knn(self, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
@@ -331,16 +395,29 @@ class GiST:
     # -- introspection -----------------------------------------------------------------
 
     def iter_nodes(self, level: Optional[int] = None) -> Iterator[Node]:
-        """Yield all nodes (uncounted), optionally only one level."""
+        """Yield all nodes (uncounted), optionally only one level.
+
+        In quarantine mode, corrupt pages are recorded and skipped so
+        post-run analysis can still walk the readable remainder.
+        """
         if self.root_id is None:
             return
-        stack = [self.root_id]
+        stack = [(self.root_id, self.height - 1)]
         while stack:
-            node = self._peek(stack.pop())
+            page_id, lvl = stack.pop()
+            if self.quarantine_enabled and page_id in self._quarantined:
+                continue
+            try:
+                node = self._peek(page_id)
+            except PageCorruptError as exc:
+                if not self.quarantine_enabled:
+                    raise
+                self._quarantine(page_id, lvl, exc)
+                continue
             if level is None or node.level == level:
                 yield node
             if not node.is_leaf:
-                stack.extend(node.children())
+                stack.extend((c, node.level - 1) for c in node.children())
 
     def leaf_nodes(self) -> Iterator[Node]:
         return self.iter_nodes(level=0)

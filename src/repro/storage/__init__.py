@@ -5,12 +5,63 @@ real byte budgets (predicate codec sizes against the page payload), page
 reads are counted by :class:`~repro.storage.pagefile.PageFile` instances,
 and :class:`~repro.storage.iomodel.DiskModel` converts access counts into
 the paper's random-vs-sequential I/O economics (section 3.2).
+
+Resilience (see DESIGN.md "Storage resilience"): page images carry
+CRC32C seals (:mod:`repro.storage.integrity`), failures surface through
+the typed hierarchy in :mod:`repro.storage.errors`, transient faults are
+masked by :mod:`repro.storage.retry`, and
+:class:`~repro.storage.faults.FaultyPageFile` injects deterministic
+failures for testing.  All stores — memory, disk, buffered, faulty —
+satisfy :class:`PageFileProtocol` and are interchangeable.
 """
+
+from typing import Protocol, runtime_checkable
 
 from repro.storage.page import PAGE_HEADER_SIZE, page_payload
 from repro.storage.pagefile import AccessListener, MemoryPageFile, PageStats
 from repro.storage.buffer import BufferPool
+from repro.storage.diskfile import FilePageFile
 from repro.storage.iomodel import DiskModel
+from repro.storage.errors import (StorageError, PageCorruptError,
+                                  PageMissingError, TransientIOError)
+from repro.storage.integrity import FORMAT_EPOCH, crc32c
+from repro.storage.retry import RetryPolicy, call_with_retry
+from repro.storage.faults import FaultLog, FaultPolicy, FaultyPageFile
+
+
+@runtime_checkable
+class PageFileProtocol(Protocol):
+    """What every page store — memory, disk, buffered, fault-injected —
+    must provide so trees, profilers, and tools can treat them alike.
+
+    ``read`` is the counted query path; ``peek`` the uncounted
+    maintenance path.  ``stats`` and ``counting`` are attributes by
+    convention (``runtime_checkable`` checks methods only).
+    """
+
+    # id allocation
+    def allocate(self) -> int: ...
+    def reserve(self, up_to: int) -> None: ...
+
+    # node access
+    def read(self, page_id: int): ...
+    def peek(self, page_id: int): ...
+    def write(self, node) -> None: ...
+    def free(self, page_id: int) -> None: ...
+    def page_ids(self): ...
+    def __contains__(self, page_id: int) -> bool: ...
+    def __len__(self) -> int: ...
+
+    # accounting listeners
+    def add_listener(self, listener) -> None: ...
+    def remove_listener(self, listener) -> None: ...
+
+    # lifecycle
+    def flush(self) -> None: ...
+    def close(self) -> None: ...
+    def __enter__(self): ...
+    def __exit__(self, *exc) -> None: ...
+
 
 __all__ = [
     "PAGE_HEADER_SIZE",
@@ -19,5 +70,18 @@ __all__ = [
     "MemoryPageFile",
     "PageStats",
     "BufferPool",
+    "FilePageFile",
     "DiskModel",
+    "PageFileProtocol",
+    "StorageError",
+    "PageCorruptError",
+    "PageMissingError",
+    "TransientIOError",
+    "FORMAT_EPOCH",
+    "crc32c",
+    "RetryPolicy",
+    "call_with_retry",
+    "FaultLog",
+    "FaultPolicy",
+    "FaultyPageFile",
 ]

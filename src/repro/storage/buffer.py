@@ -8,9 +8,12 @@ workload, and read the hit/miss split per level.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.storage.retry import RetryPolicy, call_with_retry
 
 
 @dataclass
@@ -47,11 +50,15 @@ class BufferPool:
     profiler listeners) see buffered I/O traffic.
     """
 
-    def __init__(self, pagefile, capacity_pages: int):
+    def __init__(self, pagefile, capacity_pages: int,
+                 retry: Optional[RetryPolicy] = RetryPolicy(),
+                 sleep=time.sleep):
         if capacity_pages < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.pagefile = pagefile
         self.capacity = capacity_pages
+        self.retry = retry
+        self._sleep = sleep
         self._frames: "OrderedDict[int, object]" = OrderedDict()
         self.stats = BufferStats()
 
@@ -70,7 +77,11 @@ class BufferPool:
             if self.pagefile.counting:
                 self.stats.hits += 1
             return node
-        node = self.pagefile.read(page_id)
+        # A read that raises (corrupt page, exhausted retries) must not
+        # disturb the frames: no partial node is cached, LRU order keeps
+        # reflecting only successful accesses.
+        node = call_with_retry(lambda: self.pagefile.read(page_id),
+                               self.retry, sleep=self._sleep)
         if self.pagefile.counting:
             self.stats.misses += 1
             lvl = node.level
@@ -85,10 +96,17 @@ class BufferPool:
         return self.pagefile.peek(page_id)
 
     def write(self, node) -> None:
-        # Write-through: keep the frame coherent with the page file.
+        # Write-through: the page file is the truth, so it is written
+        # first; if that fails, the (now possibly stale) frame is
+        # dropped so a later read refetches rather than serving a
+        # version the disk never accepted.
+        try:
+            self.pagefile.write(node)
+        except Exception:
+            self._frames.pop(node.page_id, None)
+            raise
         if node.page_id in self._frames:
             self._frames[node.page_id] = node
-        self.pagefile.write(node)
 
     def free(self, page_id: int) -> None:
         self._frames.pop(page_id, None)
@@ -97,11 +115,37 @@ class BufferPool:
     def allocate(self) -> int:
         return self.pagefile.allocate()
 
+    def reserve(self, up_to: int) -> None:
+        self.pagefile.reserve(up_to)
+
+    def page_ids(self):
+        return self.pagefile.page_ids()
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames or page_id in self.pagefile
+
+    def __len__(self) -> int:
+        return len(self.pagefile)
+
     def add_listener(self, listener) -> None:
         self.pagefile.add_listener(listener)
 
     def remove_listener(self, listener) -> None:
         self.pagefile.remove_listener(listener)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        self.pagefile.flush()
+
+    def close(self) -> None:
+        self.pagefile.close()
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def clear(self) -> None:
         """Drop all frames (cold-cache experiments)."""

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.constants import NUMBER_SIZE
 from repro.geometry import Bite, BittenRect, Rect, Sphere
+from repro.storage.errors import PageCorruptError
+from repro.storage.integrity import seal_image, verify_image
 from repro.storage.page import PAGE_HEADER_SIZE
 
 
@@ -246,13 +248,22 @@ class IndexEntryCodec(Codec):
 
 
 class NodeCodec:
-    """Serializes whole nodes into fixed-size page images."""
+    """Serializes whole nodes into fixed-size page images.
+
+    With ``checksums=True`` (the default) every encoded image is sealed
+    with a CRC32C + format-epoch pair in the header's reserved region
+    (see :mod:`repro.storage.integrity`) and every decode verifies it,
+    raising :class:`~repro.storage.errors.PageCorruptError` on damage.
+    Unsealed legacy images (zero crc and epoch) decode without
+    verification, so files written before checksums still load.
+    """
 
     def __init__(self, page_size: int, leaf_codec: LeafEntryCodec,
-                 index_codec: IndexEntryCodec):
+                 index_codec: IndexEntryCodec, *, checksums: bool = True):
         self.page_size = page_size
         self.leaf_codec = leaf_codec
         self.index_codec = index_codec
+        self.checksums = checksums
 
     def encode(self, page_id: int, level: int,
                entries: Sequence) -> bytes:
@@ -265,14 +276,33 @@ class NodeCodec:
             raise ValueError(
                 f"node {page_id} overflows page: {len(image)} > "
                 f"{self.page_size} bytes")
-        return image + b"\x00" * (self.page_size - len(image))
+        image += b"\x00" * (self.page_size - len(image))
+        return seal_image(image) if self.checksums else image
 
-    def decode(self, image: bytes) -> Tuple[int, int, List]:
+    def decode(self, image: bytes, *, verify: Optional[bool] = None,
+               path: Optional[str] = None) -> Tuple[int, int, List]:
+        if len(image) < self.page_size:
+            raise PageCorruptError(
+                f"truncated page image: {len(image)} of "
+                f"{self.page_size} bytes", path=path)
+        if verify if verify is not None else self.checksums:
+            verify_image(image, path=path)
         page_id, level, count = struct.unpack_from("<qii", image, 0)
         codec = self.leaf_codec if level == 0 else self.index_codec
+        if count < 0 or PAGE_HEADER_SIZE + count * codec.size > len(image):
+            raise PageCorruptError(
+                f"entry count {count} overflows page "
+                f"(level {level}, {codec.size}-byte entries)",
+                path=path, page_id=page_id)
         entries = []
         offset = PAGE_HEADER_SIZE
-        for _ in range(count):
-            entries.append(codec.decode(image[offset:offset + codec.size]))
-            offset += codec.size
+        try:
+            for _ in range(count):
+                entries.append(
+                    codec.decode(image[offset:offset + codec.size]))
+                offset += codec.size
+        except (struct.error, ValueError) as exc:
+            raise PageCorruptError(
+                f"undecodable entry at offset {offset}: {exc}",
+                path=path, page_id=page_id) from None
         return page_id, level, entries

@@ -5,18 +5,37 @@ Every `read` seeks to the page's slot and decodes the fixed-size image
 through the node codec, every `write` encodes and writes it back, so a
 tree backed by this store runs with genuine disk-page granularity
 (typically behind a :class:`~repro.storage.buffer.BufferPool`).
+
+Resilience: images are sealed with CRC32C checksums by the codec, so a
+torn write or bit flip surfaces as a typed
+:class:`~repro.storage.errors.PageCorruptError` instead of silently
+decoding garbage; missing or freed slots raise
+:class:`~repro.storage.errors.PageMissingError`; interrupted syscalls
+are wrapped as :class:`~repro.storage.errors.TransientIOError` and
+masked by bounded exponential backoff (:mod:`repro.storage.retry`).
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import struct
+import time
 from typing import Dict, List, Optional
 
 from repro.gist.entry import IndexEntry, LeafEntry
 from repro.gist.node import Node
 from repro.storage.codecs import NodeCodec
+from repro.storage.errors import (PageCorruptError, PageMissingError,
+                                  TransientIOError)
 from repro.storage.pagefile import AccessListener, PageStats
+from repro.storage.retry import RetryPolicy, call_with_retry
+
+#: OS errors that plausibly succeed on retry.
+_TRANSIENT_ERRNOS = frozenset(
+    e for e in (getattr(errno, name, None)
+                for name in ("EINTR", "EAGAIN", "EBUSY"))
+    if e is not None)
 
 
 class FilePageFile:
@@ -24,13 +43,17 @@ class FilePageFile:
 
     Page ids map to fixed-size slots (`page_id * page_size`); slot 0 is
     reserved.  The codec comes from the tree's extension, so construct
-    via :meth:`for_tree` or pass a prepared :class:`NodeCodec`.
+    via :meth:`for_extension` or pass a prepared :class:`NodeCodec`.
     """
 
-    def __init__(self, path: str, codec: NodeCodec):
+    def __init__(self, path: str, codec: NodeCodec,
+                 retry: Optional[RetryPolicy] = RetryPolicy(),
+                 sleep=time.sleep):
         self.path = path
         self.codec = codec
         self.page_size = codec.page_size
+        self.retry = retry
+        self._sleep = sleep
         # "a+b" would force writes to the end regardless of seeks;
         # open read-write, creating the file when missing.
         if not os.path.exists(path):
@@ -45,11 +68,11 @@ class FilePageFile:
 
     @classmethod
     def for_extension(cls, path: str, extension,
-                      page_size: int) -> "FilePageFile":
+                      page_size: int, **kwargs) -> "FilePageFile":
         from repro.storage.codecs import IndexEntryCodec, LeafEntryCodec
         codec = NodeCodec(page_size, LeafEntryCodec(extension.dim),
                           IndexEntryCodec(extension.pred_codec()))
-        return cls(path, codec)
+        return cls(path, codec, **kwargs)
 
     # -- id allocation ------------------------------------------------------
 
@@ -63,16 +86,65 @@ class FilePageFile:
     def reserve(self, up_to: int) -> None:
         self._next_id = max(self._next_id, up_to + 1)
 
+    # -- raw slot access -----------------------------------------------------
+
+    def _slot_count(self) -> int:
+        """Slots the file currently holds (slot 0 included)."""
+        # fstat sees the OS file, not Python's write buffer — flush so
+        # freshly written slots are counted.
+        self._file.flush()
+        return os.fstat(self._file.fileno()).st_size // self.page_size
+
+    def _read_raw(self, page_id: int) -> bytes:
+        """The raw image bytes of a slot; typed errors, no decode."""
+        if page_id < 1:
+            raise PageMissingError("page ids start at 1", path=self.path,
+                                   page_id=page_id)
+        try:
+            self._file.seek(page_id * self.page_size)
+            image = self._file.read(self.page_size)
+        except TransientIOError:
+            raise
+        except OSError as exc:
+            if exc.errno in _TRANSIENT_ERRNOS:
+                raise TransientIOError(
+                    f"transient read failure: {exc}", path=self.path,
+                    page_id=page_id) from exc
+            raise
+        if len(image) < self.page_size:
+            raise PageMissingError("slot beyond end of file",
+                                   path=self.path, page_id=page_id)
+        return image
+
+    def _write_raw(self, page_id: int, image: bytes) -> None:
+        """Write raw image bytes into a slot (scrub/fault tooling)."""
+        if len(image) != self.page_size:
+            raise ValueError(
+                f"image is {len(image)} bytes, slot holds {self.page_size}")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(image)
+
+    def _slot_page_id(self, page_id: int) -> Optional[int]:
+        """The page id stamped in a slot's header, or None if absent."""
+        if page_id < 1 or page_id >= max(self._slot_count(), 1):
+            return None
+        self._file.seek(page_id * self.page_size)
+        header = self._file.read(8)
+        if len(header) < 8:
+            return None
+        return struct.unpack("<q", header)[0]
+
     # -- node access ----------------------------------------------------------
 
     def _read_image(self, page_id: int) -> Node:
-        self._file.seek(page_id * self.page_size)
-        image = self._file.read(self.page_size)
-        if len(image) < self.page_size:
-            raise KeyError(f"page {page_id} not in {self.path}")
-        pid, level, raw_entries = self.codec.decode(image)
+        image = self._read_raw(page_id)
+        pid, level, raw_entries = self.codec.decode(image, path=self.path)
+        if pid == -1:
+            raise PageMissingError("slot was freed", path=self.path,
+                                   page_id=page_id)
         if pid != page_id:
-            raise KeyError(f"slot {page_id} holds page {pid}")
+            raise PageCorruptError(f"slot holds page {pid}",
+                                   path=self.path, page_id=page_id)
         if level == 0:
             entries = [LeafEntry(k, rid) for k, rid in raw_entries]
         else:
@@ -81,7 +153,8 @@ class FilePageFile:
         return Node(page_id, level, entries)
 
     def read(self, page_id: int) -> Node:
-        node = self._read_image(page_id)
+        node = call_with_retry(lambda: self._read_image(page_id),
+                               self.retry, sleep=self._sleep)
         if self.counting:
             self.stats.record_read(node.level)
             for listener in self._listeners:
@@ -89,30 +162,39 @@ class FilePageFile:
         return node
 
     def peek(self, page_id: int) -> Node:
-        return self._read_image(page_id)
+        return call_with_retry(lambda: self._read_image(page_id),
+                               self.retry, sleep=self._sleep)
 
     def write(self, node: Node) -> None:
         entries = [tuple(e) for e in node.entries]
         image = self.codec.encode(node.page_id, node.level, entries)
-        self._file.seek(node.page_id * self.page_size)
-        self._file.write(image)
+        self._write_raw(node.page_id, image)
         self._levels[node.page_id] = node.level
         self.stats.writes += 1
 
     def free(self, page_id: int) -> None:
-        # Stamp the slot with page id -1 so stale reads fail loudly.
-        header = struct.pack("<qii", -1, 0, 0)
-        self._file.seek(page_id * self.page_size)
-        self._file.write(header + b"\x00" * (self.page_size - len(header)))
+        # Stamp the slot with page id -1 (sealed) so stale reads fail
+        # loudly with PageMissingError, never decode as live data.
+        self._write_raw(page_id, self.codec.encode(-1, 0, []))
         self._levels.pop(page_id, None)
         self._free.append(page_id)
 
     def __contains__(self, page_id: int) -> bool:
+        # Header-only membership: no body decode, so a corrupt-but-
+        # present slot answers True and a freed slot (-1) answers False
+        # without raising.
         try:
-            self._read_image(page_id)
-            return True
-        except KeyError:
+            return self._slot_page_id(page_id) == page_id
+        except OSError:
             return False
+
+    def page_ids(self) -> List[int]:
+        """Live page ids, by scanning slot headers (reload-safe)."""
+        return [pid for pid in range(1, max(self._slot_count(), 1))
+                if self._slot_page_id(pid) == pid]
+
+    def __len__(self) -> int:
+        return len(self.page_ids())
 
     # -- listeners ----------------------------------------------------------
 

@@ -1,0 +1,67 @@
+"""Typed storage exception hierarchy.
+
+The storage stack used to fail with whatever the lowest layer threw —
+bare ``KeyError`` for a missing slot, ``struct.error`` for a truncated
+image, ``json.JSONDecodeError`` for a mangled superblock.  Callers could
+not tell "this page was never written" from "this page was written and
+then damaged", and the difference matters: the first is a programming
+error, the second is the disk lying, and only the second can be
+quarantined or retried.
+
+The hierarchy keeps backward compatibility with the duck types the rest
+of the codebase (and its tests) already handle:
+
+- :class:`PageMissingError` is also a ``KeyError`` — an absent or freed
+  page still fails lookups the dict-like way;
+- :class:`PageCorruptError` is also a ``ValueError`` — a damaged file is
+  still "not a saved GiST" to legacy callers;
+- :class:`TransientIOError` is also an ``OSError`` — a flaky read still
+  looks like the I/O failure it models, but is the *only* storage error
+  the retry machinery (:mod:`repro.storage.retry`) will mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class StorageError(Exception):
+    """Base class for storage-stack failures.
+
+    Carries optional ``path`` and ``page_id`` context so error messages
+    always say *which* file and slot failed.
+    """
+
+    def __init__(self, message: str, *, path: Optional[str] = None,
+                 page_id: Optional[int] = None):
+        self.path = path
+        self.page_id = page_id
+        parts = []
+        if path is not None:
+            parts.append(str(path))
+        if page_id is not None:
+            parts.append(f"page {page_id}")
+        prefix = ": ".join(parts)
+        full = f"{prefix}: {message}" if prefix else message
+        super().__init__(full)
+        self._message = full
+
+    def __str__(self) -> str:  # beat KeyError's repr-style __str__
+        return self._message
+
+
+class PageMissingError(StorageError, KeyError):
+    """The requested page does not exist (never written, freed, or
+    beyond the end of the file)."""
+
+
+class PageCorruptError(StorageError, ValueError):
+    """The page (or superblock) exists but its bytes fail verification:
+    checksum mismatch, impossible header, truncated image, or a slot
+    holding a different page than addressed."""
+
+
+class TransientIOError(StorageError, OSError):
+    """A read or write failed in a way that may succeed on retry
+    (interrupted syscall, injected transient fault).  The only storage
+    error :func:`repro.storage.retry.call_with_retry` masks."""

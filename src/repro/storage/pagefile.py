@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.storage.errors import PageMissingError
+
 AccessListener = Callable[[int, int], None]
 """Called as ``listener(page_id, level)`` on every counted access."""
 
@@ -73,7 +75,7 @@ class MemoryPageFile:
 
     def read(self, page_id: int):
         """Fetch a node, counting the access when accounting is on."""
-        node = self._nodes[page_id]
+        node = self._get(page_id)
         if self.counting:
             self.stats.record_read(node.level)
             for listener in self._listeners:
@@ -82,7 +84,14 @@ class MemoryPageFile:
 
     def peek(self, page_id: int):
         """Fetch a node without counting (maintenance / analysis paths)."""
-        return self._nodes[page_id]
+        return self._get(page_id)
+
+    def _get(self, page_id: int):
+        try:
+            return self._nodes[page_id]
+        except KeyError:
+            raise PageMissingError("no such page",
+                                   page_id=page_id) from None
 
     def write(self, node) -> None:
         self._nodes[node.page_id] = node
@@ -107,3 +116,17 @@ class MemoryPageFile:
 
     def remove_listener(self, listener: AccessListener) -> None:
         self._listeners.remove(listener)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """No-op: an in-memory store has nothing to sync."""
+
+    def close(self) -> None:
+        """No-op: an in-memory store holds no OS resources."""
+
+    def __enter__(self) -> "MemoryPageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,65 @@
+"""Bounded, jittered exponential backoff for transient storage faults.
+
+Only :class:`~repro.storage.errors.TransientIOError` is retried — a
+corrupt page stays corrupt no matter how often it is reread, but an
+interrupted syscall or an injected transient fault deserves another try.
+Delays grow geometrically, are capped, and carry deterministic seeded
+jitter so fault-injection tests reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.storage.errors import TransientIOError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a transient fault."""
+
+    #: total attempts, including the first (1 = no retry).
+    attempts: int = 4
+    #: delay before the first retry, in seconds.
+    base_delay: float = 0.001
+    #: geometric growth factor between retries.
+    multiplier: float = 2.0
+    #: hard cap on any single delay, in seconds.
+    max_delay: float = 0.050
+    #: +/- fraction of the delay drawn as jitter ([0, 1)).
+    jitter: float = 0.25
+    #: seed for the jitter stream (deterministic per call).
+    seed: int = 0
+
+    def delays(self) -> Iterator[float]:
+        """The backoff schedule: ``attempts - 1`` jittered delays."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(max(0, self.attempts - 1)):
+            spread = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            yield min(delay, self.max_delay) * spread
+            delay *= self.multiplier
+
+
+def call_with_retry(fn: Callable, policy: Optional[RetryPolicy],
+                    sleep: Callable[[float], None] = time.sleep):
+    """Call ``fn``, retrying on :class:`TransientIOError` per ``policy``.
+
+    With ``policy=None`` (or a single-attempt policy) the call is made
+    exactly once.  The last failure propagates unchanged once the
+    attempt budget is exhausted.
+    """
+    if policy is None or policy.attempts <= 1:
+        return fn()
+    delays = policy.delays()
+    while True:
+        try:
+            return fn()
+        except TransientIOError:
+            delay = next(delays, None)
+            if delay is None:
+                raise
+            sleep(delay)

@@ -1,0 +1,143 @@
+"""Hostile inputs to load_tree: damage fails loudly, typed, and named."""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_load
+from repro.gist.persist import load_tree, read_superblock, save_tree
+from repro.storage import PageCorruptError, StorageError
+
+from tests.conftest import make_ext
+
+
+@pytest.fixture
+def saved(tmp_path):
+    rng = np.random.default_rng(3)
+    pts = rng.normal(size=(200, 2))
+    tree = bulk_load(make_ext("rtree", 2), pts, page_size=1024)
+    path = str(tmp_path / "tree.gist")
+    save_tree(tree, path)
+    return path
+
+
+def _expect_corrupt(path, match=None):
+    with pytest.raises(StorageError, match=match) as excinfo:
+        load_tree(path=path)
+    assert path in str(excinfo.value)
+    return excinfo.value
+
+
+class TestHostileFiles:
+    def test_zero_length_file(self, tmp_path):
+        path = str(tmp_path / "empty.gist")
+        open(path, "wb").close()
+        _expect_corrupt(path, match="too short")
+
+    def test_truncated_mid_superblock(self, saved):
+        raw = open(saved, "rb").read()
+        open(saved, "wb").write(raw[:10])
+        _expect_corrupt(saved)
+
+    def test_truncated_mid_pages(self, saved):
+        raw = open(saved, "rb").read()
+        open(saved, "wb").write(raw[:len(raw) - 700])
+        _expect_corrupt(saved, match="holds only")
+
+    def test_wrong_magic(self, saved):
+        raw = bytearray(open(saved, "rb").read())
+        (hlen,) = struct.unpack_from("<I", raw, 0)
+        header = json.loads(raw[4:4 + hlen])
+        header["magic"] = "someone-elses-format"
+        _rewrite_header(saved, raw, header)
+        _expect_corrupt(saved, match="bad magic")
+
+    def test_not_json(self, saved):
+        raw = bytearray(open(saved, "rb").read())
+        raw[4:8] = b"\xff\xfe\xfd\xfc"
+        open(saved, "wb").write(bytes(raw))
+        _expect_corrupt(saved)
+
+    def test_bad_dim(self, saved):
+        self._poison_field(saved, "dim", 0)
+
+    def test_bad_page_size(self, saved):
+        self._poison_field(saved, "page_size", 16)
+
+    def test_negative_num_nodes(self, saved):
+        self._poison_field(saved, "num_nodes", -3)
+
+    def test_num_nodes_beyond_file(self, saved):
+        self._poison_field(saved, "num_nodes", 10_000, match="holds only")
+
+    def test_root_slot_beyond_num_nodes(self, saved):
+        self._poison_field(saved, "root_slot", 9_999, match="root_slot")
+
+    def test_superblock_bit_flip(self, saved):
+        raw = bytearray(open(saved, "rb").read())
+        raw[40] ^= 0x20          # inside the JSON header text
+        open(saved, "wb").write(bytes(raw))
+        _expect_corrupt(saved)
+
+    def test_node_page_bit_flip(self, saved):
+        raw = bytearray(open(saved, "rb").read())
+        raw[1024 + 200] ^= 0x01  # body of the first node slot
+        open(saved, "wb").write(bytes(raw))
+        _expect_corrupt(saved, match="checksum mismatch")
+
+    def test_random_garbage(self, tmp_path):
+        path = str(tmp_path / "garbage.gist")
+        rng = np.random.default_rng(9)
+        open(path, "wb").write(rng.integers(0, 256, 4096,
+                                            dtype=np.uint8).tobytes())
+        err = _expect_corrupt(path)
+        assert isinstance(err, PageCorruptError)
+
+    def test_errors_keep_valueerror_compat(self, tmp_path):
+        """Pre-existing callers catch ValueError; they still can."""
+        path = str(tmp_path / "junk.gist")
+        open(path, "wb").write(b"\x00" * 64)
+        with pytest.raises(ValueError, match="not a saved GiST"):
+            load_tree(path=path)
+
+    @staticmethod
+    def _poison_field(path, key, value, match=None):
+        raw = bytearray(open(path, "rb").read())
+        (hlen,) = struct.unpack_from("<I", raw, 0)
+        header = json.loads(raw[4:4 + hlen])
+        header[key] = value
+        _rewrite_header(path, raw, header)
+        _expect_corrupt(path, match=match or key)
+
+
+class TestSuperblockReader:
+    def test_good_superblock_parses(self, saved):
+        raw = open(saved, "rb").read()
+        header = read_superblock(raw, saved)
+        assert header["magic"] == "repro-gist-v1"
+        assert header["extension"] == "rtree"
+        assert header["num_nodes"] > 0
+
+    def test_legacy_zero_trailer_accepted(self, saved):
+        """Files written before checksums (all-zero trailer) still load."""
+        raw = bytearray(open(saved, "rb").read())
+        header = read_superblock(bytes(raw), saved)
+        page_size = header["page_size"]
+        raw[page_size - 8:page_size] = b"\x00" * 8
+        assert read_superblock(bytes(raw), saved) == header
+
+
+def _rewrite_header(path, raw, header):
+    """Re-embed a modified JSON header, resealing the trailer so only
+    the targeted field — not the checksum — trips validation."""
+    from repro.storage.integrity import crc32c
+
+    blob = json.dumps(header).encode()
+    (hlen,) = struct.unpack_from("<I", raw, 0)
+    page_size = json.loads(raw[4:4 + hlen]).get("page_size", 1024)
+    page0 = struct.pack("<I", len(blob)) + blob
+    page0 += b"\x00" * (page_size - 8 - len(page0))
+    page0 += struct.pack("<II", crc32c(page0), 1)
+    open(path, "wb").write(page0 + bytes(raw[page_size:]))

@@ -105,3 +105,28 @@ class TestStructuredOutput:
         rows = list(csvmod.DictReader(
             io.StringIO(capsys.readouterr().out)))
         assert {r["method"] for r in rows} == {"rtree", "xjb"}
+
+
+class TestFsck:
+    def test_clean_index_exits_zero(self, index_file, capsys):
+        assert main(["fsck", index_file]) == 0
+        out = capsys.readouterr().out
+        assert "superblock   : ok" in out
+        assert "verdict      : clean" in out
+
+    def test_damaged_index_exits_one_naming_the_slot(self, index_file,
+                                                     tmp_path, capsys):
+        path = str(tmp_path / "damaged.gist")
+        raw = bytearray(open(index_file, "rb").read())
+        raw[2 * 4096 + 77] ^= 0x10       # one bit, body of slot 2
+        open(path, "wb").write(bytes(raw))
+        assert main(["fsck", path]) == 1
+        out = capsys.readouterr().out
+        assert "slot 2: CORRUPT" in out
+        assert "verdict      : DAMAGED" in out
+
+    def test_garbage_file_exits_one(self, tmp_path, capsys):
+        path = str(tmp_path / "junk.gist")
+        open(path, "wb").write(b"not an index at all")
+        assert main(["fsck", path]) == 1
+        assert "CORRUPT" in capsys.readouterr().out

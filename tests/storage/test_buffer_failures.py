@@ -1,0 +1,109 @@
+"""BufferPool under failure: eviction, coherence, and flag restoration."""
+
+import pytest
+
+from repro.gist.node import Node
+from repro.storage import BufferPool, MemoryPageFile, TransientIOError
+from repro.storage.faults import FaultPolicy, FaultyPageFile
+
+
+def _store_with(n):
+    store = MemoryPageFile()
+    nodes = []
+    for _ in range(n):
+        node = Node(store.allocate(), 0)
+        store.write(node)
+        nodes.append(node)
+    return store, nodes
+
+
+class TestReadFailure:
+    def test_failed_read_caches_nothing(self):
+        store, nodes = _store_with(1)
+        faulty = FaultyPageFile(store)
+        pool = BufferPool(faulty, capacity_pages=2, retry=None)
+        faulty.fail_next_reads(nodes[0].page_id, 1)
+        with pytest.raises(TransientIOError):
+            pool.read(nodes[0].page_id)
+        assert len(pool._frames) == 0
+        # The next read is a miss, not a hit on a ghost frame.
+        pool.read(nodes[0].page_id)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 0
+
+    def test_eviction_order_survives_mid_read_exception(self):
+        store, nodes = _store_with(3)
+        faulty = FaultyPageFile(store)
+        pool = BufferPool(faulty, capacity_pages=2, retry=None)
+        a, b, c = (n.page_id for n in nodes)
+        pool.read(a)
+        pool.read(b)                      # LRU order: a, b
+        faulty.fail_next_reads(c, 1)
+        with pytest.raises(TransientIOError):
+            pool.read(c)                  # fails: must not evict a
+        assert list(pool._frames) == [a, b]
+        pool.read(a)                      # still a hit
+        assert pool.stats.hits == 1
+        pool.read(c)                      # now succeeds, evicts b
+        assert list(pool._frames) == [a, c]
+
+
+class TestWriteFailure:
+    def test_failed_write_through_drops_the_frame(self):
+        store, nodes = _store_with(1)
+
+        class ExplodingStore:
+            def __init__(self, inner):
+                self.inner = inner
+                self.explode = False
+
+            def write(self, node):
+                if self.explode:
+                    raise OSError("disk full")
+                self.inner.write(node)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        exploding = ExplodingStore(store)
+        pool = BufferPool(exploding, capacity_pages=2, retry=None)
+        pool.read(nodes[0].page_id)
+        assert nodes[0].page_id in pool._frames
+
+        exploding.explode = True
+        replacement = Node(nodes[0].page_id, 0)
+        with pytest.raises(OSError):
+            pool.write(replacement)
+        # The frame must not serve the version the disk never accepted.
+        assert nodes[0].page_id not in pool._frames
+        assert pool.read(nodes[0].page_id) is nodes[0]
+
+    def test_successful_write_still_updates_frame(self):
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2, retry=None)
+        pool.read(nodes[0].page_id)
+        replacement = Node(nodes[0].page_id, 0)
+        pool.write(replacement)
+        assert pool.read(nodes[0].page_id) is replacement
+
+
+class TestPinPages:
+    def test_pin_pages_restores_counting_on_failure(self):
+        store, nodes = _store_with(2)
+        faulty = FaultyPageFile(store)
+        pool = BufferPool(faulty, capacity_pages=4, retry=None)
+        assert pool.counting is True
+        faulty.fail_next_reads(nodes[1].page_id, 1)
+        with pytest.raises(TransientIOError):
+            pool.pin_pages([n.page_id for n in nodes])
+        assert pool.counting is True      # flag restored despite the raise
+
+    def test_pin_pages_restores_prior_false(self):
+        store, nodes = _store_with(1)
+        faulty = FaultyPageFile(store)
+        pool = BufferPool(faulty, capacity_pages=4, retry=None)
+        pool.counting = False
+        faulty.fail_next_reads(nodes[0].page_id, 1)
+        with pytest.raises(TransientIOError):
+            pool.pin_pages([nodes[0].page_id])
+        assert pool.counting is False

@@ -1,0 +1,149 @@
+"""FilePageFile hardening: typed errors, retries, header-only membership."""
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro.ams import RTreeExtension
+from repro.gist.node import Node
+from repro.storage import (PageCorruptError, PageMissingError, RetryPolicy,
+                           StorageError, TransientIOError)
+from repro.storage.diskfile import FilePageFile
+from repro.storage.faults import FaultyPageFile
+
+
+def _store(tmp_path, n=3, **kwargs):
+    ext = RTreeExtension(2)
+    store = FilePageFile.for_extension(str(tmp_path / "pages.bin"), ext,
+                                       page_size=1024, **kwargs)
+    nodes = []
+    for _ in range(n):
+        node = Node(store.allocate(), 0)
+        store.write(node)
+        nodes.append(node)
+    return store, nodes
+
+
+class TestMembership:
+    def test_freed_slot_answers_false_without_raising(self, tmp_path):
+        store, nodes = _store(tmp_path)
+        store.free(nodes[1].page_id)
+        assert nodes[1].page_id not in store
+        assert nodes[0].page_id in store
+        assert nodes[2].page_id in store
+
+    def test_corrupt_but_present_slot_answers_true(self, tmp_path):
+        store, nodes = _store(tmp_path)
+        FaultyPageFile(store).corrupt_page(nodes[0].page_id, bit=400 * 8)
+        assert nodes[0].page_id in store      # header intact, body corrupt
+        with pytest.raises(PageCorruptError):
+            store.read(nodes[0].page_id)
+
+    def test_out_of_range_ids_answer_false(self, tmp_path):
+        store, nodes = _store(tmp_path)
+        assert 0 not in store
+        assert -1 not in store
+        assert 999 not in store
+
+    def test_page_ids_skip_freed_slots(self, tmp_path):
+        store, nodes = _store(tmp_path)
+        store.free(nodes[1].page_id)
+        live = [n.page_id for i, n in enumerate(nodes) if i != 1]
+        assert sorted(store.page_ids()) == sorted(live)
+        assert len(store) == 2
+
+
+class TestTypedErrors:
+    def test_missing_page_is_keyerror_compatible(self, tmp_path):
+        store, _ = _store(tmp_path)
+        with pytest.raises(PageMissingError) as excinfo:
+            store.read(999)
+        assert isinstance(excinfo.value, KeyError)
+        assert isinstance(excinfo.value, StorageError)
+        assert "999" in str(excinfo.value)
+        assert "pages.bin" in str(excinfo.value)
+
+    def test_freed_slot_read_is_typed(self, tmp_path):
+        store, nodes = _store(tmp_path)
+        store.free(nodes[0].page_id)
+        with pytest.raises(PageMissingError, match="freed"):
+            store.read(nodes[0].page_id)
+
+    def test_corruption_is_valueerror_compatible(self, tmp_path):
+        store, nodes = _store(tmp_path)
+        FaultyPageFile(store).corrupt_page(nodes[0].page_id, bit=400 * 8)
+        with pytest.raises(ValueError):
+            store.read(nodes[0].page_id)
+
+    def test_reopened_file_sees_same_pages(self, tmp_path):
+        store, nodes = _store(tmp_path)
+        store.free(nodes[2].page_id)
+        store.close()
+        ext = RTreeExtension(2)
+        reopened = FilePageFile.for_extension(str(tmp_path / "pages.bin"),
+                                              ext, page_size=1024)
+        assert sorted(reopened.page_ids()) == sorted(
+            n.page_id for n in nodes[:2])
+        assert reopened.read(nodes[0].page_id).page_id == nodes[0].page_id
+
+
+class _FlakyFile:
+    """A file object whose reads raise EINTR a set number of times."""
+
+    def __init__(self, inner, failures):
+        self.inner = inner
+        self.failures = failures
+        self.attempts = 0
+
+    def read(self, *args):
+        self.attempts += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise OSError(errno.EINTR, "interrupted system call")
+        return self.inner.read(*args)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestRetry:
+    def test_eintr_is_retried_and_masked(self, tmp_path):
+        sleeps = []
+        store, nodes = _store(tmp_path,
+                              retry=RetryPolicy(attempts=4, seed=2),
+                              sleep=sleeps.append)
+        store._file = _FlakyFile(store._file, failures=2)
+        node = store.read(nodes[0].page_id)
+        assert node.page_id == nodes[0].page_id
+        assert len(sleeps) == 2
+
+    def test_eintr_beyond_budget_escapes_typed(self, tmp_path):
+        store, nodes = _store(tmp_path, retry=RetryPolicy(attempts=2),
+                              sleep=lambda s: None)
+        store._file = _FlakyFile(store._file, failures=10)
+        with pytest.raises(TransientIOError) as excinfo:
+            store.read(nodes[0].page_id)
+        assert isinstance(excinfo.value, OSError)
+        assert store._file.attempts == 2
+
+    def test_hard_oserror_is_not_retried(self, tmp_path):
+        store, nodes = _store(tmp_path, retry=RetryPolicy(attempts=5),
+                              sleep=lambda s: None)
+
+        class BrokenFile(_FlakyFile):
+            def read(self, *args):
+                self.attempts += 1
+                raise OSError(errno.EIO, "I/O error")
+
+        store._file = BrokenFile(store._file, failures=0)
+        with pytest.raises(OSError) as excinfo:
+            store.read(nodes[0].page_id)
+        assert not isinstance(excinfo.value, TransientIOError)
+        assert store._file.attempts == 1      # no retry for hard faults
+
+    def test_retry_none_disables_backoff(self, tmp_path):
+        store, nodes = _store(tmp_path, retry=None)
+        store._file = _FlakyFile(store._file, failures=1)
+        with pytest.raises(TransientIOError):
+            store.read(nodes[0].page_id)

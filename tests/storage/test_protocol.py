@@ -1,0 +1,64 @@
+"""PageFileProtocol: every store speaks the same interface."""
+
+import numpy as np
+import pytest
+
+from repro.ams import RTreeExtension
+from repro.gist.node import Node
+from repro.storage import (BufferPool, FilePageFile, MemoryPageFile,
+                           PageFileProtocol, PageMissingError)
+from repro.storage.faults import FaultyPageFile
+
+
+def _stores(tmp_path):
+    ext = RTreeExtension(2)
+    mem = MemoryPageFile()
+    disk = FilePageFile.for_extension(str(tmp_path / "p.bin"), ext,
+                                      page_size=1024)
+    pool = BufferPool(
+        FilePageFile.for_extension(str(tmp_path / "q.bin"), ext,
+                                   page_size=1024),
+        capacity_pages=4)
+    faulty = FaultyPageFile(MemoryPageFile())
+    return {"memory": mem, "disk": disk, "pool": pool, "faulty": faulty}
+
+
+class TestProtocol:
+    def test_all_stores_satisfy_protocol(self, tmp_path):
+        for name, store in _stores(tmp_path).items():
+            assert isinstance(store, PageFileProtocol), name
+
+    def test_stores_are_interchangeable(self, tmp_path):
+        """One script, four backends, identical observable behavior."""
+        for name, store in _stores(tmp_path).items():
+            with store:
+                a = store.allocate()
+                b = store.allocate()
+                store.write(Node(a, 0))
+                store.write(Node(b, 1))
+                assert a in store and b in store
+                assert store.read(a).level == 0
+                assert store.peek(b).level == 1
+                assert sorted(store.page_ids()) == [a, b], name
+                assert len(store) == 2, name
+                store.reserve(10)
+                assert store.allocate() == 11, name
+                store.free(b)
+                assert b not in store, name
+                with pytest.raises(KeyError):
+                    store.read(b)
+                with pytest.raises(PageMissingError):
+                    store.read(b)
+                store.flush()
+
+    def test_counting_and_listeners_shared(self, tmp_path):
+        events = []
+        for name, store in _stores(tmp_path).items():
+            a = store.allocate()
+            store.write(Node(a, 0))
+            store.add_listener(
+                lambda pid, level, evs=events: evs.append(pid))
+            store.read(a)
+            store.counting = False
+            assert store.counting is False, name
+        assert len(events) == len(_stores(tmp_path))

@@ -1,0 +1,88 @@
+"""Degraded-mode execution: workloads finish on damaged storage."""
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_load
+from repro.storage import FilePageFile, PageCorruptError
+from repro.storage.faults import FaultyPageFile
+from repro.workload import make_workload, run_workload
+
+from tests.conftest import make_ext
+
+
+@pytest.fixture
+def disk_tree(tmp_path):
+    """A small tree living on a real FilePageFile."""
+    rng = np.random.default_rng(21)
+    vectors = rng.normal(size=(400, 3))
+    ext = make_ext("rtree", 3)
+    store = FilePageFile.for_extension(str(tmp_path / "tree.pages"), ext,
+                                       page_size=2048)
+    tree = bulk_load(ext, vectors, page_size=2048, store=store)
+    return tree, vectors
+
+
+def _a_leaf_page(tree):
+    for node in tree.iter_nodes():
+        if node.is_leaf:
+            return node.page_id
+    raise AssertionError("no leaves?")
+
+
+class TestQuarantine:
+    def test_strict_mode_raises_on_corrupt_page(self, disk_tree):
+        tree, vectors = disk_tree
+        FaultyPageFile(tree.store).corrupt_page(_a_leaf_page(tree),
+                                                bit=500 * 8)
+        wl = make_workload(vectors, 20, k=10, seed=5)
+        with pytest.raises(PageCorruptError):
+            run_workload(tree, wl, vectors)
+
+    def test_quarantined_workload_completes_and_reports(self, disk_tree):
+        """The acceptance scenario: damage is pruned, not fatal."""
+        tree, vectors = disk_tree
+        victim = _a_leaf_page(tree)
+        FaultyPageFile(tree.store).corrupt_page(victim, bit=500 * 8)
+        wl = make_workload(vectors, 20, k=10, seed=5)
+
+        result = run_workload(tree, wl, vectors, quarantine=True)
+
+        assert result.is_degraded
+        report = result.degradation
+        assert report.pages_quarantined == 1
+        assert victim in report.pages
+        assert report.pages[victim].level == 0
+        assert report.estimated_candidates_lost > 0
+        # Losing one leaf dents recall but cannot zero it.
+        assert 0.5 < report.recall < 1.0
+        assert "quarantined" in report.summary()
+        # I/O accounting still ran for the surviving pages.
+        assert result.leaf_ios_per_query > 0
+
+    def test_clean_tree_quarantine_reports_full_recall(self, disk_tree):
+        tree, vectors = disk_tree
+        wl = make_workload(vectors, 10, k=10, seed=6)
+        result = run_workload(tree, wl, vectors, quarantine=True)
+        assert not result.is_degraded
+        assert result.degradation.pages_quarantined == 0
+        assert result.degradation.recall == pytest.approx(1.0)
+
+    def test_quarantine_is_idempotent_per_page(self, disk_tree):
+        tree, vectors = disk_tree
+        victim = _a_leaf_page(tree)
+        FaultyPageFile(tree.store).corrupt_page(victim, bit=500 * 8)
+        report = tree.enable_quarantine()
+        for q in np.random.default_rng(0).normal(size=(15, 3)):
+            tree.knn(q, k=5)
+        assert report.pages_quarantined == 1   # recorded once, hit often
+
+    def test_undamaged_queries_unchanged_by_quarantine(self, disk_tree):
+        """Quarantine mode must not change results on healthy storage."""
+        tree, vectors = disk_tree
+        q = vectors[7]
+        strict = [rid for _, rid in tree.knn(q, k=10)]
+        tree.enable_quarantine()
+        degraded = [rid for _, rid in tree.knn(q, k=10)]
+        tree.disable_quarantine()
+        assert strict == degraded
