@@ -1,0 +1,31 @@
+"""Batched query engine throughput and parity (perf smoke).
+
+Runs the same k-NN workload through the sequential runner and the
+batched engine over disk-backed rtree and XJB indexes, records the
+throughput comparison in ``benchmarks/results/BENCH_batch_knn.json``,
+and *fails* if the batched engine's results or per-query access lists
+diverge from the sequential ones by a single bit.  Speedup is recorded,
+not asserted — wall-clock on shared CI machines is advice, parity is a
+contract.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, emit
+
+from repro.workload.bench import format_bench, run_bench
+
+
+def test_batch_knn_throughput_and_parity(profile):
+    result = run_bench(num_blobs=profile.num_blobs,
+                       num_queries=profile.num_queries,
+                       k=profile.neighbors,
+                       page_size=profile.page_size,
+                       batch=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_batch_knn.json").write_text(
+        json.dumps(result, indent=2) + "\n")
+    emit("batch knn throughput", format_bench(result))
+    assert result["parity_ok"], "\n".join(
+        problem for row in result["methods"]
+        for problem in row.get("mismatches", []))

@@ -19,7 +19,8 @@ optimal_clustering` computes the idealized placement;
 :class:`~repro.amdb.metrics.LossReport`.
 """
 
-from repro.amdb.profiler import QueryTrace, WorkloadProfile, profile_workload
+from repro.amdb.profiler import (QueryTrace, WorkloadProfile,
+                                 profile_workload, profile_workload_batched)
 from repro.amdb.partition import optimal_clustering, Clustering
 from repro.amdb.metrics import LossReport, compute_losses
 from repro.amdb.report import format_loss_table, format_comparison
@@ -33,6 +34,7 @@ __all__ = [
     "QueryTrace",
     "WorkloadProfile",
     "profile_workload",
+    "profile_workload_batched",
     "optimal_clustering",
     "Clustering",
     "LossReport",

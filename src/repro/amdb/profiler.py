@@ -8,7 +8,7 @@ reads are uncounted by design; see :mod:`repro.gist.tree`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -121,6 +121,62 @@ def profile_workload(tree, queries: Sequence[np.ndarray],
     finally:
         tree.store.remove_listener(listener)
 
+    return WorkloadProfile(tree_name=tree.ext.name, k=k, traces=traces,
+                           **_tree_facts(tree))
+
+
+def profile_workload_batched(tree, queries: Sequence[np.ndarray], k: int,
+                             block_size: Optional[int] = None,
+                             ) -> WorkloadProfile:
+    """Like :func:`profile_workload`, through the batched engine.
+
+    Runs the whole workload via
+    :func:`~repro.gist.batch.knn_search_batch` and attributes accesses
+    with its ``on_access`` callback rather than a store listener — a
+    listener cannot tell interleaved queries apart, the callback carries
+    the owning query id.  The resulting profile is identical, trace for
+    trace, to the sequential one: same results, same access lists in the
+    same per-query order.
+    """
+    traces = trace_queries_batched(tree, queries, k, block_size=block_size)
+    return WorkloadProfile(tree_name=tree.ext.name, k=k, traces=traces,
+                           **_tree_facts(tree))
+
+
+def trace_queries_batched(tree, queries: Sequence[np.ndarray], k: int,
+                          block_size: Optional[int] = None,
+                          qid0: int = 0) -> List[QueryTrace]:
+    """Per-query traces for ``queries`` via the batched engine.
+
+    The tree-facts-free core of :func:`profile_workload_batched`;
+    ``qid0`` offsets the trace qids so parallel workers profiling
+    contiguous shards of one workload produce globally numbered traces.
+    """
+    from repro.gist.batch import knn_search_batch
+
+    if len(queries) == 0:
+        return []
+    qarr = np.asarray(queries, dtype=np.float64)
+    traces = [QueryTrace(qid=qid0 + i, query=qarr[i])
+              for i in range(len(qarr))]
+
+    def on_access(qid: int, page_id: int, level: int) -> None:
+        trace = traces[qid]
+        if level == 0:
+            trace.leaf_accesses.append(page_id)
+        else:
+            trace.inner_accesses.append(page_id)
+
+    results = knn_search_batch(tree, qarr, k, block_size=block_size,
+                               on_access=on_access)
+    for trace, result in zip(traces, results):
+        trace.results = result
+    return traces
+
+
+def _tree_facts(tree) -> Dict:
+    """The tree-shape fields of :class:`WorkloadProfile`, by one
+    uncounted walk (shared by the sequential and batched profilers)."""
     rid_to_leaf: Dict[int, int] = {}
     leaf_utilization: Dict[int, float] = {}
     leaf_sizes: Dict[int, int] = {}
@@ -135,10 +191,7 @@ def profile_workload(tree, queries: Sequence[np.ndarray],
         else:
             num_inner += 1
 
-    return WorkloadProfile(
-        tree_name=tree.ext.name,
-        k=k,
-        traces=traces,
+    return dict(
         rid_to_leaf=rid_to_leaf,
         leaf_utilization=leaf_utilization,
         parents=tree.parent_map(),

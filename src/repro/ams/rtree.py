@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.ams.splits import quadratic_split
 from repro.geometry import Rect
-from repro.geometry.rect import min_dists_to_rects
+from repro.geometry.rect import min_dists_to_rects, min_dists_to_rects_multi
 from repro.gist.entry import LeafEntry
 from repro.gist.extension import GiSTExtension
 from repro.gist.node import Node
@@ -65,14 +65,13 @@ class RTreeExtension(GiSTExtension):
         # Tie-break by resulting volume, as Guttman prescribes.
         return growth + 1e-9 * enlarged.volume()
 
+    def node_bounds(self, node: Node) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked footprint ``lo``/``hi`` matrices, memoized on the node."""
+        return node.cached("rect_bounds", lambda: _stack_bounds(
+            self.footprints(node.preds())))
+
     def penalties_node(self, node: Node, q: np.ndarray) -> np.ndarray:
-        bounds = node.cache.get("rect_bounds")
-        if bounds is None:
-            rects = self.footprints(node.preds())
-            bounds = (np.stack([r.lo for r in rects]),
-                      np.stack([r.hi for r in rects]))
-            node.cache["rect_bounds"] = bounds
-        lo, hi = bounds
+        lo, hi = self.node_bounds(node)
         grown_lo = np.minimum(lo, q)
         grown_hi = np.maximum(hi, q)
         grown = np.prod(grown_hi - grown_lo, axis=1)
@@ -94,15 +93,18 @@ class RTreeExtension(GiSTExtension):
         return self.footprint(pred).min_dist(q)
 
     def min_dists_node(self, node: Node, q: np.ndarray) -> np.ndarray:
-        bounds = node.cache.get("rect_bounds")
-        if bounds is None:
-            rects = self.footprints(node.preds())
-            bounds = (np.stack([r.lo for r in rects]),
-                      np.stack([r.hi for r in rects]))
-            node.cache["rect_bounds"] = bounds
-        return min_dists_to_rects(q, *bounds)
+        return min_dists_to_rects(q, *self.node_bounds(node))
+
+    def min_dists_node_multi(self, node: Node,
+                             queries: np.ndarray) -> np.ndarray:
+        return min_dists_to_rects_multi(queries, *self.node_bounds(node))
 
     # -- storage --------------------------------------------------------------------
 
     def pred_codec(self) -> RectCodec:
         return RectCodec(self.dim)
+
+
+def _stack_bounds(rects: Sequence[Rect]) -> Tuple[np.ndarray, np.ndarray]:
+    return (np.stack([r.lo for r in rects]),
+            np.stack([r.hi for r in rects]))

@@ -110,6 +110,28 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.workload.bench import format_bench, run_bench
+
+    result = run_bench(num_blobs=args.blobs, num_queries=args.queries,
+                       k=args.k, methods=args.methods, dims=args.dims,
+                       page_size=args.page_size, batch=args.batch,
+                       workers=args.workers, block_size=args.block_size,
+                       seed=args.seed)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+    print(format_bench(result))
+    if args.batch and not result["parity_ok"]:
+        print("PARITY MISMATCH: batched engine diverged from "
+              "sequential results", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_recall(args) -> int:
     from repro.blobworld import load_corpus
     from repro.workload import recall_curve
@@ -206,6 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", action="store_true",
                    help="emit results as CSV")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "bench", help="sequential vs batched query throughput")
+    p.add_argument("--methods", nargs="+", default=["rtree", "xjb"],
+                   choices=["rtree", "rstar", "sstree", "srtree",
+                            "amap", "xjb", "jb"])
+    p.add_argument("--blobs", type=int, default=20_000)
+    p.add_argument("--queries", type=int, default=2_000)
+    p.add_argument("--k", type=int, default=NEIGHBORS_PER_QUERY)
+    p.add_argument("--dims", type=int, default=INDEX_DIMENSIONS)
+    p.add_argument("--page-size", type=int, default=DEFAULT_PAGE_SIZE)
+    p.add_argument("--batch", action="store_true",
+                   help="also run the batched engine and verify parity")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the batched run")
+    p.add_argument("--block-size", type=int, default=None,
+                   help="queries per shared traversal block")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the result dict as JSON")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("recall", help="Figure 6 recall grid")
     p.add_argument("corpus")

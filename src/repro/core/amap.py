@@ -20,7 +20,7 @@ import numpy as np
 from repro.constants import AMAP_SAMPLES
 from repro.ams.rtree import RTreeExtension
 from repro.geometry import Rect
-from repro.geometry.rect import min_dists_to_rects
+from repro.geometry.rect import min_dists_to_rects, min_dists_to_rects_multi
 from repro.gist.node import Node
 from repro.storage.codecs import DualRectCodec
 
@@ -168,18 +168,25 @@ class AMapExtension(RTreeExtension):
     def min_dist(self, pred: MapPred, q: np.ndarray) -> float:
         return pred.min_dist(q)
 
-    def min_dists_node(self, node: Node, q: np.ndarray) -> np.ndarray:
-        bounds = node.cache.get("amap_bounds")
-        if bounds is None:
+    def _dual_bounds(self, node: Node):
+        def build():
             preds = node.preds()
-            bounds = (np.stack([p.r1.lo for p in preds]),
-                      np.stack([p.r1.hi for p in preds]),
-                      np.stack([p.r2.lo for p in preds]),
-                      np.stack([p.r2.hi for p in preds]))
-            node.cache["amap_bounds"] = bounds
-        lo1, hi1, lo2, hi2 = bounds
+            return (np.stack([p.r1.lo for p in preds]),
+                    np.stack([p.r1.hi for p in preds]),
+                    np.stack([p.r2.lo for p in preds]),
+                    np.stack([p.r2.hi for p in preds]))
+        return node.cached("amap_bounds", build)
+
+    def min_dists_node(self, node: Node, q: np.ndarray) -> np.ndarray:
+        lo1, hi1, lo2, hi2 = self._dual_bounds(node)
         return np.minimum(min_dists_to_rects(q, lo1, hi1),
                           min_dists_to_rects(q, lo2, hi2))
+
+    def min_dists_node_multi(self, node: Node,
+                             queries: np.ndarray) -> np.ndarray:
+        lo1, hi1, lo2, hi2 = self._dual_bounds(node)
+        return np.minimum(min_dists_to_rects_multi(queries, lo1, hi1),
+                          min_dists_to_rects_multi(queries, lo2, hi2))
 
     # -- storage --------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ live in :mod:`repro.ams` (traditional) and :mod:`repro.core` (the paper's
 custom designs).
 """
 
+from repro.gist.batch import knn_search_batch
 from repro.gist.degrade import DegradationReport, QuarantinedPage
 from repro.gist.entry import IndexEntry, LeafEntry
 from repro.gist.node import Node
@@ -27,6 +28,7 @@ __all__ = [
     "Node",
     "GiSTExtension",
     "GiST",
+    "knn_search_batch",
     "validate_tree",
     "scrub_file",
     "ScrubReport",

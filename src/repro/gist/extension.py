@@ -103,12 +103,38 @@ class GiSTExtension:
         """
         return np.array([self.min_dist(p, q) for p in node.preds()])
 
+    def min_dists_node_multi(self, node: Node,
+                             queries: np.ndarray) -> np.ndarray:
+        """:meth:`min_dists_node` for a ``(q, dim)`` query block.
+
+        Returns a ``(q, n)`` matrix whose rows must be bit-identical to
+        per-query :meth:`min_dists_node` calls — the batch engine's
+        exactness guarantee depends on it.  The default evaluates row by
+        row; extensions with stacked geometry caches override this with
+        a single kernel.
+        """
+        return np.stack([self.min_dists_node(node, q) for q in queries])
+
     #: whether :meth:`refine_dist` tightens :meth:`min_dists_node` bounds
     has_refinement: bool = False
 
     def refine_dist(self, pred, q: np.ndarray, lower_bound: float) -> float:
         """Tighter lower bound, evaluated lazily at queue-pop time."""
         return lower_bound
+
+    def refine_dists_node(self, node: Node, queries: np.ndarray,
+                          dists: np.ndarray) -> np.ndarray:
+        """Vectorized refinement screen over ``queries × entries``.
+
+        ``dists`` is the ``(q, n)`` cheap-bound matrix from
+        :meth:`min_dists_node_multi`.  Returns a same-shaped matrix of
+        refined bounds; a NaN cell means "not screened — call
+        :meth:`refine_dist` for this pair when (and if) it reaches the
+        queue front".  Cells that are *not* NaN must be bit-identical to
+        what the scalar :meth:`refine_dist` would return.  The default
+        screens nothing.
+        """
+        return np.full(dists.shape, np.nan)
 
     def routing_point(self, pred) -> np.ndarray:
         """A representative point for routing an orphaned subtree's entry

@@ -16,13 +16,26 @@ once and re-queued if the tighter bound no longer wins.  A node is read
 else outstanding — exactly the set of nodes an eager tight-bound search
 would read, so the access counts the profiler sees reflect the tight
 predicate.
+
+Candidate pruning
+-----------------
+The search tracks the k-th smallest *point* distance seen so far (the
+provisional answer radius ``tau``).  Entries whose lower bound reaches
+``tau`` are never enqueued, and refined entries whose tight bound
+reaches ``tau`` are dropped instead of re-queued.  This is invisible to
+the search's observable behaviour: every pruned item ranks behind at
+least k already-enqueued point candidates (all with smaller tie-break
+counters), so it could never surface before the k-th result pops — the
+results, the node reads, and even the heap-front values the refinement
+test sees are all unchanged (see DESIGN.md, "Batched query engine", for
+the argument).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +62,9 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
     heap = [(0.0, next(counter), _NODE,
              (None, tree.root_id, tree.height - 1), True)]
     results: List[Tuple[float, int]] = []
+    # Provisional k-th candidate distance; None until k points are known.
+    topk = np.empty(0, dtype=np.float64)
+    tau: Optional[float] = None
 
     while heap and len(results) < k:
         dist, _, kind, payload, refined = heapq.heappop(heap)
@@ -60,6 +76,8 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
         pred, page_id, level = payload
         if not refined and ext.has_refinement and pred is not None:
             tight = ext.refine_dist(pred, query, dist)
+            if tau is not None and tight >= tau:
+                continue
             if heap and tight > heap[0][0]:
                 heapq.heappush(
                     heap, (tight, next(counter), _NODE, payload, True))
@@ -73,16 +91,42 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
                 continue
             keys = node.keys_array()
             dists = np.sqrt(((keys - query) ** 2).sum(axis=1))
-            for entry, d in zip(node.entries, dists):
+            kept = np.nonzero(dists < tau)[0] if tau is not None \
+                else range(len(dists))
+            entries = node.entries
+            for i in kept:
                 heapq.heappush(
-                    heap, (float(d), next(counter), _POINT, entry.rid, True))
+                    heap, (float(dists[i]), next(counter), _POINT,
+                           entries[i].rid, True))
+            tau, topk = _update_tau(topk, dists[kept] if tau is not None
+                                    else dists, k)
         else:
             dists = ext.min_dists_node(node, query)
             lazy = ext.has_refinement
-            for entry, d in zip(node.entries, dists):
+            kept = np.nonzero(dists < tau)[0] if tau is not None \
+                else range(len(dists))
+            entries = node.entries
+            child_level = node.level - 1
+            for i in kept:
                 heapq.heappush(
-                    heap, (float(d), next(counter), _NODE,
-                           (entry.pred, entry.child, node.level - 1),
+                    heap, (float(dists[i]), next(counter), _NODE,
+                           (entries[i].pred, entries[i].child, child_level),
                            not lazy))
 
     return results
+
+
+def _update_tau(topk: np.ndarray, dists: np.ndarray,
+                k: int) -> Tuple[Optional[float], np.ndarray]:
+    """Fold freshly seen point distances into the running k smallest.
+
+    Returns the new provisional k-th distance (None while fewer than
+    ``k`` candidates have been seen) and the updated sorted array.  The
+    batch engine performs the identical update so both searches prune
+    with the same thresholds at the same moments.
+    """
+    if len(dists):
+        topk = np.sort(np.concatenate((topk, dists)))[:k]
+    if len(topk) == k:
+        return float(topk[-1]), topk
+    return None, topk

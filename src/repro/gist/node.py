@@ -54,6 +54,20 @@ class Node:
 
     # -- cached views -----------------------------------------------------------
 
+    def cached(self, key: str, build):
+        """Memoize ``build()`` under ``key`` until the node mutates.
+
+        Extensions use this to keep stacked geometry arrays (MBR
+        ``lo``/``hi`` matrices, bite packs) alongside the decoded node,
+        so repeated distance evaluations — one per query in a batch —
+        are matrix operations instead of per-entry Python loops.
+        """
+        value = self.cache.get(key)
+        if value is None:
+            value = build()
+            self.cache[key] = value
+        return value
+
     def keys_array(self) -> np.ndarray:
         """Stacked ``(n, dim)`` array of leaf keys (leaf nodes only)."""
         if not self.is_leaf:

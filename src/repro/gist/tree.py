@@ -166,6 +166,19 @@ class GiST:
         """
         return knn_search(self, query, k)
 
+    def knn_batch(self, queries, k: int,
+                  block_size: Optional[int] = None,
+                  ) -> List[List[Tuple[float, int]]]:
+        """:meth:`knn` for a whole ``(Q, dim)`` query block at once.
+
+        Shares one traversal frontier across the block — each node is
+        fetched and decoded at most once — while returning results (and
+        counting page accesses) bit-identically to per-query
+        :meth:`knn` calls; see :func:`repro.gist.batch.knn_search_batch`.
+        """
+        from repro.gist.batch import knn_search_batch
+        return knn_search_batch(self, queries, k, block_size=block_size)
+
     def nn_cursor(self, query):
         """Incremental nearest-neighbor iterator; see
         :func:`repro.gist.cursor.nn_cursor`."""

@@ -23,6 +23,8 @@ class BufferStats:
     hits: int = 0
     misses: int = 0
     misses_by_level: Dict[int, int] = field(default_factory=dict)
+    #: frames dropped to make room (LRU victims + resize shrinkage).
+    evictions: int = 0
 
     @property
     def accesses(self) -> int:
@@ -90,7 +92,32 @@ class BufferPool:
         self._frames[page_id] = node
         if len(self._frames) > self.capacity:
             self._frames.popitem(last=False)
+            self.stats.evictions += 1
         return node
+
+    def record_access(self, page_id: int, level: int) -> None:
+        """Count a repeat access to an already-fetched page.
+
+        The batch engine fetches each page once per block; every further
+        query visiting it within the block would have found the page
+        resident, so it books as a buffer hit — the underlying page file
+        sees no traffic, mirroring what :meth:`read` does for resident
+        pages.
+        """
+        if page_id in self._frames:
+            self._frames.move_to_end(page_id)
+        if self.pagefile.counting:
+            self.stats.hits += 1
+
+    def resize(self, capacity_pages: int) -> None:
+        """Change the frame budget in place, evicting LRU pages if it
+        shrinks (the batch runner sizes frames per worker this way)."""
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.capacity = capacity_pages
+        while len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+            self.stats.evictions += 1
 
     def peek(self, page_id: int):
         return self.pagefile.peek(page_id)

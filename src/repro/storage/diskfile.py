@@ -161,6 +161,13 @@ class FilePageFile:
                 listener(page_id, node.level)
         return node
 
+    def record_access(self, page_id: int, level: int) -> None:
+        """Count a query access without physical I/O (batch engine)."""
+        if self.counting:
+            self.stats.record_read(level)
+            for listener in self._listeners:
+                listener(page_id, level)
+
     def peek(self, page_id: int) -> Node:
         return call_with_retry(lambda: self._read_image(page_id),
                                self.retry, sleep=self._sleep)

@@ -82,6 +82,19 @@ class MemoryPageFile:
                 listener(page_id, node.level)
         return node
 
+    def record_access(self, page_id: int, level: int) -> None:
+        """Count a query access without re-fetching the node.
+
+        The batch query engine decodes each page once per query block
+        but must account one logical read per query that visits it, so
+        repeat visitors book their access here — same counters, same
+        listener notifications as :meth:`read`, no fetch.
+        """
+        if self.counting:
+            self.stats.record_read(level)
+            for listener in self._listeners:
+                listener(page_id, level)
+
     def peek(self, page_id: int):
         """Fetch a node without counting (maintenance / analysis paths)."""
         return self._get(page_id)

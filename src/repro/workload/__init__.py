@@ -7,13 +7,18 @@ average, be retrieved by several queries").
 """
 
 from repro.workload.generator import NNWorkload, make_workload
-from repro.workload.runner import run_workload, WorkloadResult
+from repro.workload.runner import (run_workload, run_workload_batched,
+                                   WorkloadResult)
+from repro.workload.bench import format_bench, run_bench
 from repro.workload.recall import recall_curve, RecallPoint
 
 __all__ = [
     "NNWorkload",
     "make_workload",
     "run_workload",
+    "run_workload_batched",
+    "run_bench",
+    "format_bench",
     "WorkloadResult",
     "recall_curve",
     "RecallPoint",

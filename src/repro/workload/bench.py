@@ -1,0 +1,186 @@
+"""Sequential-vs-batched workload throughput benchmark.
+
+One callable (:func:`run_bench`) behind both ``python -m repro bench``
+and the CI perf-smoke job: build disk-backed indexes over a synthetic
+corpus, run the same k-NN workload through the sequential runner and
+through :func:`~repro.workload.runner.run_workload_batched`, verify the
+two agree bit for bit (results, tie order, per-query access lists), and
+report throughput.
+
+The trees are deliberately file-backed (:class:`~repro.storage.diskfile.
+FilePageFile`): with real page images every sequential access pays a
+decode, which is exactly the cost the batched engine amortizes to once
+per query block — the setting the paper's I/O economics assume.  The
+amdb loss stage runs with a precomputed trivial clustering so both
+engines pay the same small analysis constant and the hypergraph
+partitioner stays out of a *throughput* measurement.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.amdb.partition import Clustering
+from repro.bulk import bulk_load
+from repro.constants import (DEFAULT_PAGE_SIZE, INDEX_DIMENSIONS,
+                             NEIGHBORS_PER_QUERY, TARGET_UTILIZATION)
+from repro.core.api import make_extension
+from repro.storage.diskfile import FilePageFile
+from repro.workload.generator import make_workload
+from repro.workload.runner import run_workload, run_workload_batched
+
+
+def run_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
+              k: int = NEIGHBORS_PER_QUERY,
+              methods: Sequence[str] = ("rtree", "xjb"),
+              dims: int = INDEX_DIMENSIONS,
+              page_size: int = DEFAULT_PAGE_SIZE,
+              batch: bool = True, workers: int = 1,
+              block_size: Optional[int] = None,
+              seed: int = 0, workdir: Optional[str] = None) -> Dict:
+    """Time sequential vs batched execution of one synthetic workload.
+
+    Returns a JSON-ready dict: the configuration, and per method the
+    wall-clock seconds, queries per second, speedup, I/O totals, and the
+    parity verdict.  ``batch=False`` times only the sequential baseline.
+    A parity failure does not raise — it is recorded (``parity_ok``)
+    so callers (CLI, CI) can fail loudly *after* writing the evidence.
+    """
+    from repro.blobworld import build_corpus
+
+    corpus = build_corpus(num_blobs=num_blobs,
+                          num_images=max(1, num_blobs // 6), seed=seed)
+    vectors = corpus.reduced(dims)
+    workload = make_workload(vectors, num_queries, k=k, seed=seed + 1)
+
+    results: List[Dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir if workdir is not None else tmp
+        for method in methods:
+            results.append(_bench_method(
+                method, vectors, workload, page_size=page_size,
+                batch=batch, workers=workers, block_size=block_size,
+                path=os.path.join(base, f"bench_{method}.pages")))
+
+    out = {
+        "bench": "batch_knn",
+        "config": {
+            "num_blobs": num_blobs,
+            "num_queries": num_queries,
+            "k": k,
+            "dims": dims,
+            "page_size": page_size,
+            "workers": workers,
+            "block_size": block_size,
+            "seed": seed,
+        },
+        "methods": results,
+    }
+    if batch:
+        out["parity_ok"] = all(r["parity_ok"] for r in results)
+        out["min_speedup"] = min(r["speedup"] for r in results)
+    return out
+
+
+def _bench_method(method: str, vectors: np.ndarray, workload,
+                  page_size: int, batch: bool, workers: int,
+                  block_size: Optional[int], path: str) -> Dict:
+    ext = make_extension(method, vectors.shape[1])
+    store = FilePageFile.for_extension(path, ext, page_size=page_size)
+    tree = bulk_load(ext, vectors, page_size=page_size, store=store)
+    clustering = _trivial_clustering(len(vectors), tree.leaf_capacity)
+
+    t0 = time.perf_counter()
+    seq = run_workload(tree, workload, vectors, clustering=clustering)
+    seq_seconds = time.perf_counter() - t0
+
+    row = {
+        "method": method,
+        "seq_seconds": round(seq_seconds, 4),
+        "seq_qps": round(workload.num_queries / seq_seconds, 2),
+        "leaf_ios": seq.profile.total_leaf_ios,
+        "inner_ios": seq.profile.total_inner_ios,
+    }
+    if not batch:
+        return row
+
+    t0 = time.perf_counter()
+    bat = run_workload_batched(tree, workload, vectors,
+                               clustering=clustering, workers=workers,
+                               block_size=block_size)
+    bat_seconds = time.perf_counter() - t0
+
+    mismatches = profile_mismatches(seq.profile, bat.profile)
+    row.update({
+        "batch_seconds": round(bat_seconds, 4),
+        "batch_qps": round(workload.num_queries / bat_seconds, 2),
+        "speedup": round(seq_seconds / bat_seconds, 2),
+        "parity_ok": not mismatches,
+        "mismatches": mismatches,
+    })
+    return row
+
+
+def profile_mismatches(seq_profile, bat_profile,
+                       limit: int = 5) -> List[str]:
+    """Differences between two profiles of the same workload.
+
+    Empty = bit-identical: same results (distances, rids, tie order)
+    and same per-query leaf/inner access lists in the same order.
+    """
+    problems: List[str] = []
+    if seq_profile.num_queries != bat_profile.num_queries:
+        return [f"trace counts differ: {seq_profile.num_queries} "
+                f"vs {bat_profile.num_queries}"]
+    for ts, tb in zip(seq_profile.traces, bat_profile.traces):
+        if ts.results != tb.results:
+            problems.append(f"query {ts.qid}: results differ")
+        elif ts.leaf_accesses != tb.leaf_accesses:
+            problems.append(f"query {ts.qid}: leaf accesses differ")
+        elif ts.inner_accesses != tb.inner_accesses:
+            problems.append(f"query {ts.qid}: inner accesses differ")
+        if len(problems) >= limit:
+            problems.append("...")
+            break
+    return problems
+
+
+def _trivial_clustering(n: int, leaf_capacity: int) -> Clustering:
+    """Contiguous-rid blocks: a valid (not optimal) clustering so the
+    loss stage is cheap and identical for both engines under test."""
+    cap = max(1, int(TARGET_UTILIZATION * leaf_capacity))
+    return Clustering(assignment={rid: rid // cap for rid in range(n)},
+                      block_capacity=cap,
+                      num_blocks=max(1, -(-n // cap)))
+
+
+def format_bench(result: Dict) -> str:
+    """A fixed-width console table of one :func:`run_bench` result."""
+    cfg = result["config"]
+    lines = [
+        f"{cfg['num_queries']} queries x k={cfg['k']} over "
+        f"{cfg['num_blobs']} blobs ({cfg['dims']}D), page size "
+        f"{cfg['page_size']}, workers {cfg['workers']}",
+        f"{'method':<8} {'seq s':>8} {'seq q/s':>9} {'batch s':>8} "
+        f"{'batch q/s':>10} {'speedup':>8} {'parity':>7}",
+    ]
+    for row in result["methods"]:
+        if "batch_seconds" in row:
+            lines.append(
+                f"{row['method']:<8} {row['seq_seconds']:>8.2f} "
+                f"{row['seq_qps']:>9.1f} {row['batch_seconds']:>8.2f} "
+                f"{row['batch_qps']:>10.1f} {row['speedup']:>7.2f}x "
+                f"{'ok' if row['parity_ok'] else 'FAIL':>7}")
+        else:
+            lines.append(
+                f"{row['method']:<8} {row['seq_seconds']:>8.2f} "
+                f"{row['seq_qps']:>9.1f} {'-':>8} {'-':>10} "
+                f"{'-':>8} {'-':>7}")
+        for problem in row.get("mismatches", []):
+            lines.append(f"    {problem}")
+    return "\n".join(lines)

@@ -91,3 +91,73 @@ class TestIntegration:
         second = buffered.knn(q, 10)
         assert [r for _, r in first] == [r for _, r in second]
         assert pool.stats.hits > 0
+
+
+class TestEvictions:
+    def test_lru_victims_are_counted(self):
+        store, nodes = _store_with(3)
+        pool = BufferPool(store, capacity_pages=2)
+        for n in nodes:
+            pool.read(n.page_id)
+        assert pool.stats.evictions == 1
+
+    def test_resize_shrink_evicts_lru_first(self):
+        store, nodes = _store_with(3)
+        pool = BufferPool(store, capacity_pages=3)
+        a, b, c = (n.page_id for n in nodes)
+        pool.read(a)
+        pool.read(b)
+        pool.read(c)
+        pool.read(a)            # a most recent; b is now LRU
+        pool.resize(1)
+        assert pool.stats.evictions == 2
+        pool.read(a)            # survivor is the MRU frame
+        assert pool.stats.hits == 2
+        pool.read(b)
+        assert pool.stats.misses == 4
+
+    def test_resize_grow_keeps_frames(self):
+        store, nodes = _store_with(2)
+        pool = BufferPool(store, capacity_pages=2)
+        for n in nodes:
+            pool.read(n.page_id)
+        pool.resize(10)
+        assert pool.stats.evictions == 0
+        for n in nodes:
+            pool.read(n.page_id)
+        assert pool.stats.hits == 2
+
+    def test_resize_rejects_zero_frames(self):
+        store, _ = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        with pytest.raises(ValueError):
+            pool.resize(0)
+
+
+class TestRecordAccess:
+    def test_counts_as_hit_without_inner_traffic(self):
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(nodes[0].page_id)
+        pool.record_access(nodes[0].page_id, 0)
+        assert pool.stats.hits == 1
+        assert store.stats.reads == 1  # only the original miss
+
+    def test_refreshes_lru_position(self):
+        store, nodes = _store_with(3)
+        pool = BufferPool(store, capacity_pages=2)
+        a, b, c = (n.page_id for n in nodes)
+        pool.read(a)
+        pool.read(b)
+        pool.record_access(a, 0)   # a becomes most recent
+        pool.read(c)               # evicts b, not a
+        pool.read(a)
+        assert pool.stats.hits == 2
+
+    def test_not_counted_when_counting_off(self):
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(nodes[0].page_id)
+        store.counting = False
+        pool.record_access(nodes[0].page_id, 0)
+        assert pool.stats.hits == 0

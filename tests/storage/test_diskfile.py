@@ -102,3 +102,23 @@ class TestDiskBackedTree:
             store.write(node)
         with pytest.raises(ValueError):
             store.read(node.page_id)  # closed file
+
+
+class TestRecordAccess:
+    def test_counts_without_physical_io(self, tmp_path):
+        from repro.gist.node import Node
+
+        ext = RTreeExtension(2)
+        store = FilePageFile.for_extension(str(tmp_path / "r.bin"), ext,
+                                           page_size=1024)
+        pid = store.allocate()
+        store.write(Node(pid, 0))
+        seen = []
+        store.add_listener(lambda p, lvl: seen.append((p, lvl)))
+        store.record_access(pid, 0)
+        assert store.stats.reads == 1
+        assert store.stats.leaf_reads == 1
+        assert seen == [(pid, 0)]
+        store.counting = False
+        store.record_access(pid, 0)
+        assert store.stats.reads == 1
