@@ -1,0 +1,46 @@
+"""Index-build pipeline benchmark and byte-identity check (perf smoke).
+
+Builds rtree/amap/xjb indexes over one synthetic corpus four ways —
+the legacy sequential loader, the vectorized pipeline at one worker,
+the pipeline at four workers under its normal scheduling policy, and a
+forced four-worker build that oversubscribes the CPUs so the fork-and-
+merge machinery runs even on single-core CI machines.  The comparison
+lands in ``benchmarks/results/BENCH_build.json``; the test *fails* if
+any parallel build's page file differs from the sequential one by a
+single byte.  Speedup is recorded, not asserted — wall-clock on shared
+CI machines is advice, byte identity is a contract.
+
+The committed ``BENCH_build.json`` is regenerated at acceptance scale
+with::
+
+    REPRO_BUILD_BENCH_BLOBS=100000 python -m pytest benchmarks/bench_build.py
+
+(or equivalently ``repro bench --build --blobs 100000 --workers 4
+--json benchmarks/results/BENCH_build.json``).
+"""
+
+import json
+import os
+
+from conftest import RESULTS_DIR, emit
+
+from repro.workload.bench import format_build_bench, run_build_bench
+
+#: worker count the acceptance numbers are quoted at
+BUILD_BENCH_WORKERS = 4
+
+
+def test_build_pipeline_speedup_and_identity(profile):
+    num_blobs = int(os.environ.get("REPRO_BUILD_BENCH_BLOBS",
+                                   profile.num_blobs))
+    result = run_build_bench(num_blobs=num_blobs,
+                             page_size=profile.page_size,
+                             workers=BUILD_BENCH_WORKERS)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_build.json").write_text(
+        json.dumps(result, indent=2) + "\n")
+    emit("build pipeline speedup", format_build_bench(result))
+    assert result["identity_ok"], (
+        "parallel build diverged from the sequential page file: "
+        + ", ".join(row["method"] for row in result["methods"]
+                    if not row["identical"]))

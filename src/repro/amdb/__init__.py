@@ -19,7 +19,7 @@ optimal_clustering` computes the idealized placement;
 :class:`~repro.amdb.metrics.LossReport`.
 """
 
-from repro.amdb.profiler import (QueryTrace, WorkloadProfile,
+from repro.amdb.profiler import (BuildProfile, QueryTrace, WorkloadProfile,
                                  profile_workload, profile_workload_batched)
 from repro.amdb.partition import optimal_clustering, Clustering
 from repro.amdb.metrics import LossReport, compute_losses
@@ -31,6 +31,7 @@ from repro.amdb.tree_report import TreeReport, tree_report, format_tree_report
 from repro.amdb.export import report_to_dict, reports_to_csv, reports_to_json
 
 __all__ = [
+    "BuildProfile",
     "QueryTrace",
     "WorkloadProfile",
     "profile_workload",

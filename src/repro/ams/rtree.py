@@ -87,6 +87,18 @@ class RTreeExtension(GiSTExtension):
     def routing_point(self, pred) -> np.ndarray:
         return self.footprint(pred).center
 
+    def routing_points_multi(self, preds: Sequence) -> np.ndarray:
+        lo, hi = _stack_bounds(self.footprints(preds))
+        return (lo + hi) / 2.0
+
+    def pred_for_node_at(self, node: Node, token) -> Rect:
+        if node.is_leaf:
+            return self.pred_for_keys_at(node.keys_array(), token)
+        # Stack the child footprints through the node cache, so the
+        # bounds matrices built here feed the first queries for free.
+        lo, hi = self.node_bounds(node)
+        return Rect(lo.min(axis=0), hi.max(axis=0))
+
     # -- distances ---------------------------------------------------------------
 
     def min_dist(self, pred, q: np.ndarray) -> float:

@@ -115,6 +115,9 @@ class SRTreeExtension(GiSTExtension):
     def routing_point(self, pred: SRPred) -> np.ndarray:
         return pred.sphere.center
 
+    def routing_points_multi(self, preds: Sequence[SRPred]) -> np.ndarray:
+        return np.stack([p.sphere.center for p in preds])
+
     # -- distances ---------------------------------------------------------------
 
     def min_dist(self, pred: SRPred, q: np.ndarray) -> float:

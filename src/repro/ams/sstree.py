@@ -69,6 +69,9 @@ class SSTreeExtension(GiSTExtension):
     def routing_point(self, pred: Sphere) -> np.ndarray:
         return pred.center
 
+    def routing_points_multi(self, preds: Sequence[Sphere]) -> np.ndarray:
+        return np.stack([p.center for p in preds])
+
     # -- distances ---------------------------------------------------------------
 
     def min_dist(self, pred: Sphere, q: np.ndarray) -> float:

@@ -73,8 +73,11 @@ def chunk_sizes(n: int, target: int, min_entries: int,
             sizes[-1] += give
         if sizes[-1] < min_entries:
             if sizes[-2] + sizes[-1] <= capacity:
-                # Tiny n: merge the tail into its neighbor.
-                sizes[-2] += sizes.pop()
+                # Tiny n: merge the tail into its neighbor.  (Pop the
+                # tail first — `sizes[-2] += sizes.pop()` would shrink
+                # the list before the indexed store resolves.)
+                tail = sizes.pop()
+                sizes[-1] += tail
             else:
                 # Rebalance the last two pages evenly.
                 both = sizes[-2] + sizes[-1]

@@ -115,6 +115,23 @@ def _cmd_bench(args) -> int:
 
     from repro.workload.bench import format_bench, run_bench
 
+    if args.build:
+        from repro.workload.bench import format_build_bench, run_build_bench
+        result = run_build_bench(num_blobs=args.blobs,
+                                 methods=args.methods, dims=args.dims,
+                                 page_size=args.page_size,
+                                 workers=args.workers, seed=args.seed)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result, fh, indent=2)
+                fh.write("\n")
+        print(format_build_bench(result))
+        if not result["identity_ok"]:
+            print("BUILD IDENTITY MISMATCH: parallel build diverged "
+                  "from the sequential page file", file=sys.stderr)
+            return 1
+        return 0
+
     result = run_bench(num_blobs=args.blobs, num_queries=args.queries,
                        k=args.k, methods=args.methods, dims=args.dims,
                        page_size=args.page_size, batch=args.batch,
@@ -241,8 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-size", type=int, default=DEFAULT_PAGE_SIZE)
     p.add_argument("--batch", action="store_true",
                    help="also run the batched engine and verify parity")
+    p.add_argument("--build", action="store_true",
+                   help="benchmark index *builds* instead of queries: "
+                        "legacy loader vs the parallel pipeline, with a "
+                        "byte-identity check")
     p.add_argument("--workers", type=int, default=1,
-                   help="worker processes for the batched run")
+                   help="worker processes (batched queries or "
+                        "parallel build)")
     p.add_argument("--block-size", type=int, default=None,
                    help="queries per shared traversal block")
     p.add_argument("--seed", type=int, default=0)

@@ -66,6 +66,48 @@ class JBExtension(RTreeExtension):
                                      max_steps=self.max_steps,
                                      method=self.bite_method)
 
+    # -- bulk-load construction hooks ---------------------------------------
+
+    def pred_for_node_at(self, node: Node, token) -> BittenRect:
+        if node.is_leaf:
+            return self.pred_for_keys_at(node.keys_array(), token)
+        # Carve straight off the node's memoized child-bounds matrices:
+        # no Rect re-stacking, and the cache feeds the first queries.
+        los, his = self.node_bounds(node)
+        return BittenRect.from_rect_bounds(los, his,
+                                           max_bites=self.max_bites,
+                                           max_steps=self.max_steps,
+                                           method=self.bite_method)
+
+    def preds_for_nodes(self, nodes: Sequence[Node], tokens) -> List:
+        """Carve whole sibling groups in one sweep kernel.
+
+        Nodes with equal entry counts batch into a single
+        ``(G, n, dim)`` carve; predicates depend only on each node's own
+        contents, so any sharding of the node list (the parallel bulk
+        loader's, or this grouping) yields bit-identical results.
+        """
+        from repro.geometry.bites import bitten_rects_multi
+        preds: List = [None] * len(nodes)
+        groups: dict = {}
+        for i, node in enumerate(nodes):
+            groups.setdefault((node.is_leaf, len(node.entries)),
+                              []).append(i)
+        for (leaf, _count), idxs in groups.items():
+            if leaf:
+                data = {"points": np.stack(
+                    [nodes[i].keys_array() for i in idxs])}
+            else:
+                bounds = [self.node_bounds(nodes[i]) for i in idxs]
+                data = {"rect_los": np.stack([b[0] for b in bounds]),
+                        "rect_his": np.stack([b[1] for b in bounds])}
+            built = bitten_rects_multi(max_bites=self.max_bites,
+                                       max_steps=self.max_steps,
+                                       method=self.bite_method, **data)
+            for i, pred in zip(idxs, built):
+                preds[i] = pred
+        return preds
+
     def footprints(self, preds: Sequence[BittenRect]) -> List[Rect]:
         return [p.rect for p in preds]
 

@@ -120,11 +120,22 @@ class _PointObstacles:
 
 
 class _RectObstacles:
-    """Nibbling obstacles given as child rectangles."""
+    """Nibbling obstacles given as child rectangles.
 
-    def __init__(self, rects: Sequence[Rect]):
-        self.los = np.stack([r.lo for r in rects])
-        self.his = np.stack([r.hi for r in rects])
+    Accepts either a sequence of :class:`Rect` or a pre-stacked
+    ``(los, his)`` pair of ``(n, dim)`` arrays — callers that already
+    hold stacked bounds (a node's memoized ``rect_bounds`` cache) skip
+    the re-stacking.
+    """
+
+    def __init__(self, rects):
+        if isinstance(rects, tuple):
+            los, his = rects
+            self.los = np.asarray(los, dtype=np.float64)
+            self.his = np.asarray(his, dtype=np.float64)
+        else:
+            self.los = np.stack([r.lo for r in rects])
+            self.his = np.stack([r.hi for r in rects])
 
     def stop_values(self, d: int, low_side: bool, lo_d: float, hi_d: float,
                     max_steps: int) -> np.ndarray:
@@ -244,6 +255,239 @@ def _sweep_corner(rect: Rect, mask: int,
     inner = corner + sign * np.clip(best_s, 0.0, extent)
     bite = Bite(mask, corner, inner)
     return None if bite.is_empty() else bite
+
+
+def _corner_low_table(dim: int) -> np.ndarray:
+    """``(2**dim, dim)`` table: True where corner ``mask`` is on the low
+    face of dimension ``d`` (bit ``d`` clear)."""
+    masks = np.arange(1 << dim)[:, None]
+    return (masks >> np.arange(dim)[None, :] & 1) == 0
+
+
+def _sweep_rows(c: np.ndarray, extent: np.ndarray):
+    """Batched :func:`_sweep_corner` core over ``R`` independent corners.
+
+    ``c`` is an ``(R, n, dim)`` array of obstacle distances inward from
+    each row's corner; ``extent`` the ``(R, dim)`` box extents.  Returns
+    ``(best_s, best_vol)``: each row's best cut depths and its volume
+    (0.0 where no positive-volume cut exists).  Row ``r`` is
+    bit-identical to the scalar sweep on the same inputs: the per-row
+    stable argsort, prefix-minimum recurrence, volume products and
+    first-maximum tie-breaks are all the same float operations in the
+    same order, just laid out with a leading batch axis.
+    """
+    R, n, dim = c.shape
+    rows = np.arange(R)
+    best_vol = np.zeros(R)
+    best_s = np.zeros((R, dim))
+    for d in range(dim):
+        order = np.argsort(c[:, :, d], axis=1, kind="stable")
+        sorted_c = np.take_along_axis(c, order[:, :, None], axis=1)
+        clipped = np.minimum(sorted_c, extent[:, None, :])
+        # s[r, i]: cut after the first i obstacles — prefix minimum in
+        # every dimension except the sweep dimension d, which reaches
+        # obstacle i's own coordinate (the box extent at i == n).
+        s = np.empty((R, n + 1, dim))
+        s[:, 0] = extent
+        np.minimum.accumulate(clipped, axis=1, out=s[:, 1:])
+        s[:, :n, d] = clipped[:, :, d]
+        s[:, n, d] = extent[:, d]
+        vols = np.prod(np.clip(s, 0.0, None), axis=2)
+        i = np.argmax(vols, axis=1)
+        vd = vols[rows, i]
+        improve = vd > best_vol
+        best_vol[improve] = vd[improve]
+        best_s[improve] = s[improve, i[improve]]
+    return best_s, best_vol
+
+
+def _sweep_corners(a_low: np.ndarray, a_high: np.ndarray,
+                   extent: np.ndarray, low: np.ndarray):
+    """:func:`_sweep_rows` factored over the ``2**dim`` corner lattice.
+
+    ``a_low``/``a_high`` are the ``(G, n, dim)`` inward obstacle
+    distances measured from the low and high face of each group's box,
+    ``extent`` the ``(G, dim)`` box extents and ``low`` the
+    :func:`_corner_low_table`.  Returns ``(best_s, best_vol)`` shaped
+    ``(G, M, dim)`` / ``(G, M)`` — bit-identical to running
+    :func:`_sweep_rows` on the expanded per-corner distance rows.
+
+    The factoring: a corner's distance row is just a per-dimension pick
+    between the shared ``a_low``/``a_high`` columns, and its stable sort
+    order for sweep dimension ``d`` depends only on which face of ``d``
+    it sits on.  So per sweep dimension there are exactly two sort
+    orders and ``2 * 2 * dim`` distinct sorted/clipped/prefix-minimum
+    columns — not ``2**dim * dim`` — and the per-corner volume scans
+    assemble from those shared columns by indexing.  The expensive
+    stages (sort, gather, prefix ``minimum.accumulate``) shrink by
+    ``2**dim / 2``; only the volume products remain per-corner.
+    """
+    G, n, dim = a_low.shape
+    M = low.shape[0]
+    K = 2 * dim
+    vsel = (~low).astype(np.intp)        # (M, dim): 0 = low face, 1 = high
+    # Interleaved value columns: column e*2 is a_low[:, :, e], column
+    # e*2+1 is a_high[:, :, e]; a second bank of K columns per sort
+    # order is appended after gathering.
+    stacked = np.empty((G, n, K))
+    stacked[:, :, 0::2] = a_low
+    stacked[:, :, 1::2] = a_high
+    ext2 = np.repeat(extent, 2, axis=1)  # (G, K) extents per column
+    col_of_dim = np.arange(dim) * 2
+    groups = np.arange(G)[:, None, None]
+    best_vol = np.zeros((G, M))
+    best_s = np.zeros((G, M, dim))
+    for d in range(dim):
+        # The two stable sort orders every corner shares: ascending
+        # distance in the sweep dimension from its low or high face.
+        # A corner's expanded row holds exactly these values in column
+        # d, so sorting the shared column gives the identical
+        # permutation (stable sort, same keys).
+        order0 = np.argsort(a_low[:, :, d], axis=1, kind="stable")
+        order1 = np.argsort(a_high[:, :, d], axis=1, kind="stable")
+        P = np.empty((G, n + 1, 2 * K))  # prefix minima, extent at j=0
+        C = np.empty((G, n, 2 * K))      # clipped sorted values
+        for o, order in ((0, order0), (1, order1)):
+            bank = slice(o * K, (o + 1) * K)
+            gathered = np.take_along_axis(stacked, order[:, :, None],
+                                          axis=1)
+            np.minimum(gathered, ext2[:, None, :], out=gathered)
+            C[:, :, bank] = gathered
+            P[:, 0, bank] = ext2
+            np.minimum.accumulate(gathered, axis=1, out=P[:, 1:, bank])
+        o_idx = vsel[:, d]               # (M,) sort bank per corner
+        # flat[m, e]: which shared column corner m reads for dim e.
+        flat = o_idx[:, None] * K + col_of_dim[None, :] + vsel
+        dflat = o_idx * K + d * 2 + o_idx
+        Pc = np.clip(P, 0.0, None)
+        # Sweep-dimension column: the clipped value itself at each cut,
+        # the full extent at the final cut (matching _sweep_rows).
+        Dc = np.empty((G, n + 1, M))
+        Dc[:, :n, :] = np.clip(C[:, :, dflat], 0.0, None)
+        Dc[:, n, :] = np.clip(extent[:, d], 0.0, None)[:, None]
+        # Volume scan: multiply the per-dimension columns in dimension
+        # order, exactly the product reduction _sweep_rows performs.
+        vols = None
+        for e in range(dim):
+            term = Dc if e == d else Pc[:, :, flat[:, e]]
+            vols = term if vols is None else np.multiply(vols, term,
+                                                         out=vols)
+        i = np.argmax(vols, axis=1)      # (G, M) first-maximum cuts
+        vd = np.take_along_axis(vols, i[:, None, :], axis=1)[:, 0, :]
+        improve = vd > best_vol
+        # Unclipped cut depths at the winning positions (small gathers).
+        s_at = P[groups, i[:, :, None], flat[None, :, :]]
+        d_un = np.concatenate(
+            [C[:, :, dflat],
+             np.broadcast_to(extent[:, d, None, None], (G, 1, M))],
+            axis=1)
+        s_at[:, :, d] = np.take_along_axis(d_un, i[:, None, :],
+                                           axis=1)[:, 0, :]
+        best_vol = np.where(improve, vd, best_vol)
+        best_s = np.where(improve[:, :, None], s_at, best_s)
+    return best_s, best_vol
+
+
+def _batched_sweep_bites(lo: np.ndarray, hi: np.ndarray,
+                         obs_los: np.ndarray, obs_his: np.ndarray,
+                         points_mode: bool) -> List[List[Bite]]:
+    """Best sweep bite at every corner of ``G`` boxes in one kernel.
+
+    ``lo``/``hi`` are ``(G, dim)`` box bounds; ``obs_los``/``obs_his``
+    the ``(G, n, dim)`` obstacle bounds (the same array twice in points
+    mode).  Returns per-box bite lists in corner-mask order, each bite
+    bit-identical to the scalar ``_sweep_corner`` + ``blocked`` path, so
+    callers may batch any subset of boxes without changing results.
+    """
+    G, n, dim = obs_los.shape
+    M = 1 << dim
+    low = _corner_low_table(dim)
+    extent = hi - lo
+    # Distance inward from each corner: on a low face the obstacle's
+    # low bound blocks first, on a high face its high bound (the two
+    # coincide for point obstacles).
+    a_low = obs_los - lo[:, None, :]
+    a_high = hi[:, None, :] - obs_his
+    best_s, best_vol = _sweep_corners(a_low, a_high, extent, low)
+
+    corner = np.where(low[None], lo[:, None, :], hi[:, None, :])
+    sign = np.where(low, 1.0, -1.0)
+    inner = corner + sign[None] * np.clip(best_s, 0.0, extent[:, None, :])
+    blo = np.minimum(corner, inner)
+    bhi = np.maximum(corner, inner)
+
+    # Batched obstacles.blocked(): does any obstacle meet the half-open
+    # candidate bite?  Same comparison formulas as the scalar checks.
+    if points_mode:
+        pts = obs_los[:, None]
+        lo_ok = (pts >= blo[:, :, None]) & (pts < bhi[:, :, None])
+        hi_ok = (pts > blo[:, :, None]) & (pts <= bhi[:, :, None])
+    else:
+        lo_ok = ((obs_los[:, None] < bhi[:, :, None])
+                 & (obs_his[:, None] >= blo[:, :, None]))
+        hi_ok = ((obs_los[:, None] <= bhi[:, :, None])
+                 & (obs_his[:, None] > blo[:, :, None]))
+    hit = np.all(np.where(low[None, :, None, :], lo_ok, hi_ok), axis=3)
+    blocked = hit.any(axis=2)
+    empty = np.any(bhi <= blo, axis=2)
+    keep = (best_vol > 0.0) & ~empty & ~blocked
+
+    return [[Bite(m, corner[g, m], inner[g, m])
+             for m in range(M) if keep[g, m]]
+            for g in range(G)]
+
+
+#: float budget per batched carve kernel (~16 MB of f8); groups larger
+#: than this are processed in slices to bound peak temporary memory.
+_BATCH_FLOAT_BUDGET = 2 << 20
+
+
+def bitten_rects_multi(*, points=None, rect_los=None, rect_his=None,
+                       max_bites: Optional[int] = None,
+                       max_steps: int = DEFAULT_MAX_STEPS,
+                       method: str = "sweep") -> List["BittenRect"]:
+    """Batched :class:`BittenRect` construction for same-sized groups.
+
+    Pass either ``points`` — a ``(G, n, dim)`` array of leaf key groups
+    — or ``rect_los``/``rect_his`` — ``(G, n, dim)`` child MBR bounds
+    per group.  The ``"sweep"`` construction (the JB/XJB default) runs
+    as one kernel across all groups and corners; every returned
+    predicate is bit-identical to the scalar
+    :meth:`BittenRect.from_points` / :meth:`BittenRect.from_rects` on
+    the same inputs, so callers may batch arbitrary subsets (the
+    parallel bulk loader shards freely).  Other methods fall back to
+    the per-group scalar constructions.
+    """
+    if (points is None) == (rect_los is None):
+        raise ValueError("pass exactly one of points= or rect_los/his=")
+    if points is not None:
+        obs_los = obs_his = np.asarray(points, dtype=np.float64)
+    else:
+        obs_los = np.asarray(rect_los, dtype=np.float64)
+        obs_his = np.asarray(rect_his, dtype=np.float64)
+    G, n, dim = obs_los.shape
+    if method != "sweep":
+        if points is not None:
+            return [BittenRect.from_points(p, max_bites, max_steps, method)
+                    for p in obs_los]
+        return [BittenRect.from_rect_bounds(l, h, max_bites, max_steps,
+                                            method)
+                for l, h in zip(obs_los, obs_his)]
+
+    lo = obs_los.min(axis=1)
+    hi = obs_his.max(axis=1)
+    per_group = (1 << dim) * max(n, 1) * dim
+    chunk = max(1, _BATCH_FLOAT_BUDGET // per_group)
+    out: List[BittenRect] = []
+    for g0 in range(0, G, chunk):
+        g1 = min(G, g0 + chunk)
+        bite_lists = _batched_sweep_bites(lo[g0:g1], hi[g0:g1],
+                                          obs_los[g0:g1], obs_his[g0:g1],
+                                          points is not None)
+        for g, bites in zip(range(g0, g1), bite_lists):
+            out.append(BittenRect(Rect(lo[g], hi[g]),
+                                  _top_bites(bites, max_bites)))
+    return out
 
 
 def _corner_proxies(rect: Rect, mask: int, obstacles) -> np.ndarray:
@@ -370,12 +614,15 @@ def carve_bites(rect: Rect, points=None, rects: Sequence[Rect] = None,
     (:func:`_sweep_corner`), ``"both"`` keeps the larger bite per
     corner, and ``"probe"`` the workload-oriented set-cover construction
     of the paper's future-work objective (:func:`_probe_cover_bites`).
+    ``"sweep-scalar"`` carves the same bites as ``"sweep"`` through the
+    per-corner reference loop — kept so parity tests and build
+    benchmarks can compare the batched kernel against it.
     Returns the non-empty bites in corner-mask order; corners whose bite
     degenerated to zero volume are omitted.
     """
     if (points is None) == (rects is None):
         raise ValueError("pass exactly one of points= or rects=")
-    if method not in ("nibble", "sweep", "both", "probe"):
+    if method not in ("nibble", "sweep", "sweep-scalar", "both", "probe"):
         raise ValueError(f"unknown bite method {method!r}")
     if points is not None:
         obstacles = _PointObstacles(points)
@@ -385,6 +632,18 @@ def carve_bites(rect: Rect, points=None, rects: Sequence[Rect] = None,
     if method == "probe":
         return _probe_cover_bites(rect, obstacles)
 
+    if method == "sweep":
+        # All corners at once through the batched kernel (G = 1): no
+        # per-corner Python loop on the default construction path.
+        points_mode = isinstance(obstacles, _PointObstacles)
+        if points_mode:
+            obs_los = obs_his = obstacles.points
+        else:
+            obs_los, obs_his = obstacles.los, obstacles.his
+        return _batched_sweep_bites(rect.lo[None], rect.hi[None],
+                                    obs_los[None], obs_his[None],
+                                    points_mode)[0]
+
     bites = []
     for mask in range(1 << rect.dim):
         candidates = []
@@ -392,7 +651,7 @@ def carve_bites(rect: Rect, points=None, rects: Sequence[Rect] = None,
             nib = _carve_corner(rect, mask, obstacles, max_steps)
             if nib is not None:
                 candidates.append(nib)
-        if method in ("sweep", "both"):
+        if method in ("sweep-scalar", "both"):
             prox = _corner_proxies(rect, mask, obstacles)
             sw = _sweep_corner(rect, mask, prox)
             if sw is not None and not obstacles.blocked(sw):
@@ -454,6 +713,24 @@ class BittenRect:
         """Inner-level predicate: bites avoid every child rectangle."""
         rect = Rect.from_rects(rects)
         bites = carve_bites(rect, rects=rects, max_steps=max_steps,
+                            method=method)
+        return cls(rect, _top_bites(bites, max_bites))
+
+    @classmethod
+    def from_rect_bounds(cls, los: np.ndarray, his: np.ndarray,
+                         max_bites: Optional[int] = None,
+                         max_steps: int = DEFAULT_MAX_STEPS,
+                         method: str = "sweep") -> "BittenRect":
+        """:meth:`from_rects` from pre-stacked ``(n, dim)`` child bounds.
+
+        Bit-identical to ``from_rects`` on the corresponding rectangles;
+        callers that already hold the stacked matrices (a node's memoized
+        ``rect_bounds`` cache) skip re-stacking them.
+        """
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        rect = Rect(np.minimum.reduce(los), np.maximum.reduce(his))
+        bites = carve_bites(rect, rects=(los, his), max_steps=max_steps,
                             method=method)
         return cls(rect, _top_bites(bites, max_bites))
 

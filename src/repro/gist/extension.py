@@ -55,6 +55,53 @@ class GiSTExtension:
             return self.pred_for_keys(node.keys_array())
         return self.pred_for_preds(node.preds())
 
+    # -- bulk-load construction hooks ---------------------------------------
+    #
+    # The bulk loader builds whole levels of nodes at once, possibly
+    # sharded over forked worker processes.  These hooks exist so that
+    # (a) randomized predicate constructions (aMAP) can key their RNG to
+    # the node's position instead of a shared stream — the predicate of
+    # node (level, index) is then the same no matter which worker builds
+    # it, which is what makes parallel builds byte-identical to
+    # sequential ones — and (b) vectorizing extensions (JB/XJB) can
+    # batch predicate construction across sibling nodes of a level.
+
+    def pred_for_keys_at(self, keys: np.ndarray, token: Tuple[int, int]):
+        """Positioned :meth:`pred_for_keys`; ``token`` is ``(level,
+        index)`` of the node under construction.  Deterministic
+        extensions ignore the token."""
+        return self.pred_for_keys(keys)
+
+    def pred_for_preds_at(self, preds: Sequence, token: Tuple[int, int]):
+        """Positioned :meth:`pred_for_preds` (see
+        :meth:`pred_for_keys_at`)."""
+        return self.pred_for_preds(preds)
+
+    def pred_for_node_at(self, node: Node, token: Tuple[int, int]):
+        """Positioned :meth:`pred_for_node`.
+
+        Routed through the node's cached stacked views
+        (:meth:`~repro.gist.node.Node.keys_array`, extension geometry
+        caches), so geometry stacked while building the predicate stays
+        memoized on the node for the first queries to reuse.
+        """
+        if node.is_leaf:
+            return self.pred_for_keys_at(node.keys_array(), token)
+        return self.pred_for_preds_at(node.preds(), token)
+
+    def preds_for_nodes(self, nodes: Sequence[Node],
+                        tokens: Sequence[Tuple[int, int]]) -> List:
+        """Bounding predicates for one level's worth of nodes.
+
+        The default loops :meth:`pred_for_node_at`; extensions whose
+        construction vectorizes across sibling nodes (JB/XJB corner
+        carving) override this with a batched kernel.  Implementations
+        must return bit-identical predicates for any partition of the
+        node list — the parallel bulk loader shards it arbitrarily.
+        """
+        return [self.pred_for_node_at(node, token)
+                for node, token in zip(nodes, tokens)]
+
     # -- predicate algebra -----------------------------------------------------
 
     def consistent(self, pred, query_rect) -> bool:
@@ -140,6 +187,15 @@ class GiSTExtension:
         """A representative point for routing an orphaned subtree's entry
         during delete condensation (typically the predicate's center)."""
         raise NotImplementedError
+
+    def routing_points_multi(self, preds: Sequence) -> np.ndarray:
+        """Stacked ``(n, dim)`` :meth:`routing_point` matrix.
+
+        The bulk loader orders every upper level by these centers; the
+        default falls back to the per-predicate loop, extensions with
+        array-backed predicates compute the whole matrix in one shot.
+        """
+        return np.stack([self.routing_point(p) for p in preds])
 
     # -- storage -----------------------------------------------------------------
 

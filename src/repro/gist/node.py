@@ -19,20 +19,53 @@ class Node:
     through the mutator methods so the cache is invalidated.
     """
 
-    __slots__ = ("page_id", "level", "entries", "cache")
+    __slots__ = ("page_id", "level", "_entries", "cache")
 
     def __init__(self, page_id: int, level: int, entries: Optional[List] = None):
         self.page_id = page_id
         self.level = level
-        self.entries: List = list(entries) if entries is not None else []
+        self._entries: Optional[List] = \
+            list(entries) if entries is not None else []
         self.cache: dict = {}
+
+    @classmethod
+    def leaf_from_arrays(cls, page_id: int, keys: np.ndarray,
+                         rids: np.ndarray) -> "Node":
+        """A leaf backed by stacked arrays, entry objects deferred.
+
+        The bulk loader packs leaves by slicing the level's ordered key
+        and rid arrays; building a :class:`~repro.gist.entry.LeafEntry`
+        per row would cost more than everything else the loader does to
+        the node.  The arrays land directly in the node cache (where
+        :meth:`keys_array` / :meth:`rid_array` read them), and
+        :attr:`entries` materializes lazily on first access.
+        """
+        node = cls(page_id, 0)
+        node._entries = None
+        node.cache["keys"] = keys
+        node.cache["rids"] = rids
+        return node
+
+    @property
+    def entries(self) -> List:
+        if self._entries is None:
+            self._entries = [LeafEntry(k, int(r)) for k, r
+                             in zip(self.cache["keys"],
+                                    self.cache["rids"])]
+        return self._entries
+
+    @entries.setter
+    def entries(self, value: List) -> None:
+        self._entries = value
 
     @property
     def is_leaf(self) -> bool:
         return self.level == 0
 
     def __len__(self) -> int:
-        return len(self.entries)
+        if self._entries is None:
+            return len(self.cache["keys"])
+        return len(self._entries)
 
     # -- mutation (cache-invalidating) --------------------------------------
 
@@ -82,7 +115,20 @@ class Node:
     def rids(self) -> List[int]:
         if not self.is_leaf:
             raise ValueError("rids is only defined for leaves")
+        if self._entries is None:
+            return [int(r) for r in self.cache["rids"]]
         return [e.rid for e in self.entries]
+
+    def rid_array(self) -> np.ndarray:
+        """Stacked ``(n,)`` int64 array of leaf rids (leaf nodes only)."""
+        if not self.is_leaf:
+            raise ValueError("rid_array is only defined for leaves")
+        cached = self.cache.get("rids")
+        if cached is None:
+            cached = np.fromiter((e.rid for e in self.entries),
+                                 dtype=np.int64, count=len(self.entries))
+            self.cache["rids"] = cached
+        return cached
 
     def preds(self) -> List:
         if self.is_leaf:

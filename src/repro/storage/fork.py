@@ -1,0 +1,76 @@
+"""Fork-pool plumbing shared by parallel execution paths.
+
+Both the parallel workload runner (:mod:`repro.workload.runner`) and the
+parallel bulk loader (:mod:`repro.bulk.loader`) follow the same pattern:
+stash shared state in a module global, fork one worker per contiguous
+shard (fork shares the state copy-on-write; a Pool argument would have
+to pickle trees and page files, which cannot be pickled), and merge the
+outcomes in shard order so results are deterministic regardless of which
+worker finished first.  The store-handling helpers here are the part
+both sides need verbatim.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Tuple
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Prefers the scheduling affinity mask (which respects container
+    quotas and ``taskset``) over the raw core count.  CPU-bound fork
+    workers beyond this number only add scheduling overhead, so
+    parallel paths clamp their effective worker count to it unless
+    explicitly asked to oversubscribe.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def shard_bounds(n: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``workers`` contiguous near-even shards."""
+    per, extra = divmod(n, workers)
+    bounds, start = [], 0
+    for i in range(workers):
+        size = per + (1 if i < extra else 0)
+        if size:
+            bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def store_chain(store) -> List:
+    """The store and every layer it wraps, outermost first."""
+    chain, seen = [], set()
+    layer = store
+    while layer is not None and id(layer) not in seen:
+        seen.add(id(layer))
+        chain.append(layer)
+        layer = getattr(layer, "inner", None) \
+            or getattr(layer, "pagefile", None)
+    return chain
+
+
+def reopen_files(store) -> None:
+    """Give every file-backed layer a private file object.
+
+    A forked child inherits the parent's descriptors, and with them the
+    *shared* file offset — two workers seeking the same description
+    would race.  Reopening by path creates an independent description;
+    the inherited object is abandoned unclosed so its buffer can't
+    flush stray bytes at a shared offset.
+    """
+    for layer in store_chain(store):
+        if getattr(layer, "_file", None) is not None \
+                and getattr(layer, "path", None) is not None:
+            layer._file = open(layer.path, "r+b")

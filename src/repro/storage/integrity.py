@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
+
 from repro.storage.errors import PageCorruptError
 
 #: Current on-disk format epoch stamped into sealed pages.  Bump when
@@ -75,6 +77,29 @@ def crc32c(data: bytes, crc: int = 0) -> int:
     return crc ^ 0xFFFFFFFF
 
 
+_NP_TABLE = np.array(_TABLE, dtype=np.uint32)
+
+
+def crc32c_many(blocks: np.ndarray) -> np.ndarray:
+    """CRC32C of many equal-length byte blocks at once.
+
+    ``blocks`` is an ``(n, size)`` uint8 array; returns an ``(n,)``
+    uint32 array equal element-wise to :func:`crc32c` of each row.  The
+    CRC recurrence is inherently serial in the *byte* direction, so this
+    runs it column by column with all rows advancing in lockstep — the
+    per-byte Python cost is paid ``size`` times instead of ``n * size``
+    times, which is what makes sealing a whole bulk-loaded level at a
+    time cheap.
+    """
+    blocks = np.ascontiguousarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 2:
+        raise ValueError("blocks must be a 2-D (n, size) uint8 array")
+    crc = np.full(len(blocks), 0xFFFFFFFF, dtype=np.uint32)
+    for col in blocks.T:
+        crc = _NP_TABLE[(crc ^ col) & 0xFF] ^ (crc >> np.uint32(8))
+    return crc ^ np.uint32(0xFFFFFFFF)
+
+
 # -- sealing and verification ----------------------------------------------
 
 def _blanked(image: bytes) -> bytes:
@@ -92,6 +117,22 @@ def seal_image(image: bytes, epoch: int = FORMAT_EPOCH) -> bytes:
     return (stamped[:CHECKSUM_OFFSET]
             + struct.pack("<I", crc)
             + stamped[CHECKSUM_OFFSET + 4:])
+
+
+def seal_images(images: np.ndarray, epoch: int = FORMAT_EPOCH) -> np.ndarray:
+    """Seal an ``(n, page_size)`` array of page images in place.
+
+    Row ``i`` afterwards equals ``seal_image(row_i_bytes)`` — same
+    stamped epoch, same CRC bytes — with the checksums computed by one
+    :func:`crc32c_many` pass instead of ``n`` scalar CRC loops.
+    """
+    images[:, CHECKSUM_OFFSET:CHECKSUM_OFFSET + 4] = 0
+    images[:, CHECKSUM_OFFSET + 4:CHECKSUM_OFFSET + 8] = np.frombuffer(
+        struct.pack("<I", epoch), dtype=np.uint8)
+    crcs = crc32c_many(images)
+    images[:, CHECKSUM_OFFSET:CHECKSUM_OFFSET + 4] = (
+        crcs.astype("<u4").view(np.uint8).reshape(-1, 4))
+    return images
 
 
 def stored_seal(image: bytes):

@@ -110,6 +110,11 @@ class MemoryPageFile:
         self._nodes[node.page_id] = node
         self.stats.writes += 1
 
+    def write_many(self, nodes) -> None:
+        """Store a batch of nodes (bulk-load write path)."""
+        for node in nodes:
+            self.write(node)
+
     def free(self, page_id: int) -> None:
         del self._nodes[page_id]
 

@@ -150,6 +150,201 @@ def profile_mismatches(seq_profile, bat_profile,
     return problems
 
 
+# -- index-build benchmark ---------------------------------------------------
+
+def run_build_bench(num_blobs: int = 100_000,
+                    methods: Sequence[str] = ("rtree", "amap", "xjb"),
+                    dims: int = INDEX_DIMENSIONS,
+                    page_size: int = DEFAULT_PAGE_SIZE,
+                    workers: int = 4, seed: int = 0,
+                    workdir: Optional[str] = None) -> Dict:
+    """Time the bulk-load pipeline against the legacy sequential loader.
+
+    Four builds per method over one synthetic corpus: the *legacy*
+    loader (the pre-pipeline code path — per-node writes with scalar
+    checksums, per-entry Python loops, and the scalar reference kernels
+    for aMAP bipartitions and JB/XJB carving), the new pipeline at
+    ``workers=1``, the new pipeline at ``workers`` under its normal
+    scheduling policy (which clamps forked workers to the usable CPUs),
+    and a *forced* build that oversubscribes to the full requested
+    worker count so the fork-and-merge machinery runs even on machines
+    with fewer cores than ``workers``.  Both the normal and the forced
+    parallel build must be byte-identical to the sequential page file;
+    like :func:`run_bench`, a violation is recorded (``identity_ok``)
+    rather than raised so callers can fail after writing the evidence.
+
+    ``speedup`` is new-pipeline-at-``workers`` over legacy — the
+    end-to-end gain a caller of :func:`~repro.bulk.bulk_load` sees.
+    """
+    from repro.amdb.profiler import BuildProfile
+    from repro.blobworld import build_corpus
+
+    corpus = build_corpus(num_blobs=num_blobs,
+                          num_images=max(1, num_blobs // 6), seed=seed)
+    vectors = corpus.reduced(dims)
+
+    results: List[Dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir if workdir is not None else tmp
+        for method in methods:
+            paths = {tag: os.path.join(base, f"build_{method}_{tag}.pages")
+                     for tag in ("legacy", "seq", "par", "forced")}
+            row: Dict = {"method": method}
+
+            ext = _legacy_extension(method, dims)
+            store = FilePageFile.for_extension(paths["legacy"], ext,
+                                               page_size=page_size)
+            t0 = time.perf_counter()
+            _legacy_build(ext, vectors, page_size, store)
+            store.flush()
+            row["legacy_seconds"] = round(time.perf_counter() - t0, 4)
+            store.close()
+
+            profiles = {}
+            for tag, nworkers, force in (("seq", 1, False),
+                                         ("par", workers, False),
+                                         ("forced", workers, True)):
+                ext = make_extension(method, dims)
+                store = FilePageFile.for_extension(paths[tag], ext,
+                                                   page_size=page_size)
+                prof = BuildProfile()
+                t0 = time.perf_counter()
+                tree = bulk_load(ext, vectors, page_size=page_size,
+                                 store=store, workers=nworkers,
+                                 oversubscribe=force, profile=prof)
+                store.flush()
+                row[f"{tag}_seconds"] = round(time.perf_counter() - t0, 4)
+                profiles[tag] = prof
+                store.close()
+            row["nodes"] = profiles["par"].total_nodes
+            row["height"] = len(profiles["par"].nodes_by_level)
+            row["fork_workers"] = profiles["forced"].fork_workers
+            row["identical"] = (_files_equal(paths["seq"], paths["par"])
+                                and _files_equal(paths["seq"],
+                                                 paths["forced"]))
+            row["speedup"] = round(
+                row["legacy_seconds"] / row["par_seconds"], 2)
+            row["speedup_seq"] = round(
+                row["legacy_seconds"] / row["seq_seconds"], 2)
+            row["profile"] = profiles["par"].as_dict()
+            row["forced_profile"] = profiles["forced"].as_dict()
+            results.append(row)
+            for path in paths.values():
+                if workdir is None and os.path.exists(path):
+                    os.unlink(path)
+
+    return {
+        "bench": "build",
+        "config": {
+            "num_blobs": num_blobs,
+            "dims": dims,
+            "page_size": page_size,
+            "workers": workers,
+            "seed": seed,
+        },
+        "methods": results,
+        "identity_ok": all(r["identical"] for r in results),
+        "min_speedup": min(r["speedup"] for r in results),
+    }
+
+
+def _legacy_extension(method: str, dims: int):
+    """The extension configured as the pre-pipeline loader used it:
+    scalar reference kernels for the randomized/carved constructions."""
+    if method in ("jb", "xjb"):
+        return make_extension(method, dims, bite_method="sweep-scalar")
+    if method == "amap":
+        return make_extension(method, dims, bp_kernel="reduce")
+    return make_extension(method, dims)
+
+
+def _legacy_build(ext, keys: np.ndarray, page_size: int, store) -> None:
+    """The seed bulk loader, preserved verbatim as the bench baseline:
+    per-entry list comprehensions, one predicate and one page write per
+    node, per-predicate routing-point stacking."""
+    from repro.bulk.str_pack import chunk_sizes, str_order
+    from repro.gist.entry import IndexEntry, LeafEntry
+    from repro.gist.node import Node
+    from repro.gist.tree import GiST
+
+    tree = GiST(ext, store=store, page_size=page_size)
+    store.counting = False
+    rids = list(range(len(keys)))
+
+    leaf_target = max(tree.min_entries(0), tree.leaf_capacity)
+    order = str_order(keys, leaf_target)
+    entries = []
+    pos = 0
+    for size in chunk_sizes(len(keys), leaf_target, tree.min_entries(0),
+                            tree.leaf_capacity):
+        chunk = order[pos:pos + size]
+        pos += size
+        node = Node(store.allocate(), 0,
+                    [LeafEntry(keys[i], rids[i]) for i in chunk])
+        store.write(node)
+        entries.append(IndexEntry(ext.pred_for_keys(keys[chunk]),
+                                  node.page_id))
+
+    level = 1
+    index_target = max(tree.min_entries(1), tree.index_capacity)
+    while len(entries) > 1:
+        centers = np.stack([ext.routing_point(e.pred) for e in entries])
+        order = str_order(centers, index_target)
+        next_entries = []
+        pos = 0
+        for size in chunk_sizes(len(entries), index_target,
+                                tree.min_entries(level),
+                                tree.index_capacity):
+            chunk = order[pos:pos + size]
+            pos += size
+            node = Node(store.allocate(), level,
+                        [entries[i] for i in chunk])
+            store.write(node)
+            next_entries.append(IndexEntry(
+                ext.pred_for_preds([entries[i].pred for i in chunk]),
+                node.page_id))
+        entries = next_entries
+        level += 1
+
+    root = store.peek(entries[0].child)
+    tree.adopt(root, height=root.level + 1, size=len(keys))
+
+
+def _files_equal(path_a: str, path_b: str) -> bool:
+    if os.path.getsize(path_a) != os.path.getsize(path_b):
+        return False
+    with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+        while True:
+            a = fa.read(1 << 20)
+            b = fb.read(1 << 20)
+            if a != b:
+                return False
+            if not a:
+                return True
+
+
+def format_build_bench(result: Dict) -> str:
+    """A fixed-width console table of one :func:`run_build_bench` result."""
+    cfg = result["config"]
+    lines = [
+        f"bulk load of {cfg['num_blobs']} blobs ({cfg['dims']}D), page "
+        f"size {cfg['page_size']}, workers {cfg['workers']}",
+        f"{'method':<8} {'nodes':>7} {'legacy s':>9} {'seq s':>8} "
+        f"{'par s':>8} {'forced s':>9} {'speedup':>8} {'identical':>10}",
+    ]
+    for row in result["methods"]:
+        lines.append(
+            f"{row['method']:<8} {row['nodes']:>7} "
+            f"{row['legacy_seconds']:>9.2f} {row['seq_seconds']:>8.2f} "
+            f"{row['par_seconds']:>8.2f} {row['forced_seconds']:>9.2f} "
+            f"{row['speedup']:>7.2f}x "
+            f"{'ok' if row['identical'] else 'FAIL':>10}")
+        phases = row["profile"]["phase_seconds"]
+        lines.append("    phases: " + ", ".join(
+            f"{name} {seconds:.2f}s" for name, seconds in phases.items()))
+    return "\n".join(lines)
+
+
 def _trivial_clustering(n: int, leaf_capacity: int) -> Clustering:
     """Contiguous-rid blocks: a valid (not optimal) clustering so the
     loss stage is cheap and identical for both engines under test."""

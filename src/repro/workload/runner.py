@@ -23,6 +23,8 @@ from repro.amdb.profiler import (WorkloadProfile, _tree_facts,
                                  trace_queries_batched)
 from repro.constants import TARGET_UTILIZATION
 from repro.gist.degrade import DegradationReport
+from repro.storage.fork import (fork_available, reopen_files, shard_bounds,
+                                store_chain)
 from repro.workload.generator import NNWorkload
 
 
@@ -116,9 +118,11 @@ def run_workload_batched(tree, workload: NNWorkload, vectors: np.ndarray,
                           degradation=degradation)
 
 
-def _fork_available() -> bool:
-    return "fork" in multiprocessing.get_all_start_methods()
-
+#: kept as module attributes so tests can monkeypatch / import them.
+_fork_available = fork_available
+_shard_bounds = shard_bounds
+_store_chain = store_chain
+_reopen_files = reopen_files
 
 #: state the forked workers inherit (fork shares it copy-on-write; a
 #: Pool argument would have to pickle the tree, which page files can't).
@@ -183,30 +187,6 @@ def _worker_shard(bounds: Tuple[int, int]):
     return traces, deltas, quarantined
 
 
-def _shard_bounds(n: int, workers: int) -> List[Tuple[int, int]]:
-    """Split ``range(n)`` into ``workers`` contiguous near-even shards."""
-    per, extra = divmod(n, workers)
-    bounds, start = [], 0
-    for i in range(workers):
-        size = per + (1 if i < extra else 0)
-        if size:
-            bounds.append((start, start + size))
-        start += size
-    return bounds
-
-
-def _store_chain(store) -> List:
-    """The store and every layer it wraps, outermost first."""
-    chain, seen = [], set()
-    layer = store
-    while layer is not None and id(layer) not in seen:
-        seen.add(id(layer))
-        chain.append(layer)
-        layer = getattr(layer, "inner", None) \
-            or getattr(layer, "pagefile", None)
-    return chain
-
-
 def _chain_stats(store) -> List:
     """Distinct stats objects down the store chain, outermost first.
 
@@ -220,21 +200,6 @@ def _chain_stats(store) -> List:
             seen.add(id(stats))
             objs.append(stats)
     return objs
-
-
-def _reopen_files(store) -> None:
-    """Give every file-backed layer a private file object.
-
-    A forked child inherits the parent's descriptors, and with them the
-    *shared* file offset — two workers seeking the same description
-    would race.  Reopening by path creates an independent description;
-    the inherited object is abandoned unclosed so its buffer can't
-    flush stray bytes at a shared offset.
-    """
-    for layer in _store_chain(store):
-        if getattr(layer, "_file", None) is not None \
-                and getattr(layer, "path", None) is not None:
-            layer._file = open(layer.path, "r+b")
 
 
 def _stats_snapshot(stats) -> Dict:

@@ -1,0 +1,91 @@
+"""Parallel bulk-load determinism: byte-identical page files.
+
+The loader's contract is that ``workers`` changes wall-clock only —
+the page file a parallel build writes is byte-for-byte the file a
+sequential build writes.  These tests force real forking with
+``oversubscribe=True`` so the fork-and-merge machinery is exercised
+even on single-core CI machines (the default scheduling policy clamps
+to usable CPUs and would quietly fall back to sequential there).
+"""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.amdb import BuildProfile
+from repro.bulk import bulk_load
+from repro.core.api import make_extension
+from repro.gist.validate import validate_tree
+from repro.storage.diskfile import FilePageFile
+from repro.storage.fork import fork_available, usable_cpus
+
+pytestmark = pytest.mark.skipif(not fork_available(),
+                                reason="fork start method unavailable")
+
+#: one method per access-method family the paper compares
+METHODS = ["rtree", "sstree", "srtree", "amap", "jb", "xjb"]
+N_POINTS = 6_000
+PAGE_SIZE = 4_096
+
+
+def _build_file(tmp_path, method, workers, tag, **kwargs):
+    keys = np.random.default_rng(7).normal(size=(N_POINTS, 5))
+    ext = make_extension(method, 5)
+    path = str(tmp_path / f"{method}_{tag}.pages")
+    store = FilePageFile.for_extension(path, ext, page_size=PAGE_SIZE)
+    tree = bulk_load(ext, keys, page_size=PAGE_SIZE, store=store,
+                     workers=workers, **kwargs)
+    store.flush()
+    return tree, store, path
+
+
+def _digest(path):
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_worker_count_never_changes_the_page_file(tmp_path, method):
+    digests = {}
+    for workers in (1, 2, 4):
+        tree, store, path = _build_file(tmp_path, method, workers,
+                                        f"w{workers}",
+                                        oversubscribe=True)
+        validate_tree(tree)
+        store.close()
+        digests[workers] = _digest(path)
+        os.unlink(path)
+    assert digests[2] == digests[1], f"{method}: 2 workers diverged"
+    assert digests[4] == digests[1], f"{method}: 4 workers diverged"
+
+
+def test_forced_parallel_build_really_forks(tmp_path):
+    prof = BuildProfile()
+    tree, store, _ = _build_file(tmp_path, "rtree", 4, "forked",
+                                 oversubscribe=True, profile=prof)
+    store.close()
+    assert prof.fork_workers == 4
+    assert prof.phase_seconds.get("merge", 0.0) >= 0.0
+
+
+def test_default_policy_clamps_to_usable_cpus(tmp_path):
+    prof = BuildProfile()
+    tree, store, _ = _build_file(tmp_path, "rtree", 4, "clamped",
+                                 profile=prof)
+    store.close()
+    assert prof.workers == 4
+    assert prof.fork_workers <= min(4, usable_cpus())
+
+
+def test_parallel_build_answers_queries_correctly(tmp_path):
+    keys = np.random.default_rng(7).normal(size=(N_POINTS, 5))
+    tree, store, _ = _build_file(tmp_path, "xjb", 4, "knn",
+                                 oversubscribe=True)
+    query = keys[123]
+    got = [rid for _, rid in tree.knn(query, 10)]
+    brute = np.argsort(np.linalg.norm(keys - query, axis=1),
+                       kind="stable")[:10]
+    assert got == brute.tolist()
+    store.close()

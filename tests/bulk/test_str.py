@@ -76,6 +76,35 @@ class TestChunkSizes:
         with pytest.raises(ValueError):
             chunk_sizes(10, 20, 2, capacity=10)
 
+    def test_tail_borrow_stops_at_min_entries(self):
+        """The donor page never drops below ``min_entries`` to feed the
+        tail: with a one-item tail and min 5, the donor can give at most
+        ``target - min_entries`` items."""
+        assert chunk_sizes(21, 10, 5) == [10, 6, 5]
+
+    def test_tail_exactly_at_min_entries_untouched(self):
+        """A tail already at ``min_entries`` borrows nothing."""
+        assert chunk_sizes(25, 10, 5) == [10, 10, 5]
+
+    def test_tail_one_below_min_entries_borrows_one(self):
+        assert chunk_sizes(24, 10, 5) == [10, 9, 5]
+
+    def test_capacity_equal_to_target_still_merges_tiny_tail(self):
+        """When the donor sits at ``min_entries`` it cannot give; the
+        tail merges into it if the pair fits a page."""
+        assert chunk_sizes(3, 2, 2, capacity=4) == [3]
+
+    def test_capacity_equal_to_target_rebalances_unmergeable_tail(self):
+        """Same shape but ``capacity == target``: the pair cannot merge,
+        so the last two pages rebalance evenly instead."""
+        assert chunk_sizes(3, 2, 2, capacity=2) == [1, 2]
+
+    def test_n_below_min_entries_single_chunk(self):
+        """Fewer items than ``min_entries`` still pack (a root leaf may
+        legally be underfull)."""
+        assert chunk_sizes(2, 10, 4) == [2]
+        assert chunk_sizes(1, 10, 4) == [1]
+
     @given(st.integers(1, 2000), st.integers(1, 170))
     @settings(max_examples=80, deadline=None)
     def test_chunk_properties(self, n, target):

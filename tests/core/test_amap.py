@@ -87,3 +87,60 @@ class TestExtension:
         ext = AMapExtension(2, samples=64, seed=1)
         pred = ext.pred_for_keys(keys)
         assert all(pred.contains_point(k) for k in keys)
+
+
+def _map_preds_equal(a, b):
+    return all(np.array_equal(ra.lo, rb.lo) and np.array_equal(ra.hi, rb.hi)
+               for ra, rb in zip(a, b))
+
+
+class TestBipartitionKernels:
+    """The order-statistics kernel against the masked-reduce reference.
+
+    Both evaluate the same sampled bipartitions with the same RNG
+    stream, so the winning predicate must match to the bit — that
+    equality is what lets the fast kernel replace the reference in the
+    bulk-load pipeline without changing a single page byte.
+    """
+
+    @pytest.mark.parametrize("n,dim", [(2, 2), (3, 5), (40, 3), (170, 5)])
+    def test_kernels_bit_identical(self, n, dim):
+        rng = np.random.default_rng(n * 10 + dim)
+        pts = rng.normal(size=(n, dim))
+        fast = best_bipartition(pts, pts, 256, np.random.default_rng(9),
+                                kernel="orderstat")
+        ref = best_bipartition(pts, pts, 256, np.random.default_rng(9),
+                               kernel="reduce")
+        assert _map_preds_equal(fast, ref)
+
+    def test_kernels_bit_identical_on_rects(self):
+        rng = np.random.default_rng(11)
+        los = rng.normal(size=(25, 4))
+        his = los + rng.uniform(0.1, 1.0, size=los.shape)
+        fast = best_bipartition(los, his, 128, np.random.default_rng(3),
+                                kernel="orderstat")
+        ref = best_bipartition(los, his, 128, np.random.default_rng(3),
+                               kernel="reduce")
+        assert _map_preds_equal(fast, ref)
+
+    def test_unknown_kernel_rejected(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            best_bipartition(pts, pts, 16, np.random.default_rng(0),
+                             kernel="nope")
+
+    def test_extension_kernel_choice_does_not_change_preds(self):
+        rng = np.random.default_rng(13)
+        keys = rng.normal(size=(60, 3))
+        fast = AMapExtension(3, samples=128, seed=5,
+                             bp_kernel="orderstat").pred_for_keys(keys)
+        ref = AMapExtension(3, samples=128, seed=5,
+                            bp_kernel="reduce").pred_for_keys(keys)
+        assert _map_preds_equal(fast, ref)
+
+    def test_kernel_choice_not_persisted_in_config(self):
+        """The kernel is a speed knob, not an index parameter: a tree
+        built with either must reload identically."""
+        fast = AMapExtension(3, bp_kernel="orderstat")
+        ref = AMapExtension(3, bp_kernel="reduce")
+        assert fast.config() == ref.config()

@@ -91,3 +91,56 @@ class TestCacheInvalidation:
         after = ext.min_dists_node(node, q)
         assert len(after) == len(before) + 1
         assert after[-1] == 0.0
+
+
+class TestLazyLeaf:
+    """`Node.leaf_from_arrays`: array-backed leaves defer entry objects."""
+
+    def _lazy(self, n=6):
+        keys = np.arange(2.0 * n).reshape(n, 2)
+        rids = np.arange(n, dtype=np.int64) + 50
+        return Node.leaf_from_arrays(9, keys, rids), keys, rids
+
+    def test_len_without_materializing(self):
+        node, keys, _ = self._lazy()
+        assert len(node) == len(keys)
+        assert node._entries is None  # still lazy
+
+    def test_array_views_come_from_cache(self):
+        node, keys, rids = self._lazy()
+        assert node.keys_array() is node.cache["keys"]
+        assert np.array_equal(node.keys_array(), keys)
+        assert np.array_equal(node.rid_array(), rids)
+        assert node.rids() == rids.tolist()
+        assert node._entries is None
+
+    def test_entries_materialize_on_access(self):
+        node, keys, rids = self._lazy()
+        entries = node.entries
+        assert [e.rid for e in entries] == rids.tolist()
+        assert all(np.array_equal(e.key, k)
+                   for e, k in zip(entries, keys))
+        assert node.entries is entries  # materialized once
+
+    def test_materialized_equals_eager_construction(self):
+        node, keys, rids = self._lazy()
+        eager = Node(9, 0, [LeafEntry(k, int(r))
+                            for k, r in zip(keys, rids)])
+        assert [tuple(e.key) for e in node.entries] \
+            == [tuple(e.key) for e in eager.entries]
+        assert [e.rid for e in node.entries] \
+            == [e.rid for e in eager.entries]
+
+    def test_mutation_works_on_lazy_node(self):
+        node, _, rids = self._lazy()
+        node.add_entry(LeafEntry(np.array([99.0, 99.0]), 999))
+        assert len(node) == len(rids) + 1
+        assert node.rids() == rids.tolist() + [999]
+        # the stale array views are gone; fresh ones rebuild from entries
+        rebuilt = node.rid_array()
+        assert rebuilt.tolist() == rids.tolist() + [999]
+
+    def test_rid_array_builds_from_eager_entries(self):
+        node = _leaf(4)
+        assert node.rid_array().tolist() == [0, 1, 2, 3]
+        assert node.rid_array().dtype == np.int64

@@ -1,0 +1,200 @@
+"""Batched write-path identity: one-pass encode/seal/write, same bytes.
+
+The bulk-load pipeline writes whole levels at once — block-encoded leaf
+bodies, one batched CRC pass, contiguous multi-page writes.  Every stage
+is contractually byte-identical to its scalar counterpart; these tests
+pin the contract at each layer: CRC, sealing, page encoding, and the
+store's :meth:`write_many`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gist.entry import IndexEntry, LeafEntry
+from repro.gist.node import Node
+from repro.storage.codecs import (IndexEntryCodec, LeafEntryCodec, NodeCodec,
+                                  RectCodec)
+from repro.storage.diskfile import FilePageFile
+from repro.storage.integrity import (crc32c, crc32c_many, seal_image,
+                                     seal_images)
+from repro.storage.pagefile import MemoryPageFile
+from repro.geometry import Rect
+
+PAGE_SIZE = 1024
+DIM = 3
+
+
+def _codec():
+    return NodeCodec(PAGE_SIZE, LeafEntryCodec(DIM),
+                     IndexEntryCodec(RectCodec(DIM)))
+
+
+def _leaf_nodes(rng, count, start_id=1, entries_per=10):
+    nodes = []
+    for i in range(count):
+        keys = rng.normal(size=(entries_per, DIM))
+        nodes.append(Node(start_id + i, 0,
+                          [LeafEntry(k, 1000 * i + j)
+                           for j, k in enumerate(keys)]))
+    return nodes
+
+
+def _inner_nodes(rng, count, start_id, entries_per=5):
+    nodes = []
+    for i in range(count):
+        entries = []
+        for j in range(entries_per):
+            lo = rng.normal(size=DIM)
+            entries.append(IndexEntry(Rect(lo, lo + 1.0), 100 + j))
+        nodes.append(Node(start_id + i, 1, entries))
+    return nodes
+
+
+class TestCrc32cMany:
+    def test_matches_scalar_crc_row_by_row(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 256, size=(17, 301), dtype=np.uint8)
+        many = crc32c_many(blocks)
+        for row, crc in zip(blocks, many):
+            assert int(crc) == crc32c(row.tobytes())
+
+    def test_single_row_and_single_byte(self):
+        assert crc32c_many(np.array([[0x61]], dtype=np.uint8))[0] \
+            == crc32c(b"a")
+
+    def test_zero_rows(self):
+        assert len(crc32c_many(np.empty((0, 8), dtype=np.uint8))) == 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            crc32c_many(np.zeros(8, dtype=np.uint8))
+
+
+class TestSealImages:
+    def test_matches_scalar_seal_per_row(self):
+        rng = np.random.default_rng(1)
+        images = rng.integers(0, 256, size=(9, PAGE_SIZE), dtype=np.uint8)
+        scalar = [seal_image(row.tobytes()) for row in images]
+        sealed = seal_images(images.copy())
+        for row, ref in zip(sealed, scalar):
+            assert row.tobytes() == ref
+
+
+class TestEncodePages:
+    def test_rows_match_scalar_encode(self):
+        rng = np.random.default_rng(2)
+        codec = _codec()
+        nodes = _leaf_nodes(rng, 4) + _inner_nodes(rng, 3, start_id=5)
+        pages = []
+        for node in nodes:
+            if node.level == 0:
+                body = codec.leaf_codec.encode_block(node.keys_array(),
+                                                     node.rid_array())
+            else:
+                body = b"".join(codec.index_codec.encode(tuple(e))
+                                for e in node.entries)
+            pages.append((node.page_id, node.level, len(node), body))
+        images = codec.encode_pages(pages)
+        for node, image in zip(nodes, images):
+            ref = codec.encode(node.page_id, node.level,
+                               [tuple(e) for e in node.entries])
+            assert image.tobytes() == ref
+
+    def test_encode_block_matches_per_entry_encode(self):
+        rng = np.random.default_rng(3)
+        leaf_codec = LeafEntryCodec(DIM)
+        keys = rng.normal(size=(12, DIM))
+        rids = list(range(100, 112))
+        block = leaf_codec.encode_block(keys, rids)
+        assert block == b"".join(leaf_codec.encode((k, r))
+                                 for k, r in zip(keys, rids))
+
+    def test_empty_block(self):
+        assert LeafEntryCodec(DIM).encode_block(np.empty((0, DIM)), []) \
+            == b""
+
+    def test_overflow_rejected(self):
+        codec = _codec()
+        big = b"x" * PAGE_SIZE
+        with pytest.raises(ValueError):
+            codec.encode_pages([(1, 0, 1, big)])
+
+
+class TestWriteMany:
+    def test_file_store_write_many_identical_to_write(self, tmp_path):
+        rng = np.random.default_rng(4)
+        nodes = _leaf_nodes(rng, 6) + _inner_nodes(rng, 2, start_id=7)
+
+        paths = {tag: str(tmp_path / f"{tag}.pages")
+                 for tag in ("single", "batch")}
+        stores = {tag: FilePageFile(path, _codec())
+                  for tag, path in paths.items()}
+        for node in nodes:
+            stores["single"].write(node)
+        stores["batch"].write_many(nodes)
+        for store in stores.values():
+            store.flush()
+            store.close()
+        with open(paths["single"], "rb") as fa, \
+                open(paths["batch"], "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_write_many_in_any_page_order(self, tmp_path):
+        """Non-contiguous, out-of-order page ids land correctly."""
+        rng = np.random.default_rng(5)
+        nodes = _leaf_nodes(rng, 5)
+        for node, pid in zip(nodes, (9, 2, 7, 3, 12)):
+            node.page_id = pid
+        path = str(tmp_path / "scattered.pages")
+        store = FilePageFile(path, _codec())
+        store.write_many(nodes)
+        store.flush()
+        for node in nodes:
+            got = store.peek(node.page_id)
+            assert got.page_id == node.page_id
+            assert got.rids() == node.rids()
+            assert np.array_equal(got.keys_array(), node.keys_array())
+        store.close()
+
+    def test_write_many_counts_writes_and_levels(self, tmp_path):
+        rng = np.random.default_rng(6)
+        nodes = _leaf_nodes(rng, 3)
+        store = FilePageFile(str(tmp_path / "c.pages"), _codec())
+        store.write_many(nodes)
+        assert store.stats.writes == 3
+        store.close()
+
+    def test_memory_store_write_many_roundtrips(self):
+        rng = np.random.default_rng(7)
+        store = MemoryPageFile()
+        nodes = _leaf_nodes(rng, 4)
+        store.write_many(nodes)
+        for node in nodes:
+            got = store.peek(node.page_id)
+            assert len(got.entries) == len(node.entries)
+
+    def test_empty_batch_is_a_no_op(self, tmp_path):
+        store = FilePageFile(str(tmp_path / "e.pages"), _codec())
+        store.write_many([])
+        assert store.stats.writes == 0
+        store.close()
+
+    def test_lazy_leaf_nodes_write_identically(self, tmp_path):
+        """`Node.leaf_from_arrays` leaves (no entry objects yet) must
+        encode the same bytes as materialized ones."""
+        rng = np.random.default_rng(8)
+        keys = rng.normal(size=(10, DIM))
+        rids = np.arange(10, dtype=np.int64)
+        lazy = Node.leaf_from_arrays(1, keys, rids)
+        eager = Node(1, 0, [LeafEntry(k, int(r))
+                            for k, r in zip(keys, rids)])
+        paths = {tag: str(tmp_path / f"{tag}.pages")
+                 for tag in ("lazy", "eager")}
+        for tag, node in (("lazy", lazy), ("eager", eager)):
+            store = FilePageFile(paths[tag], _codec())
+            store.write_many([node])
+            store.flush()
+            store.close()
+        with open(paths["lazy"], "rb") as fa, \
+                open(paths["eager"], "rb") as fb:
+            assert fa.read() == fb.read()
