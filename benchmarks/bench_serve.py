@@ -1,0 +1,36 @@
+"""Serving-layer throughput and parity (perf smoke).
+
+Runs a repeated-query stream through three serving configurations —
+sequential pread queries (the baseline), the batched two-stage pipeline
+over pread, and the batched pipeline over an mmap store with a
+query-result cache — records the comparison with per-stage
+:class:`~repro.amdb.profiler.ServeProfile` breakdowns in
+``benchmarks/results/BENCH_serve.json``, and *fails* if any
+configuration returns image lists different from the baseline.  Speedup
+is recorded, not asserted — wall-clock on shared CI machines is advice,
+parity is a contract.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, emit
+
+from repro.constants import NEIGHBORS_PER_QUERY
+from repro.workload.bench import format_serve_bench, run_serve_bench
+
+
+def test_serve_throughput_and_parity(profile):
+    result = run_serve_bench(
+        num_blobs=profile.num_blobs,
+        num_queries=profile.num_queries,
+        num_candidates=min(NEIGHBORS_PER_QUERY, profile.neighbors),
+        page_size=profile.page_size)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(result, indent=2) + "\n")
+    emit("serving pipeline throughput", format_serve_bench(result))
+    assert result["parity_ok"], (
+        "serving pipeline image lists diverged from the sequential "
+        "baseline: "
+        + ", ".join(row["method"] for row in result["methods"]
+                    if not row["parity_ok"]))

@@ -147,6 +147,58 @@ class BuildProfile:
         }
 
 
+@dataclass
+class ServeProfile:
+    """Per-stage telemetry for one serving (two-stage query) run.
+
+    Filled by :meth:`~repro.blobworld.query.BlobworldEngine.
+    am_query_batch` when a profile object is passed in.  Stages:
+    ``traversal`` (index search excluding storage time),
+    ``read_decode`` (page fetch + CRC verify + decode, measured inside
+    the store's counted read paths), ``rerank`` (full-dimension
+    distances and their stable sort), ``aggregation`` (the image
+    ranking kernel).  Cache counters are snapshotted from the engine's
+    result cache by the caller via :meth:`note_cache`.
+    """
+
+    tree_name: str = ""
+    store_mode: str = ""
+    queries: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = \
+            self.stage_seconds.get(stage, 0.0) + seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
+    def note_cache(self, stats) -> None:
+        """Record a cache's counters (a
+        :class:`~repro.blobworld.cache.CacheStats`)."""
+        self.cache_hits = stats.hits
+        self.cache_misses = stats.misses
+
+    def as_dict(self) -> Dict:
+        """JSON-ready form (string keys, plain floats)."""
+        return {
+            "tree": self.tree_name,
+            "store_mode": self.store_mode,
+            "queries": self.queries,
+            "total_seconds": self.total_seconds,
+            "stage_seconds": {k: float(v)
+                              for k, v in sorted(self.stage_seconds.items())},
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+
 def profile_workload(tree, queries: Sequence[np.ndarray],
                      k: int) -> WorkloadProfile:
     """Replay ``queries`` as k-NN searches, tracing every page access."""

@@ -35,9 +35,12 @@ from repro.blobworld.svd import SVDReducer
 from repro.blobworld.dataset import (BlobCorpus, build_corpus,
                                      build_pipeline_corpus, load_corpus,
                                      save_corpus)
+from repro.blobworld.cache import CacheStats, QueryResultCache
 from repro.blobworld.query import BlobworldEngine
 
 __all__ = [
+    "CacheStats",
+    "QueryResultCache",
     "rgb_to_lab",
     "ColorBinning",
     "QuadraticFormDistance",

@@ -12,19 +12,26 @@ few hundred contain the top few dozen the full ranking would pick.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.constants import FULL_QUERY_RESULT_IMAGES
+from repro.blobworld.cache import QueryResultCache
 from repro.blobworld.dataset import BlobCorpus
 
 
-def _top_images_from_blobs(blob_indices: np.ndarray,
-                           blob_distances: np.ndarray,
-                           image_ids: np.ndarray,
-                           top_images: int) -> List[int]:
-    """Rank images by their best (smallest-distance) blob."""
+def _top_images_from_blobs_ref(blob_indices: np.ndarray,
+                               blob_distances: np.ndarray,
+                               image_ids: np.ndarray,
+                               top_images: int) -> List[int]:
+    """Scalar reference for :func:`_top_images_from_blobs`.
+
+    Kept verbatim (dict loop, strict-`<` update, stable value sort) as
+    the semantic spec the vectorized kernel is tested bit-identical
+    against, ties included.
+    """
     best: dict = {}
     for blob, dist in zip(blob_indices, blob_distances):
         image = int(image_ids[blob])
@@ -34,11 +41,84 @@ def _top_images_from_blobs(blob_indices: np.ndarray,
     return ranked[:top_images]
 
 
-class BlobworldEngine:
-    """Query execution over a :class:`BlobCorpus`."""
+def _top_images_from_blobs(blob_indices: np.ndarray,
+                           blob_distances: np.ndarray,
+                           image_ids: np.ndarray,
+                           top_images: int) -> List[int]:
+    """Rank images by their best (smallest-distance) blob.
 
-    def __init__(self, corpus: BlobCorpus):
+    Vectorized aggregation: an image's rank key is ``(best distance,
+    first occurrence position)`` — exactly what the scalar dict loop
+    produces, since dict insertion order is first-occurrence order and
+    Python's value sort is stable.  ``np.unique`` yields each image's
+    first position, ``np.minimum.at`` folds its best distance, and one
+    lexsort ranks them.
+    """
+    blob_indices = np.asarray(blob_indices)
+    if len(blob_indices) == 0:
+        return []
+    images = image_ids[blob_indices]
+    uniq, first_idx, inverse = np.unique(images, return_index=True,
+                                         return_inverse=True)
+    best = np.full(len(uniq), np.inf)
+    np.minimum.at(best, inverse,
+                  np.asarray(blob_distances, dtype=np.float64))
+    order = np.lexsort((first_idx, best))
+    return [int(i) for i in uniq[order[:top_images]]]
+
+
+def _instrument_reads(store, profile):
+    """Temporarily time a store's ``read``/``read_many`` paths.
+
+    Returns ``(restore, seconds)``: once the profiled call finishes and
+    ``restore()`` runs, ``seconds[0]`` holds the wall time spent inside
+    counted reads (I/O + decode + CRC).  A no-op of the same shape when
+    ``profile`` is None.
+    """
+    seconds = [0.0]
+    if profile is None:
+        return (lambda: None), seconds
+    originals = {}
+    for name in ("read", "read_many"):
+        method = getattr(store, name, None)
+        if method is None:
+            continue
+
+        def timed(*args, _method=method, **kwargs):
+            start = time.perf_counter()
+            try:
+                return _method(*args, **kwargs)
+            finally:
+                seconds[0] += time.perf_counter() - start
+
+        setattr(store, name, timed)
+        originals[name] = method
+
+    def restore():
+        for name, method in originals.items():
+            try:
+                delattr(store, name)
+            except AttributeError:
+                setattr(store, name, method)
+
+    return restore, seconds
+
+
+class BlobworldEngine:
+    """Query execution over a :class:`BlobCorpus`.
+
+    ``cache`` (optional) is a :class:`QueryResultCache` consulted by the
+    two-stage entry points — :meth:`am_query` and :meth:`am_query_batch`
+    share it, so a warm cache serves both identically.  The cache keys
+    on query parameters only, not on the index: attach one cache per
+    (engine, tree) pairing and ``invalidate()`` it when the index
+    changes.
+    """
+
+    def __init__(self, corpus: BlobCorpus,
+                 cache: Optional[QueryResultCache] = None):
         self.corpus = corpus
+        self.cache = cache
 
     # -- full ranking -------------------------------------------------------
 
@@ -73,10 +153,93 @@ class BlobworldEngine:
         ``tree`` must index the corpus's ``dims``-dimensional reduced
         vectors with blob indices as RIDs.
         """
+        if top_images is None:
+            top_images = FULL_QUERY_RESULT_IMAGES
+        key = (int(query_blob), dims, num_blobs, top_images)
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return list(hit)
         query_vec = self.corpus.reduced(dims)[query_blob]
         hits = tree.knn(query_vec, num_blobs)
         candidates = np.array([rid for _, rid in hits], dtype=np.intp)
-        return self.rerank(query_blob, candidates, top_images)
+        result = self.rerank(query_blob, candidates, top_images)
+        if self.cache is not None:
+            self.cache.put(key, tuple(result))
+        return result
+
+    def am_query_batch(self, tree, query_blobs: Sequence[int],
+                       num_blobs: int, dims: int,
+                       top_images: Optional[int] = None,
+                       block_size: Optional[int] = None,
+                       profile=None) -> List[List[int]]:
+        """A block of two-stage queries, each bit-identical to
+        :meth:`am_query` of the same query blob.
+
+        Stage one routes the whole block through
+        :func:`~repro.gist.batch.knn_search_batch` (shared traversal,
+        per-page decode once per block, bulk page reads); stage two
+        re-ranks every candidate list with one full-dimension distance
+        kernel and the vectorized image-aggregation kernel.  ``profile``
+        (a :class:`~repro.amdb.profiler.ServeProfile`, duck-typed as
+        ``add(stage, seconds)``) receives per-stage wall time split into
+        traversal / read_decode / rerank / aggregation.
+        """
+        if top_images is None:
+            top_images = FULL_QUERY_RESULT_IMAGES
+        query_blobs = [int(q) for q in query_blobs]
+        results: List[Optional[List[int]]] = [None] * len(query_blobs)
+        misses: List[int] = []
+        duplicates: List[Tuple[int, tuple]] = []
+        if self.cache is not None:
+            # Within one batch, repeats of an uncached key compute once;
+            # the duplicates resolve from the cache afterwards — exactly
+            # what a sequential loop over the shared cache would do.
+            pending: set = set()
+            for i, blob in enumerate(query_blobs):
+                key = (blob, dims, num_blobs, top_images)
+                if key in pending:
+                    duplicates.append((i, key))
+                    continue
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = list(hit)
+                else:
+                    pending.add(key)
+                    misses.append(i)
+        else:
+            misses = list(range(len(query_blobs)))
+        if misses:
+            from repro.gist.batch import knn_search_batch
+            query_vecs = self.corpus.reduced(dims)[
+                [query_blobs[i] for i in misses]]
+            restore, read_seconds = _instrument_reads(tree.store, profile)
+            t0 = time.perf_counter()
+            try:
+                hits_list = knn_search_batch(tree, query_vecs, num_blobs,
+                                             block_size=block_size)
+            finally:
+                restore()
+            if profile is not None:
+                knn_seconds = time.perf_counter() - t0
+                profile.add("read_decode", read_seconds[0])
+                profile.add("traversal", knn_seconds - read_seconds[0])
+            candidate_lists = [
+                np.fromiter((rid for _, rid in hits), dtype=np.intp,
+                            count=len(hits))
+                for hits in hits_list]
+            ranked = self.rerank_batch([query_blobs[i] for i in misses],
+                                       candidate_lists, top_images,
+                                       profile=profile)
+            for i, result in zip(misses, ranked):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(
+                        (query_blobs[i], dims, num_blobs, top_images),
+                        tuple(result))
+        for i, key in duplicates:
+            results[i] = list(self.cache.get(key))
+        return results
 
     def am_query_images(self, tree, query_blob: int, num_images: int,
                         dims: int,
@@ -113,6 +276,52 @@ class BlobworldEngine:
         order = np.argsort(dists, kind="stable")
         return _top_images_from_blobs(candidates[order], dists[order],
                                       self.corpus.image_ids, top_images)
+
+    def rerank_batch(self, query_blobs: Sequence[int],
+                     candidate_lists: Sequence[np.ndarray],
+                     top_images: Optional[int] = None,
+                     profile=None) -> List[List[int]]:
+        """Re-rank one candidate list per query, block-vectorized.
+
+        Row for row bit-identical to :meth:`rerank`.  Equal-length
+        candidate lists — the common case, every query asked the index
+        for the same ``n`` — are ranked by a single ``(Q, n, full_dim)``
+        distance kernel; ragged blocks fall back to per-query kernels.
+        """
+        if top_images is None:
+            top_images = FULL_QUERY_RESULT_IMAGES
+        if not len(candidate_lists):
+            return []
+        emb = self.corpus.embedded
+        t0 = time.perf_counter()
+        lengths = {len(c) for c in candidate_lists}
+        if lengths == {0}:
+            sorted_cands: Sequence = candidate_lists
+            sorted_dists: Sequence = candidate_lists
+        elif len(lengths) == 1:
+            cands = np.asarray(candidate_lists, dtype=np.intp)
+            diff = emb[cands] \
+                - emb[np.asarray(query_blobs, dtype=np.intp)][:, None, :]
+            dists = (diff * diff).sum(axis=-1)
+            orders = np.argsort(dists, kind="stable", axis=-1)
+            sorted_cands = np.take_along_axis(cands, orders, axis=-1)
+            sorted_dists = np.take_along_axis(dists, orders, axis=-1)
+        else:
+            sorted_cands, sorted_dists = [], []
+            for blob, candidates in zip(query_blobs, candidate_lists):
+                diff = emb[candidates] - emb[blob]
+                dists = (diff * diff).sum(axis=1)
+                order = np.argsort(dists, kind="stable")
+                sorted_cands.append(candidates[order])
+                sorted_dists.append(dists[order])
+        t1 = time.perf_counter()
+        image_ids = self.corpus.image_ids
+        results = [_top_images_from_blobs(c, d, image_ids, top_images)
+                   for c, d in zip(sorted_cands, sorted_dists)]
+        if profile is not None:
+            profile.add("rerank", t1 - t0)
+            profile.add("aggregation", time.perf_counter() - t1)
+        return results
 
     # -- weighted compound queries (Figure 3's sliders) ----------------------------
 

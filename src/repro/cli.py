@@ -115,6 +115,27 @@ def _cmd_bench(args) -> int:
 
     from repro.workload.bench import format_bench, run_bench
 
+    if args.serve:
+        from repro.workload.bench import format_serve_bench, run_serve_bench
+        result = run_serve_bench(num_blobs=args.blobs,
+                                 num_queries=args.queries,
+                                 num_candidates=args.k,
+                                 methods=args.methods, dims=args.dims,
+                                 page_size=args.page_size,
+                                 cache_size=args.cache_size,
+                                 block_size=args.block_size,
+                                 seed=args.seed)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result, fh, indent=2)
+                fh.write("\n")
+        print(format_serve_bench(result))
+        if not result["parity_ok"]:
+            print("PARITY MISMATCH: serving pipeline diverged from "
+                  "sequential results", file=sys.stderr)
+            return 1
+        return 0
+
     if args.build:
         from repro.workload.bench import format_build_bench, run_build_bench
         result = run_build_bench(num_blobs=args.blobs,
@@ -262,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="benchmark index *builds* instead of queries: "
                         "legacy loader vs the parallel pipeline, with a "
                         "byte-identity check")
+    p.add_argument("--serve", action="store_true",
+                   help="benchmark the serving pipeline: sequential "
+                        "pread baseline vs batched mmap two-stage "
+                        "queries with a result cache, with a parity "
+                        "check")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="query-result cache capacity (--serve only)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (batched queries or "
                         "parallel build)")

@@ -152,17 +152,27 @@ def _run_block(tree, queries: np.ndarray, k: int,
         if not requests:
             break
 
+        # Fetch every page this round still misses in one bulk read —
+        # contiguous slot runs gather with a single pread/mmap slice and
+        # batch-verify their seals.  Each query pends on exactly one
+        # page per round, so its own access order (and therefore its
+        # trace) is unaffected by when within the round the page lands.
+        fresh = [pid for pid in requests if pid not in nodes]
+        if fresh:
+            nodes.update(tree._read_query_many(
+                [(pid, requests[pid][0].pending[1]) for pid in fresh]))
+        fresh_set = set(fresh)
+
         for page_id, waiters in requests.items():
-            cached = page_id in nodes
-            if cached:
-                node = nodes[page_id]
-                repeats = waiters
-            else:
-                node = tree._read_query(page_id, waiters[0].pending[1])
-                nodes[page_id] = node
+            node = nodes[page_id]
+            if page_id in fresh_set:
+                # The bulk read counted the fetch once; attribute it to
+                # the first waiter, as a solo read here would have.
                 if node is not None and on_access is not None:
                     on_access(waiters[0].qid, page_id, node.level)
                 repeats = waiters[1:]
+            else:
+                repeats = waiters
             if node is not None:
                 for st in repeats:
                     tree.store.record_access(page_id, node.level)
@@ -170,7 +180,7 @@ def _run_block(tree, queries: np.ndarray, k: int,
                         on_access(st.qid, page_id, node.level)
             for st in waiters:
                 st.pending = None
-            if node is None or not node.entries:
+            if node is None or not len(node):
                 continue
             if node.is_leaf:
                 _expand_leaf(waiters, node, k)
@@ -245,10 +255,11 @@ def _advance(state: _QueryState, ext, k: int) -> Optional[Tuple[int, int]]:
 
 
 def _expand_leaf(waiters: List[_QueryState], node, k: int) -> None:
+    # rid_array reads the "rids" cache a zero-copy block decode (or the
+    # bulk loader) left behind; materializing entry objects here would
+    # cost more than the distance kernel below.
     keys = node.keys_array()
-    rids = node.cached("rid_array",
-                       lambda: np.array([e.rid for e in node.entries],
-                                        dtype=np.int64))
+    rids = node.rid_array()
     if len(waiters) == 1:
         # Same 2-D expression as the sequential search.
         rows = np.sqrt(((keys - waiters[0].q) ** 2).sum(axis=1))[None]

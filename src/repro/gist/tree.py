@@ -112,6 +112,30 @@ class GiST:
             self._quarantine(page_id, level, exc)
             return None
 
+    def _read_query_many(
+            self, requests: Sequence[Tuple[int, Optional[int]]]
+            ) -> Dict[int, Optional[Node]]:
+        """Bulk :meth:`_read_query`: ``{page_id: node-or-None}``.
+
+        ``requests`` pairs each page id with its expected level.  In
+        quarantine mode every page goes through the scalar path, so
+        corrupt pages are pruned and recorded in the
+        :class:`DegradationReport` exactly as a sequential run would;
+        in strict mode the whole set is gathered with one
+        ``store.read_many`` call (contiguous slot runs, batched CRC),
+        which raises on the first failing page in request order just
+        like the equivalent read loop.
+        """
+        requests = list(requests)
+        if self.quarantine_enabled:
+            return {pid: self._read_query(pid, level)
+                    for pid, level in requests}
+        read_many = getattr(self.store, "read_many", None)
+        if read_many is None or len(requests) < 2:
+            return {pid: self._read(pid) for pid, _ in requests}
+        pids = [pid for pid, _ in requests]
+        return dict(zip(pids, read_many(pids)))
+
     def _quarantine(self, page_id: int, level: Optional[int], exc) -> None:
         self._quarantined.add(page_id)
         self.degradation.record(page_id, level, exc,

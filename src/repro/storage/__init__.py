@@ -45,6 +45,7 @@ class PageFileProtocol(Protocol):
 
     # node access
     def read(self, page_id: int): ...
+    def read_many(self, page_ids): ...
     def record_access(self, page_id: int, level: int) -> None: ...
     def peek(self, page_id: int): ...
     def write(self, node) -> None: ...

@@ -11,8 +11,9 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from repro.storage.errors import TransientIOError
 from repro.storage.retry import RetryPolicy, call_with_retry
 
 
@@ -95,6 +96,63 @@ class BufferPool:
             self.stats.evictions += 1
         return node
 
+    def read_many(self, page_ids) -> List:
+        """Counted bulk read mirroring ``[self.read(p) for p in page_ids]``.
+
+        Pages missing from the pool are fetched from the page file in a
+        single ``read_many`` call (so contiguous slot runs gather and
+        their seals batch-verify), then hits and misses are replayed in
+        request order against the frames — same LRU order, eviction
+        timing, and hit/miss split as the sequential loop.
+        """
+        page_ids = list(page_ids)
+        missing: List[int] = []
+        seen = set()
+        for pid in page_ids:
+            if pid not in self._frames and pid not in seen:
+                seen.add(pid)
+                missing.append(pid)
+        fetched: Dict[int, object] = {}
+        if missing:
+            inner_many = getattr(self.pagefile, "read_many", None)
+            if inner_many is not None and len(missing) > 1:
+                try:
+                    fetched = dict(zip(missing, inner_many(missing)))
+                except TransientIOError:
+                    fetched = {}
+            if not fetched:
+                for pid in missing:
+                    fetched[pid] = call_with_retry(
+                        lambda pid=pid: self.pagefile.read(pid),
+                        self.retry, sleep=self._sleep)
+        nodes = []
+        for pid in page_ids:
+            if pid in self._frames:
+                node = self._frames[pid]
+                self._frames.move_to_end(pid)
+                if self.pagefile.counting:
+                    self.stats.hits += 1
+            else:
+                node = fetched.pop(pid, None)
+                if node is None:
+                    # A frame inserted earlier in this batch was already
+                    # evicted again (capacity smaller than the batch):
+                    # refetch, as the sequential loop would.
+                    node = call_with_retry(
+                        lambda pid=pid: self.pagefile.read(pid),
+                        self.retry, sleep=self._sleep)
+                if self.pagefile.counting:
+                    self.stats.misses += 1
+                    lvl = node.level
+                    self.stats.misses_by_level[lvl] = \
+                        self.stats.misses_by_level.get(lvl, 0) + 1
+                self._frames[pid] = node
+                if len(self._frames) > self.capacity:
+                    self._frames.popitem(last=False)
+                    self.stats.evictions += 1
+            nodes.append(node)
+        return nodes
+
     def record_access(self, page_id: int, level: int) -> None:
         """Count a repeat access to an already-fetched page.
 
@@ -103,11 +161,23 @@ class BufferPool:
         resident, so it books as a buffer hit — the underlying page file
         sees no traffic, mirroring what :meth:`read` does for resident
         pages.
+
+        Only *resident* pages book hits: if the page was never cached —
+        or has been evicted since — the repeat access is one a
+        sequential run would have served as a miss, so it counts as a
+        miss here and as traffic on the underlying page file, instead
+        of inflating the hit rate with phantom hits.
         """
         if page_id in self._frames:
             self._frames.move_to_end(page_id)
+            if self.pagefile.counting:
+                self.stats.hits += 1
+            return
         if self.pagefile.counting:
-            self.stats.hits += 1
+            self.stats.misses += 1
+            self.stats.misses_by_level[level] = \
+                self.stats.misses_by_level.get(level, 0) + 1
+        self.pagefile.record_access(page_id, level)
 
     def resize(self, capacity_pages: int) -> None:
         """Change the frame budget in place, evicting LRU pages if it
@@ -179,7 +249,19 @@ class BufferPool:
         self._frames.clear()
 
     def pin_pages(self, page_ids) -> None:
-        """Pre-load pages (e.g. all inner nodes) without counting."""
+        """Pre-load pages (e.g. all inner nodes) without counting.
+
+        The pinned set must fit in the pool: with more distinct pages
+        than frames, later reads would silently evict earlier ones and
+        the "pinned" pages would not actually be resident — so that
+        raises instead of lying.
+        """
+        page_ids = list(page_ids)
+        distinct = len(set(page_ids))
+        if distinct > self.capacity:
+            raise ValueError(
+                f"cannot pin {distinct} pages into {self.capacity} "
+                f"frames; resize() the pool first")
         was_counting = self.pagefile.counting
         self.pagefile.counting = False
         try:

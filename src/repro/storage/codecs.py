@@ -249,6 +249,26 @@ class LeafEntryCodec(Codec):
             rids, dtype="<i8").view(np.uint8).reshape(n, -1)
         return buf.tobytes()
 
+    def decode_block(self, body, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Inverse of :meth:`encode_block`: stacked arrays, zero-copy.
+
+        ``body`` is any buffer holding ``count`` packed entries (a bytes
+        object, an mmap slice, a page-image row); the result is a
+        ``(count, dim)`` float64 key matrix and a ``(count,)`` int64 rid
+        vector, both *views* over ``body`` — no per-entry objects, no
+        copies.  Value-identical to :meth:`decode` applied entry by
+        entry.
+        """
+        if count == 0:
+            return (np.empty((0, self.dim), dtype=np.float64),
+                    np.empty(0, dtype=np.int64))
+        per = self.dim + 1
+        keys = np.frombuffer(body, dtype="<f8",
+                             count=count * per).reshape(count, per)
+        rids = np.frombuffer(body, dtype="<i8",
+                             count=count * per).reshape(count, per)
+        return keys[:, :self.dim], rids[:, self.dim]
+
 
 class IndexEntryCodec(Codec):
     """A ``(predicate, child page id)`` pair."""

@@ -18,16 +18,21 @@ masked by bounded exponential backoff (:mod:`repro.storage.retry`).
 from __future__ import annotations
 
 import errno
+import mmap
 import os
 import struct
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.gist.entry import IndexEntry, LeafEntry
+import numpy as np
+
+from repro.gist.entry import IndexEntry
 from repro.gist.node import Node
 from repro.storage.codecs import NodeCodec
 from repro.storage.errors import (PageCorruptError, PageMissingError,
                                   TransientIOError)
+from repro.storage.integrity import verify_images, verify_view
+from repro.storage.page import PAGE_HEADER_SIZE
 from repro.storage.pagefile import AccessListener, PageStats
 from repro.storage.retry import RetryPolicy, call_with_retry
 
@@ -44,21 +49,35 @@ class FilePageFile:
     Page ids map to fixed-size slots (`page_id * page_size`); slot 0 is
     reserved.  The codec comes from the tree's extension, so construct
     via :meth:`for_extension` or pass a prepared :class:`NodeCodec`.
+
+    With ``mmap_mode=True`` reads go through a shared read-only memory
+    map of the file instead of seek+read syscalls: page images are
+    memoryview slices over the map, leaf bodies decode as zero-copy
+    array views (:meth:`LeafEntryCodec.decode_block` into
+    :meth:`Node.leaf_from_arrays`), and :meth:`read_many` gathers
+    contiguous slot runs without touching the data at all.  Writes stay
+    on the ordinary descriptor — an mmap shares the OS page cache with
+    file writes, so in-place updates are visible through the existing
+    map after a flush and only file *growth* forces a remap.
     """
 
     def __init__(self, path: str, codec: NodeCodec,
                  retry: Optional[RetryPolicy] = RetryPolicy(),
-                 sleep=time.sleep):
+                 sleep=time.sleep, mmap_mode: bool = False):
         self.path = path
         self.codec = codec
         self.page_size = codec.page_size
         self.retry = retry
         self._sleep = sleep
+        self.mmap_mode = bool(mmap_mode)
         # "a+b" would force writes to the end regardless of seeks;
         # open read-write, creating the file when missing.
         if not os.path.exists(path):
             open(path, "wb").close()
         self._file = open(path, "r+b")
+        self._map: Optional[mmap.mmap] = None
+        self._map_slots = 0
+        self._map_dirty = True
         self._next_id = max(1, os.path.getsize(path) // self.page_size)
         self._levels: Dict[int, int] = {}
         self._free: List[int] = []
@@ -123,6 +142,55 @@ class FilePageFile:
                 f"image is {len(image)} bytes, slot holds {self.page_size}")
         self._file.seek(page_id * self.page_size)
         self._file.write(image)
+        self._map_dirty = True
+
+    # -- memory map ----------------------------------------------------------
+
+    def _drop_map(self) -> None:
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # Decoded nodes still hold zero-copy views into the old
+                # map; dropping our reference lets the GC unmap it once
+                # the last view dies.
+                pass
+            self._map = None
+            self._map_slots = 0
+
+    def _ensure_map(self, min_slots: int) -> bool:
+        """Map (or refresh) a read-only view of the file.
+
+        Returns True when the map covers at least ``min_slots`` slots.
+        Pending buffered writes are flushed first so the map sees them;
+        in-place slot updates need no remap (the map and the descriptor
+        share the OS page cache) — only file growth does.
+        """
+        if self._map_dirty:
+            self._file.flush()
+            self._map_dirty = False
+        if self._map is not None and self._map_slots >= min_slots:
+            return True
+        slots = os.fstat(self._file.fileno()).st_size // self.page_size
+        if slots != self._map_slots or self._map is None:
+            self._drop_map()
+            if slots:
+                self._map = mmap.mmap(self._file.fileno(),
+                                      slots * self.page_size,
+                                      access=mmap.ACCESS_READ)
+            self._map_slots = slots
+        return self._map_slots >= min_slots
+
+    def _read_view(self, page_id: int) -> memoryview:
+        """A slot's image as a zero-copy view over the memory map."""
+        if page_id < 1:
+            raise PageMissingError("page ids start at 1", path=self.path,
+                                   page_id=page_id)
+        if not self._ensure_map(page_id + 1):
+            raise PageMissingError("slot beyond end of file",
+                                   path=self.path, page_id=page_id)
+        start = page_id * self.page_size
+        return memoryview(self._map)[start:start + self.page_size]
 
     def _slot_page_id(self, page_id: int) -> Optional[int]:
         """The page id stamped in a slot's header, or None if absent."""
@@ -136,21 +204,56 @@ class FilePageFile:
 
     # -- node access ----------------------------------------------------------
 
-    def _read_image(self, page_id: int) -> Node:
-        image = self._read_raw(page_id)
-        pid, level, raw_entries = self.codec.decode(image, path=self.path)
+    def _node_from_image(self, page_id: int, image, *,
+                         verified: bool = False) -> Node:
+        """Decode a page image (any buffer) into a :class:`Node`.
+
+        Zero-copy: leaf bodies go through
+        :meth:`LeafEntryCodec.decode_block` into a lazy
+        :meth:`Node.leaf_from_arrays` — the key matrix and rid vector
+        are views over ``image``, and per-entry objects only
+        materialize if something walks ``node.entries``.  Inner nodes
+        decode predicate by predicate as before (predicates copy out of
+        the buffer by construction).  ``verified=True`` skips the seal
+        check when a stacked :func:`verify_images` pass already ran.
+        """
+        if not verified and self.codec.checksums:
+            verify_view(image, path=self.path, page_id=page_id)
+        pid, level, count = struct.unpack_from("<qii", image, 0)
         if pid == -1:
             raise PageMissingError("slot was freed", path=self.path,
                                    page_id=page_id)
         if pid != page_id:
             raise PageCorruptError(f"slot holds page {pid}",
                                    path=self.path, page_id=page_id)
+        codec = (self.codec.leaf_codec if level == 0
+                 else self.codec.index_codec)
+        if count < 0 or PAGE_HEADER_SIZE + count * codec.size > len(image):
+            raise PageCorruptError(
+                f"entry count {count} overflows page "
+                f"(level {level}, {codec.size}-byte entries)",
+                path=self.path, page_id=page_id)
+        body = image[PAGE_HEADER_SIZE:PAGE_HEADER_SIZE + count * codec.size]
         if level == 0:
-            entries = [LeafEntry(k, rid) for k, rid in raw_entries]
-        else:
-            entries = [IndexEntry(pred, child)
-                       for pred, child in raw_entries]
+            keys, rids = codec.decode_block(body, count)
+            return Node.leaf_from_arrays(page_id, keys, rids)
+        entries: List[IndexEntry] = []
+        offset = 0
+        try:
+            for _ in range(count):
+                pred, child = codec.decode(body[offset:offset + codec.size])
+                entries.append(IndexEntry(pred, child))
+                offset += codec.size
+        except (struct.error, ValueError) as exc:
+            raise PageCorruptError(
+                f"undecodable entry at offset {PAGE_HEADER_SIZE + offset}: "
+                f"{exc}", path=self.path, page_id=page_id) from None
         return Node(page_id, level, entries)
+
+    def _read_image(self, page_id: int) -> Node:
+        image = (self._read_view(page_id) if self.mmap_mode
+                 else self._read_raw(page_id))
+        return self._node_from_image(page_id, image)
 
     def read(self, page_id: int) -> Node:
         node = call_with_retry(lambda: self._read_image(page_id),
@@ -160,6 +263,105 @@ class FilePageFile:
             for listener in self._listeners:
                 listener(page_id, node.level)
         return node
+
+    def read_many(self, page_ids: Sequence[int]) -> List[Node]:
+        """Counted bulk read: ``[self.read(p) for p in page_ids]``.
+
+        Same counters, listener callbacks, and error behavior as that
+        loop — pages are counted in request order, and the first
+        failing page raises after the pages before it were counted —
+        but each distinct slot decodes once (duplicates share the Node)
+        and contiguous slot runs are fetched with a single pread (or
+        sliced straight off the mmap) with their CRC seals verified in
+        one stacked :func:`verify_images` pass.
+        """
+        page_ids = [int(p) for p in page_ids]
+        outcomes = self._fetch_many(sorted(set(page_ids)))
+        nodes = []
+        for pid in page_ids:
+            node = outcomes[pid]
+            if isinstance(node, Exception):
+                raise node
+            if self.counting:
+                self.stats.record_read(node.level)
+                for listener in self._listeners:
+                    listener(pid, node.level)
+            nodes.append(node)
+        return nodes
+
+    def _fetch_many(self, unique_ids: List[int]) -> Dict[int, object]:
+        """Fetch + decode sorted unique slots; pid -> Node | error."""
+        outcomes: Dict[int, object] = {}
+        valid: List[int] = []
+        for pid in unique_ids:
+            if pid < 1:
+                outcomes[pid] = PageMissingError(
+                    "page ids start at 1", path=self.path, page_id=pid)
+            else:
+                valid.append(pid)
+        if valid:
+            if self.mmap_mode:
+                self._ensure_map(valid[-1] + 1)
+                slots = self._map_slots
+            else:
+                slots = self._slot_count()
+            while valid and valid[-1] >= slots:
+                pid = valid.pop()
+                outcomes[pid] = PageMissingError(
+                    "slot beyond end of file", path=self.path, page_id=pid)
+        start = 0
+        for i in range(1, len(valid) + 1):
+            if i == len(valid) or valid[i] != valid[i - 1] + 1:
+                self._decode_run(valid[start:i], outcomes)
+                start = i
+        return outcomes
+
+    def _decode_run(self, run: List[int],
+                    outcomes: Dict[int, object]) -> None:
+        """Decode one contiguous slot run into per-page outcomes."""
+        ps = self.page_size
+        offset = run[0] * ps
+        if self.mmap_mode:
+            images = np.frombuffer(self._map, dtype=np.uint8,
+                                   count=len(run) * ps,
+                                   offset=offset).reshape(len(run), ps)
+        else:
+            def fetch() -> bytes:
+                try:
+                    self._file.seek(offset)
+                    return self._file.read(len(run) * ps)
+                except TransientIOError:
+                    raise
+                except OSError as exc:
+                    if exc.errno in _TRANSIENT_ERRNOS:
+                        raise TransientIOError(
+                            f"transient read failure: {exc}",
+                            path=self.path, page_id=run[0]) from exc
+                    raise
+            data = call_with_retry(fetch, self.retry, sleep=self._sleep)
+            full = len(data) // ps
+            for pid in run[full:]:
+                outcomes[pid] = PageMissingError(
+                    "slot beyond end of file", path=self.path, page_id=pid)
+            run = run[:full]
+            if not run:
+                return
+            images = np.frombuffer(data, dtype=np.uint8,
+                                   count=full * ps).reshape(full, ps)
+        batch_verified = self.codec.checksums and len(run) > 1
+        bad = verify_images(images) if batch_verified else None
+        for i, pid in enumerate(run):
+            try:
+                if bad is not None and bad[i]:
+                    # Re-run the scalar check for the exact per-page
+                    # error message the sequential path raises.
+                    verify_view(images[i], path=self.path, page_id=pid)
+                    raise PageCorruptError("checksum mismatch",
+                                           path=self.path, page_id=pid)
+                outcomes[pid] = self._node_from_image(
+                    pid, images[i], verified=batch_verified)
+            except (PageMissingError, PageCorruptError) as exc:
+                outcomes[pid] = exc
 
     def record_access(self, page_id: int, level: int) -> None:
         """Count a query access without physical I/O (batch engine)."""
@@ -218,6 +420,7 @@ class FilePageFile:
         for node in nodes:
             self._levels[node.page_id] = node.level
         self.stats.writes += len(nodes)
+        self._map_dirty = True
 
     def note_external_writes(self, pairs) -> None:
         """Account ``(page_id, level)`` pages another process wrote.
@@ -268,6 +471,7 @@ class FilePageFile:
         self._file.flush()
 
     def close(self) -> None:
+        self._drop_map()
         self._file.close()
 
     def __enter__(self) -> "FilePageFile":

@@ -135,6 +135,59 @@ def seal_images(images: np.ndarray, epoch: int = FORMAT_EPOCH) -> np.ndarray:
     return images
 
 
+def verify_images(images: np.ndarray) -> np.ndarray:
+    """Seal check for an ``(n, page_size)`` image array; no mutation.
+
+    Returns an ``(n,)`` bool array: True where the stored CRC32C does
+    not match the image contents (a corrupt page).  Unsealed rows
+    (crc == epoch == 0) are reported clean, matching
+    :func:`verify_image`.  The checksum field is *virtually* zeroed —
+    the CRC recurrence substitutes zero bytes for those four columns —
+    so the input may be a read-only view (e.g. straight over an mmap)
+    and is never copied or written.
+    """
+    if images.ndim != 2:
+        raise ValueError("images must be a 2-D (n, size) uint8 array")
+    n, size = images.shape
+    if size < CHECKSUM_OFFSET + 8:
+        raise ValueError(f"rows of {size} bytes cannot hold a seal")
+    crc = np.full(n, 0xFFFFFFFF, dtype=np.uint32)
+    zero = np.zeros(n, dtype=np.uint32)
+    for col in range(size):
+        byte = zero if CHECKSUM_OFFSET <= col < CHECKSUM_OFFSET + 4 \
+            else images[:, col]
+        crc = _NP_TABLE[(crc ^ byte) & 0xFF] ^ (crc >> np.uint32(8))
+    crc ^= np.uint32(0xFFFFFFFF)
+    seals = np.ascontiguousarray(
+        images[:, CHECKSUM_OFFSET:CHECKSUM_OFFSET + 8]).view("<u4")
+    stored, epochs = seals[:, 0], seals[:, 1]
+    unsealed = (stored == 0) & (epochs == 0)
+    return (crc != stored) & ~unsealed
+
+
+def verify_view(image, *, path=None, page_id=None) -> int:
+    """:func:`verify_image` for a zero-copy buffer (memoryview/bytes).
+
+    Chains the CRC over the segments around the checksum field instead
+    of materializing a blanked copy, so an mmap-backed page is verified
+    without ever copying its 4 KiB image.
+    """
+    crc, epoch = _CHECKSUM.unpack_from(image, CHECKSUM_OFFSET)
+    if crc == 0 and epoch == 0:
+        return 0
+    # A memoryview iterates as plain ints whatever the buffer is
+    # (bytes, mmap slice, uint8 array row), which the scalar CRC needs.
+    buf = memoryview(image)
+    actual = crc32c(buf[:CHECKSUM_OFFSET])
+    actual = crc32c(b"\x00\x00\x00\x00", actual)
+    actual = crc32c(buf[CHECKSUM_OFFSET + 4:], actual)
+    if actual != crc:
+        raise PageCorruptError(
+            f"checksum mismatch: stored {crc:#010x}, computed "
+            f"{actual:#010x} (epoch {epoch})", path=path, page_id=page_id)
+    return epoch
+
+
 def stored_seal(image: bytes):
     """The (crc, epoch) pair stored in a page image's header."""
     return _CHECKSUM.unpack_from(image, CHECKSUM_OFFSET)

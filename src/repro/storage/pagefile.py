@@ -95,6 +95,15 @@ class MemoryPageFile:
             for listener in self._listeners:
                 listener(page_id, level)
 
+    def read_many(self, page_ids) -> List:
+        """Counted bulk read: ``[self.read(p) for p in page_ids]``.
+
+        In-memory nodes need no gathering or decode, so this *is* the
+        sequential loop — it exists so every store answers the same
+        bulk-read protocol with identical counting semantics.
+        """
+        return [self.read(page_id) for page_id in page_ids]
+
     def peek(self, page_id: int):
         """Fetch a node without counting (maintenance / analysis paths)."""
         return self._get(page_id)

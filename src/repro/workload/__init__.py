@@ -9,8 +9,9 @@ average, be retrieved by several queries").
 from repro.workload.generator import NNWorkload, make_workload
 from repro.workload.runner import (run_workload, run_workload_batched,
                                    WorkloadResult)
-from repro.workload.bench import format_bench, run_bench
-from repro.workload.recall import recall_curve, RecallPoint
+from repro.workload.bench import (format_bench, format_serve_bench,
+                                  run_bench, run_serve_bench)
+from repro.workload.recall import recall, recall_curve, RecallPoint
 
 __all__ = [
     "NNWorkload",
@@ -19,7 +20,10 @@ __all__ = [
     "run_workload_batched",
     "run_bench",
     "format_bench",
+    "run_serve_bench",
+    "format_serve_bench",
     "WorkloadResult",
+    "recall",
     "recall_curve",
     "RecallPoint",
 ]

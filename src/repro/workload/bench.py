@@ -150,6 +150,165 @@ def profile_mismatches(seq_profile, bat_profile,
     return problems
 
 
+# -- serving benchmark -------------------------------------------------------
+
+def run_serve_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
+                    num_candidates: int = NEIGHBORS_PER_QUERY,
+                    methods: Sequence[str] = ("rtree", "xjb"),
+                    dims: int = INDEX_DIMENSIONS,
+                    page_size: int = DEFAULT_PAGE_SIZE,
+                    distinct_fraction: float = 0.25,
+                    cache_size: int = 4096,
+                    block_size: Optional[int] = None,
+                    seed: int = 0, workdir: Optional[str] = None) -> Dict:
+    """Time the end-to-end two-stage serving pipeline, three ways.
+
+    The query stream draws ``num_queries`` blobs from a pool of
+    ``distinct_fraction * num_queries`` distinct ones — repeated popular
+    queries, the serving-cache scenario.  Per method, the same stream
+    runs through (1) the sequential baseline — one
+    :meth:`~repro.blobworld.query.BlobworldEngine.am_query` per request
+    over a pread store, no cache; (2) the batched pipeline over the same
+    pread store; (3) the batched pipeline over an mmap store with a
+    result cache — the full serving layer.  All three must return
+    identical image lists per query; like :func:`run_bench`, a parity
+    failure is recorded (``parity_ok``), not raised, so callers can
+    fail after writing the evidence.  ``speedup`` is baseline over the
+    full serving configuration.
+    """
+    from repro.amdb.profiler import ServeProfile
+    from repro.blobworld import BlobworldEngine, QueryResultCache, \
+        build_corpus
+
+    corpus = build_corpus(num_blobs=num_blobs,
+                          num_images=max(1, num_blobs // 6), seed=seed)
+    vectors = corpus.reduced(dims)
+    rng = np.random.default_rng(seed + 2)
+    pool = rng.choice(num_blobs,
+                      size=max(1, int(distinct_fraction * num_queries)),
+                      replace=False)
+    stream = [int(b) for b in rng.choice(pool, size=num_queries)]
+
+    results: List[Dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir if workdir is not None else tmp
+        for method in methods:
+            results.append(_serve_bench_method(
+                method, corpus, vectors, stream,
+                num_candidates=num_candidates, dims=dims,
+                page_size=page_size, cache_size=cache_size,
+                block_size=block_size, base=base,
+                profile_cls=ServeProfile, engine_cls=BlobworldEngine,
+                cache_cls=QueryResultCache))
+
+    return {
+        "bench": "serve",
+        "config": {
+            "num_blobs": num_blobs,
+            "num_queries": num_queries,
+            "num_candidates": num_candidates,
+            "dims": dims,
+            "page_size": page_size,
+            "distinct_queries": len(pool),
+            "cache_size": cache_size,
+            "block_size": block_size,
+            "seed": seed,
+        },
+        "methods": results,
+        "parity_ok": all(r["parity_ok"] for r in results),
+        "min_speedup": min(r["speedup"] for r in results),
+    }
+
+
+def _serve_bench_method(method: str, corpus, vectors: np.ndarray,
+                        stream: List[int], num_candidates: int, dims: int,
+                        page_size: int, cache_size: int,
+                        block_size: Optional[int], base: str,
+                        profile_cls, engine_cls, cache_cls) -> Dict:
+    ext = make_extension(method, vectors.shape[1])
+    trees = {}
+    for mode in ("pread", "mmap"):
+        # Deterministic bulk loads: both stores hold byte-identical
+        # trees, so the pipelines differ only in how they read.
+        store = FilePageFile.for_extension(
+            os.path.join(base, f"serve_{method}_{mode}.pages"), ext,
+            page_size=page_size, mmap_mode=(mode == "mmap"))
+        trees[mode] = bulk_load(ext, vectors, page_size=page_size,
+                                store=store)
+
+    baseline = engine_cls(corpus)
+    t0 = time.perf_counter()
+    reference = [baseline.am_query(trees["pread"], q, num_candidates, dims)
+                 for q in stream]
+    seq_seconds = time.perf_counter() - t0
+
+    batch_profile = profile_cls(tree_name=method, store_mode="pread",
+                                queries=len(stream))
+    batch_engine = engine_cls(corpus)
+    t0 = time.perf_counter()
+    batched = batch_engine.am_query_batch(
+        trees["pread"], stream, num_candidates, dims,
+        block_size=block_size, profile=batch_profile)
+    batch_profile.total_seconds = time.perf_counter() - t0
+
+    cache = cache_cls(cache_size)
+    serve_profile = profile_cls(tree_name=method, store_mode="mmap",
+                                queries=len(stream))
+    serve_engine = engine_cls(corpus, cache=cache)
+    t0 = time.perf_counter()
+    served = serve_engine.am_query_batch(
+        trees["mmap"], stream, num_candidates, dims,
+        block_size=block_size, profile=serve_profile)
+    serve_profile.total_seconds = time.perf_counter() - t0
+    serve_profile.note_cache(cache.stats)
+
+    for tree in trees.values():
+        tree.store.close()
+
+    return {
+        "method": method,
+        "seq_seconds": round(seq_seconds, 4),
+        "seq_qps": round(len(stream) / seq_seconds, 2),
+        "batch_seconds": round(batch_profile.total_seconds, 4),
+        "batch_qps": round(len(stream) / batch_profile.total_seconds, 2),
+        "serve_seconds": round(serve_profile.total_seconds, 4),
+        "serve_qps": round(len(stream) / serve_profile.total_seconds, 2),
+        "speedup": round(seq_seconds / serve_profile.total_seconds, 2),
+        "speedup_batch_only": round(
+            seq_seconds / batch_profile.total_seconds, 2),
+        "cache_hit_rate": round(serve_profile.cache_hit_rate, 4),
+        "parity_ok": batched == reference and served == reference,
+        "batch_profile": batch_profile.as_dict(),
+        "serve_profile": serve_profile.as_dict(),
+    }
+
+
+def format_serve_bench(result: Dict) -> str:
+    """A fixed-width console table of one :func:`run_serve_bench` result."""
+    cfg = result["config"]
+    lines = [
+        f"{cfg['num_queries']} queries ({cfg['distinct_queries']} distinct) "
+        f"x {cfg['num_candidates']} candidates over {cfg['num_blobs']} "
+        f"blobs ({cfg['dims']}D), page size {cfg['page_size']}",
+        f"{'method':<8} {'seq s':>8} {'seq q/s':>9} {'batch s':>8} "
+        f"{'serve s':>8} {'serve q/s':>10} {'speedup':>8} {'parity':>7}",
+    ]
+    for row in result["methods"]:
+        lines.append(
+            f"{row['method']:<8} {row['seq_seconds']:>8.2f} "
+            f"{row['seq_qps']:>9.1f} {row['batch_seconds']:>8.2f} "
+            f"{row['serve_seconds']:>8.2f} {row['serve_qps']:>10.1f} "
+            f"{row['speedup']:>7.2f}x "
+            f"{'ok' if row['parity_ok'] else 'FAIL':>7}")
+        stages = row["serve_profile"]["stage_seconds"]
+        lines.append(
+            "    serve stages: " + ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in stages.items())
+            + f"; cache hit rate {row['cache_hit_rate']:.0%}")
+    return "\n".join(lines)
+
+
 # -- index-build benchmark ---------------------------------------------------
 
 def run_build_bench(num_blobs: int = 100_000,

@@ -14,8 +14,13 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.blobworld.dataset import BlobCorpus
+# recall() is defined once, in repro.blobworld.query (workload already
+# depends on blobworld; the reverse import would cycle), and re-exported
+# here as the workload-facing name.
 from repro.blobworld.query import BlobworldEngine, recall
 from repro.constants import FULL_QUERY_RESULT_IMAGES
+
+__all__ = ["RecallPoint", "recall", "recall_curve"]
 
 
 @dataclass

@@ -1,0 +1,184 @@
+"""Serving layer: batched two-stage queries, result cache, kernels.
+
+The serving contract is the same one the batched kNN engine honors:
+``am_query_batch`` answers are *bit-identical* to a sequential
+``am_query`` loop — same image lists, same tie order, same cache
+accounting — with the speed coming entirely from shared traversal,
+vectorized re-ranking, and the result cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amdb.profiler import ServeProfile
+from repro.blobworld import (BlobworldEngine, QueryResultCache,
+                             build_corpus)
+from repro.blobworld.query import (_top_images_from_blobs,
+                                   _top_images_from_blobs_ref)
+from repro.bulk import bulk_load
+from repro.constants import INDEX_DIMENSIONS
+from tests.conftest import make_ext
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(num_blobs=900, num_images=150, seed=7)
+
+
+@pytest.fixture(scope="module", params=["rtree", "xjb"])
+def tree(request, corpus):
+    vectors = corpus.reduced(INDEX_DIMENSIONS)
+    return bulk_load(make_ext(request.param, INDEX_DIMENSIONS), vectors,
+                     page_size=4096)
+
+
+@pytest.fixture(scope="module")
+def stream(corpus):
+    """A repeated-query stream: 48 requests over 12 distinct blobs."""
+    rng = np.random.default_rng(3)
+    pool = rng.choice(corpus.num_blobs, size=12, replace=False)
+    return [int(b) for b in rng.choice(pool, size=48)]
+
+
+class TestBatchParity:
+    def test_matches_sequential_cold(self, corpus, tree, stream):
+        engine = BlobworldEngine(corpus)
+        expected = [engine.am_query(tree, q, 60, INDEX_DIMENSIONS)
+                    for q in stream]
+        got = BlobworldEngine(corpus).am_query_batch(
+            tree, stream, 60, INDEX_DIMENSIONS)
+        assert got == expected
+
+    def test_matches_sequential_with_shared_cache(self, corpus, tree,
+                                                  stream):
+        """Batched execution over a cache produces the same answers AND
+        the same hit/miss accounting as a sequential loop would."""
+        seq_cache = QueryResultCache(64)
+        seq_engine = BlobworldEngine(corpus, cache=seq_cache)
+        expected = [seq_engine.am_query(tree, q, 60, INDEX_DIMENSIONS)
+                    for q in stream]
+
+        bat_cache = QueryResultCache(64)
+        bat_engine = BlobworldEngine(corpus, cache=bat_cache)
+        got = bat_engine.am_query_batch(tree, stream, 60,
+                                        INDEX_DIMENSIONS)
+        assert got == expected
+        assert bat_cache.stats.hits == seq_cache.stats.hits
+        assert bat_cache.stats.misses == seq_cache.stats.misses
+        assert len(bat_cache) == len(seq_cache)
+
+    def test_warm_cache_serves_identically(self, corpus, tree, stream):
+        cache = QueryResultCache(64)
+        engine = BlobworldEngine(corpus, cache=cache)
+        cold = engine.am_query_batch(tree, stream, 60, INDEX_DIMENSIONS)
+        reads_after_cold = tree.store.stats.reads
+        warm = engine.am_query_batch(tree, stream, 60, INDEX_DIMENSIONS)
+        assert warm == cold
+        assert tree.store.stats.reads == reads_after_cold  # all cached
+
+    def test_profile_accounts_every_stage(self, corpus, tree, stream):
+        profile = ServeProfile(tree_name="t", store_mode="memory",
+                               queries=len(stream))
+        BlobworldEngine(corpus).am_query_batch(
+            tree, stream, 60, INDEX_DIMENSIONS, profile=profile)
+        assert set(profile.stage_seconds) == {
+            "traversal", "read_decode", "rerank", "aggregation"}
+        assert all(s >= 0 for s in profile.stage_seconds.values())
+
+    def test_empty_batch(self, corpus, tree):
+        assert BlobworldEngine(corpus).am_query_batch(
+            tree, [], 60, INDEX_DIMENSIONS) == []
+
+
+class TestRerankBatch:
+    def test_ragged_lists_match_rerank(self, corpus):
+        engine = BlobworldEngine(corpus)
+        rng = np.random.default_rng(5)
+        blobs = [3, 77, 200, 411]
+        lists = [np.sort(rng.choice(corpus.num_blobs, size=n,
+                                    replace=False)).astype(np.intp)
+                 for n in (40, 25, 40, 0)]
+        got = engine.rerank_batch(blobs, lists, top_images=10)
+        expected = [engine.rerank(b, c, top_images=10)
+                    for b, c in zip(blobs, lists)]
+        assert got == expected
+
+    def test_uniform_lists_match_rerank(self, corpus):
+        engine = BlobworldEngine(corpus)
+        rng = np.random.default_rng(6)
+        blobs = [int(b) for b in rng.choice(corpus.num_blobs, size=6)]
+        lists = [rng.choice(corpus.num_blobs, size=50,
+                            replace=False).astype(np.intp)
+                 for _ in blobs]
+        got = engine.rerank_batch(blobs, lists, top_images=12)
+        expected = [engine.rerank(b, c, top_images=12)
+                    for b, c in zip(blobs, lists)]
+        assert got == expected
+
+
+class TestAggregationKernel:
+    @pytest.mark.parametrize("trial", range(20))
+    def test_bit_identical_to_scalar_reference(self, trial):
+        """The vectorized image ranking reproduces the dict-loop
+        reference exactly, including distance ties resolved by first
+        occurrence."""
+        rng = np.random.default_rng(trial)
+        n_blobs, n_images = 300, 40
+        image_ids = rng.integers(0, n_images, size=n_blobs)
+        idx = rng.choice(n_blobs, size=120, replace=False)
+        # quantized distances force plenty of exact ties
+        dists = np.sort(rng.integers(0, 25, size=120).astype(np.float64))
+        got = _top_images_from_blobs(idx, dists, image_ids, 15)
+        ref = _top_images_from_blobs_ref(idx, dists, image_ids, 15)
+        assert got == ref
+
+    def test_empty_input(self):
+        assert _top_images_from_blobs(
+            np.array([], dtype=np.intp), np.array([]),
+            np.arange(10), 5) == []
+
+
+class TestQueryResultCache:
+    def test_lru_eviction_and_stats(self):
+        cache = QueryResultCache(2)
+        cache.put((1, 5, 60, 40), (7, 8))
+        cache.put((2, 5, 60, 40), (9,))
+        assert cache.get((1, 5, 60, 40)) == (7, 8)   # 1 now MRU
+        cache.put((3, 5, 60, 40), (1,))              # evicts 2
+        assert cache.get((2, 5, 60, 40)) is None
+        assert cache.get((1, 5, 60, 40)) == (7, 8)
+        assert cache.stats.evictions == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalidate_one_blob(self):
+        cache = QueryResultCache(8)
+        cache.put((1, 5, 60, 40), (7,))
+        cache.put((1, 3, 60, 40), (8,))
+        cache.put((2, 5, 60, 40), (9,))
+        assert cache.invalidate(query_blob=1) == 2
+        assert (1, 5, 60, 40) not in cache
+        assert (2, 5, 60, 40) in cache
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_all(self):
+        cache = QueryResultCache(8)
+        cache.put((1, 5, 60, 40), (7,))
+        cache.put((2, 5, 60, 40), (9,))
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(0)
+
+    def test_invalidation_forces_recompute(self, corpus, tree):
+        cache = QueryResultCache(16)
+        engine = BlobworldEngine(corpus, cache=cache)
+        first = engine.am_query(tree, 11, 60, INDEX_DIMENSIONS)
+        cache.invalidate()
+        reads_before = tree.store.stats.reads
+        again = engine.am_query(tree, 11, 60, INDEX_DIMENSIONS)
+        assert again == first
+        assert tree.store.stats.reads > reads_before  # really recomputed

@@ -161,3 +161,62 @@ class TestRecordAccess:
         store.counting = False
         pool.record_access(nodes[0].page_id, 0)
         assert pool.stats.hits == 0
+
+    def test_non_resident_page_is_a_miss_not_a_hit(self):
+        """Regression: recording an access to a page the pool does not
+        hold must count a miss and forward to the inner store — never a
+        phantom hit that inflates the hit rate."""
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        pool.record_access(nodes[0].page_id, 0)
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 1
+        assert pool.stats.misses_by_level == {0: 1}
+        assert store.stats.reads == 1  # forwarded to the inner store
+
+
+class TestReadMany:
+    def test_matches_sequential_reads_and_stats(self):
+        store, nodes = _store_with(6)
+        pids = [n.page_id for n in nodes]
+        request = pids[:4] + pids[:2] + pids[4:]
+
+        seq_store, _ = _store_with(6)
+        seq_pool = BufferPool(seq_store, capacity_pages=4)
+        expected = [seq_pool.read(p) for p in request]
+
+        pool = BufferPool(store, capacity_pages=4)
+        got = pool.read_many(request)
+        assert [n.page_id for n in got] == [n.page_id for n in expected]
+        assert pool.stats.hits == seq_pool.stats.hits
+        assert pool.stats.misses == seq_pool.stats.misses
+        assert pool.stats.evictions == seq_pool.stats.evictions
+
+    def test_duplicates_resolve_to_one_fetch(self):
+        store, nodes = _store_with(1)
+        pool = BufferPool(store, capacity_pages=2)
+        pid = nodes[0].page_id
+        got = pool.read_many([pid, pid, pid])
+        assert [n.page_id for n in got] == [pid] * 3
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 2
+
+
+class TestPinOverflow:
+    def test_pinning_beyond_capacity_raises(self):
+        """Regression: pinning more distinct pages than the pool has
+        frames used to silently evict the earliest pins — the 'pinned'
+        root path then missed on its first use."""
+        store, nodes = _store_with(3)
+        pool = BufferPool(store, capacity_pages=2)
+        with pytest.raises(ValueError, match="resize"):
+            pool.pin_pages([n.page_id for n in nodes])
+
+    def test_duplicate_pins_do_not_overflow(self):
+        store, nodes = _store_with(2)
+        pool = BufferPool(store, capacity_pages=2)
+        pids = [n.page_id for n in nodes]
+        pool.pin_pages(pids + pids)      # 4 requests, 2 distinct
+        assert pool.stats.accesses == 0
+        pool.read(pids[0])
+        assert pool.stats.hits == 1

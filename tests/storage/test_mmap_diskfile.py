@@ -1,0 +1,232 @@
+"""mmap read path: bit-identical to pread, faults and all.
+
+``FilePageFile(mmap_mode=True)`` serves page images as zero-copy views
+of one shared mapping instead of per-page ``pread`` buffers.  The
+contract is strict equivalence: same decoded nodes, same access
+counters, same typed errors with the same messages, same quarantine
+behavior — the only permitted difference is speed.  These tests open
+pread and mmap stores over the *same* page file and hold every
+observable to that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bulk import bulk_load
+from repro.gist import GiST, knn_search_batch
+from repro.storage import PageCorruptError, PageMissingError
+from repro.storage.diskfile import FilePageFile
+from repro.storage.faults import FaultyPageFile
+
+from tests.conftest import ALL_METHODS, make_ext
+
+#: JB-family predicates are large; they need roomier pages (see
+#: tests/gist/test_batch_parity.py).
+PAGE_SIZES = {"jb": 8192, "xjb": 4096}
+
+
+def _page_size(method):
+    return PAGE_SIZES.get(method, 2048)
+
+
+def _build_file(tmp_path, method, points, name="pages.bin"):
+    """Bulk-load ``points`` into a fresh page file; return
+    (path, root_id, height, size)."""
+    ext = make_ext(method, points.shape[1])
+    path = str(tmp_path / name)
+    store = FilePageFile.for_extension(path, ext,
+                                       page_size=_page_size(method))
+    tree = bulk_load(ext, points, page_size=_page_size(method),
+                     store=store)
+    facts = (tree.root_id, tree.height, tree.size)
+    store.flush()
+    store.close()
+    return (path,) + facts
+
+
+def _open(path, method, dim, mmap_mode):
+    return FilePageFile.for_extension(path, make_ext(method, dim),
+                                      page_size=_page_size(method),
+                                      mmap_mode=mmap_mode)
+
+
+def _adopt(store, method, dim, facts):
+    root_id, height, size = facts
+    tree = GiST(make_ext(method, dim), store=store,
+                page_size=_page_size(method))
+    tree.adopt(store.peek(root_id), height, size)
+    return tree
+
+
+def _corrupt_leaf(store):
+    """Flip a bit in a deterministic leaf; return (page id, its rids).
+
+    The rids identify stored points whose own queries must descend into
+    the corrupt leaf — guaranteeing the fault is actually hit.
+    """
+    victim = sorted(pid for pid in store.page_ids()
+                    if store.peek(pid).is_leaf)[3]
+    resident = [int(r) for r in store.peek(victim).rid_array()]
+    FaultyPageFile(store).corrupt_page(victim, bit=500 * 8)
+    return victim, resident
+
+
+def _nodes_equal(a, b):
+    assert a.page_id == b.page_id
+    assert a.level == b.level
+    assert len(a) == len(b)
+    if a.is_leaf:
+        assert np.array_equal(a.keys_array(), b.keys_array())
+        assert np.array_equal(a.rid_array(), b.rid_array())
+    else:
+        for ea, eb in zip(a.entries, b.entries):
+            assert ea.child == eb.child
+
+
+@pytest.fixture(scope="module")
+def points():
+    return np.random.default_rng(13).normal(size=(1200, 3))
+
+
+class TestReadIdentity:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_knn_and_counters_match_pread(self, tmp_path, method,
+                                          points):
+        """Every AM family answers identically from the mapped file —
+        result lists, tie order, and per-level read counts."""
+        path, *facts = _build_file(tmp_path, method, points)
+        queries = points[::200]
+        results, levels = {}, {}
+        for mode in (False, True):
+            with _open(path, method, 3, mode) as store:
+                tree = _adopt(store, method, 3, facts)
+                results[mode] = [tree.knn(q, 15) for q in queries]
+                levels[mode] = dict(store.stats.reads_by_level)
+        assert results[True] == results[False]
+        assert levels[True] == levels[False]
+
+    def test_decoded_nodes_match_pread(self, tmp_path, points):
+        path, *facts = _build_file(tmp_path, "rtree", points)
+        with _open(path, "rtree", 3, False) as pread, \
+                _open(path, "rtree", 3, True) as mapped:
+            for pid in sorted(pread.page_ids()):
+                _nodes_equal(pread.read(pid), mapped.read(pid))
+
+    def test_read_many_matches_sequential_reads(self, tmp_path, points):
+        """``read_many`` is the plural of ``read``: same nodes in
+        request order — duplicates included — and the same counters
+        and listener notifications."""
+        path, *facts = _build_file(tmp_path, "rtree", points)
+        with _open(path, "rtree", 3, True) as mapped, \
+                _open(path, "rtree", 3, True) as reference:
+            pids = sorted(mapped.page_ids())
+            request = pids[::3] + pids[:2] + pids[:2]   # dups on purpose
+            seen = []
+            mapped.add_listener(lambda p, lvl: seen.append(p))
+            many = mapped.read_many(request)
+            solo = [reference.read(p) for p in request]
+            for a, b in zip(many, solo):
+                _nodes_equal(a, b)
+            assert seen == request
+            assert mapped.stats.reads == reference.stats.reads
+
+    def test_read_many_raises_like_read(self, tmp_path, points):
+        path, *facts = _build_file(tmp_path, "rtree", points)
+        with _open(path, "rtree", 3, True) as mapped:
+            good = sorted(mapped.page_ids())[0]
+            with pytest.raises(PageMissingError) as batch_err:
+                mapped.read_many([good, 9999, good])
+            with pytest.raises(PageMissingError) as solo_err:
+                mapped.read(9999)
+            assert str(batch_err.value) == str(solo_err.value)
+            # only the page before the failure was counted
+            assert mapped.stats.reads == 1
+
+
+class TestWriteCoherence:
+    def test_writes_after_mapping_are_visible(self, tmp_path):
+        from repro.gist.node import Node
+
+        ext = make_ext("rtree", 2)
+        store = FilePageFile.for_extension(str(tmp_path / "w.bin"), ext,
+                                           page_size=1024,
+                                           mmap_mode=True)
+        first = Node(store.allocate(), 0)
+        store.write(first)
+        store.read(first.page_id)          # establishes the mapping
+        second = Node(store.allocate(), 0)  # grows past the mapped end
+        store.write(second)
+        assert store.read(second.page_id).page_id == second.page_id
+        store.free(first.page_id)
+        with pytest.raises(PageMissingError, match="freed"):
+            store.read(first.page_id)
+        store.close()
+
+
+class TestFaultParity:
+    def test_corruption_raises_same_error_as_pread(self, tmp_path,
+                                                   points):
+        path, *facts = _build_file(tmp_path, "rtree", points)
+        with _open(path, "rtree", 3, False) as pread:
+            victim = sorted(pid for pid in pread.page_ids()
+                            if pread.read(pid).is_leaf)[2]
+            FaultyPageFile(pread).corrupt_page(victim, bit=500 * 8)
+        errors = {}
+        for mode in (False, True):
+            with _open(path, "rtree", 3, mode) as store:
+                with pytest.raises(PageCorruptError) as excinfo:
+                    store.read(victim)
+                errors[mode] = str(excinfo.value)
+                with pytest.raises(PageCorruptError):
+                    store.read_many([victim])
+        assert errors[True] == errors[False]
+
+    def test_quarantine_report_matches_pread(self, tmp_path, points):
+        """A corrupt leaf under quarantine degrades the mmap tree
+        exactly as it degrades the pread tree: same pruned page, same
+        report entries, same degraded answers."""
+        trees, reports = {}, {}
+        for mode, name in ((False, "p.bin"), (True, "m.bin")):
+            path, *facts = _build_file(tmp_path, "rtree", points,
+                                       name=name)
+            store = _open(path, "rtree", 3, mode)
+            tree = _adopt(store, "rtree", 3, facts)
+            victim, resident = _corrupt_leaf(store)
+            reports[mode] = tree.enable_quarantine()
+            # queries at the victim's own points force the visit
+            trees[mode] = [tree.knn(points[r], 10) for r in resident]
+        assert reports[False].pages, "victim leaf was never visited"
+        assert trees[True] == trees[False]
+        assert (sorted(reports[True].pages) ==
+                sorted(reports[False].pages))
+        for pid in reports[True].pages:
+            a, b = reports[True].pages[pid], reports[False].pages[pid]
+            # the two trees live in different files, so compare the
+            # error past its leading "<path>: " prefix
+            assert (a.level, a.error.split(": ", 1)[1],
+                    a.estimated_candidates_lost) == \
+                (b.level, b.error.split(": ", 1)[1],
+                 b.estimated_candidates_lost)
+
+    def test_batched_engine_over_mmap_quarantines_identically(
+            self, tmp_path, points):
+        path_a, *facts = _build_file(tmp_path, "rtree", points,
+                                     name="a.bin")
+        path_b, *_ = _build_file(tmp_path, "rtree", points, name="b.bin")
+        seq_store = _open(path_a, "rtree", 3, False)
+        bat_store = _open(path_b, "rtree", 3, True)
+        seq_tree = _adopt(seq_store, "rtree", 3, facts)
+        bat_tree = _adopt(bat_store, "rtree", 3, facts)
+        victim, resident = _corrupt_leaf(seq_store)
+        _corrupt_leaf(bat_store)
+        for tree in (seq_tree, bat_tree):
+            tree.enable_quarantine()
+
+        queries = np.concatenate([points[::150], points[resident[:4]]])
+        expected = [seq_tree.knn(q, 10) for q in queries]
+        got = knn_search_batch(bat_tree, queries, 10, block_size=7)
+
+        assert got == expected
+        assert bat_tree._quarantined == seq_tree._quarantined == {victim}
+        assert (bat_tree.store.stats.reads_by_level
+                == seq_tree.store.stats.reads_by_level)
