@@ -1,0 +1,567 @@
+"""The amlint rule catalog: repo-specific invariants as AST checks.
+
+Every rule encodes one invariant that earlier PRs established by
+convention and DESIGN.md records in prose — here they become machine
+checks that run on every commit.  Rules are scoped to the subsystems
+whose contract they guard; see DESIGN.md §10 for the full catalog with
+rationale and examples.
+
+================  ========  =====================================================
+ID                severity  invariant
+================  ========  =====================================================
+``REP101``        error     no wall-clock reads in build/query/geometry code
+``REP102``        error     RNG construction must thread an explicit seed
+``REP201``        error     fork workers must reopen file-backed stores
+``REP202``        error     fork workers must be module-level; no live handles
+                            captured into fork state
+``REP301``        error     no bare/broad ``except`` that swallows in
+                            ``storage/`` and ``gist/``
+``REP302``        error     storage paths raise ``StorageError`` subclasses,
+                            never raw ``KeyError``/``OSError``/``struct.error``
+``REP401``        error     no byte copies (``.tobytes()``, ``bytes(view)``,
+                            ``copy=True``) in the serving read path
+``REP402``        warning   ``.copy()`` in a decode path (scalar-compat copies)
+``REP501``        error     page-file protocol implementers define every
+                            protocol method with a matching signature
+================  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.amlint import ERROR, WARNING, Finding, ModuleSource
+
+#: packages whose structure must be a pure function of (data, seed).
+_DETERMINISM_SCOPE = ("bulk/", "gist/", "geometry/")
+#: files hosting fork-parallel worker plumbing.
+_FORK_SCOPE = ("bulk/loader.py", "workload/runner.py")
+#: the zero-copy serving hot path.
+_SERVING_SCOPE = ("blobworld/query.py", "storage/diskfile.py",
+                  "storage/codecs.py")
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a plain name."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def _normalized_call_name(node: ast.Call) -> Optional[str]:
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    if name == "numpy" or name.startswith("numpy."):
+        name = "np" + name[len("numpy"):]
+    return name
+
+
+class Rule:
+    """One lintable invariant: ID, severity, scope, and a check hook."""
+
+    id: str = "REP999"
+    severity: str = ERROR
+    title: str = ""
+    #: package-relative path prefixes (or exact files) the rule covers;
+    #: empty means every linted file.
+    scopes: Tuple[str, ...] = ()
+    #: True for rules that need the whole module set at once.
+    project: bool = False
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(relpath == scope or relpath.startswith(scope)
+                   for scope in self.scopes)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(self,
+                      modules: Sequence[ModuleSource]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str,
+                severity: Optional[str] = None) -> Finding:
+        return Finding(self.id, severity or self.severity, module.path,
+                       getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0), message)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+class WallClockRule(Rule):
+    """REP101: builds and searches must not read the wall clock.
+
+    Parallel builds are byte-identical to sequential ones only because
+    nothing in ``bulk/``, ``gist/``, or ``geometry/`` depends on *when*
+    it ran.  ``time.perf_counter``/``time.monotonic`` stay legal — they
+    feed profiling counters, never data — but calendar time does not.
+    """
+
+    id = "REP101"
+    title = "no wall-clock reads in deterministic code"
+    scopes = _DETERMINISM_SCOPE
+
+    _BANNED = frozenset({
+        "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "date.today", "datetime.date.today",
+    })
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _normalized_call_name(node)
+            if name in self._BANNED:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock call {name}() in deterministic code; "
+                    f"build and search results must be a pure function "
+                    f"of (data, seed)")
+
+
+class SeededRngRule(Rule):
+    """REP102: every RNG must be constructed with an explicit seed.
+
+    The parallel bulk loader keys randomness to ``(level, index)`` so
+    any sharding of the work produces identical bytes; a module-level
+    ``random.*`` / ``np.random.*`` call (hidden global state) or an
+    unseeded generator breaks that contract silently.
+    """
+
+    id = "REP102"
+    title = "RNG construction must thread an explicit seed"
+    scopes = _DETERMINISM_SCOPE
+
+    _CONSTRUCTORS = frozenset({
+        "random.Random", "np.random.default_rng", "np.random.RandomState",
+        "np.random.Generator", "np.random.SeedSequence",
+    })
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _normalized_call_name(node)
+            if name is None:
+                continue
+            if name in self._CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node,
+                        f"{name}() constructed without an explicit "
+                        f"seed; parallel builds key RNGs to "
+                        f"(level, index)")
+            elif name.startswith("np.random.") or \
+                    (name.startswith("random.") and name.count(".") == 1):
+                yield self.finding(
+                    module, node,
+                    f"module-level RNG call {name}() uses hidden "
+                    f"global state; construct a seeded generator and "
+                    f"thread it explicitly")
+
+
+# ---------------------------------------------------------------------------
+# fork safety
+# ---------------------------------------------------------------------------
+
+class ForkReopenRule(Rule):
+    """REP201: forked workers must reopen file-backed stores.
+
+    A forked child inherits the parent's file descriptions — and their
+    *shared offsets*.  Every ``_worker_*`` function in the fork-parallel
+    files must call a ``storage/fork.py`` reopen helper before touching
+    a store (conditionally is fine: workers that only read inherited
+    copy-on-write memory guard the call).
+    """
+
+    id = "REP201"
+    title = "fork workers must reopen file-backed stores"
+    scopes = _FORK_SCOPE
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.startswith("_worker"):
+                continue
+            calls_reopen = any(
+                isinstance(sub, ast.Call)
+                and (dotted_name(sub.func) or "").endswith("reopen_files")
+                for sub in ast.walk(node))
+            if not calls_reopen:
+                yield self.finding(
+                    module, node,
+                    f"fork worker {node.name}() never calls a "
+                    f"reopen_files helper; inherited descriptors share "
+                    f"their file offset across workers")
+
+
+class ForkCaptureRule(Rule):
+    """REP202: fork workers are module-level; no handles in fork state.
+
+    Work crosses the fork boundary through a module-global state dict
+    plus a module-level worker function.  A lambda/closure handed to
+    ``pool.map`` can smuggle live mmaps or file objects past review, as
+    can opening a handle directly inside the fork-state assignment.
+    """
+
+    id = "REP202"
+    title = "no handle capture into fork workers"
+    scopes = _FORK_SCOPE
+
+    _POOL_METHODS = (".map", ".imap", ".imap_unordered", ".starmap",
+                     ".apply", ".apply_async", ".map_async")
+    _HANDLE_CALLS = frozenset({"open", "mmap.mmap"})
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                if any(name.endswith(m) for m in self._POOL_METHODS):
+                    for arg in list(node.args) + \
+                            [kw.value for kw in node.keywords]:
+                        if isinstance(arg, ast.Lambda):
+                            yield self.finding(
+                                module, arg,
+                                "fork worker passed to pool as a "
+                                "lambda; workers must be module-level "
+                                "functions taking state from the fork "
+                                "dict")
+            elif isinstance(node, ast.Assign):
+                targets = [dotted_name(t) for t in node.targets
+                           if isinstance(t, (ast.Name, ast.Attribute))]
+                if "_FORK_STATE" not in targets:
+                    continue
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Call) and \
+                            (dotted_name(sub.func) or "") \
+                            in self._HANDLE_CALLS:
+                        yield self.finding(
+                            module, sub,
+                            "fork state captures a live OS handle; "
+                            "workers must reopen by path via the "
+                            "storage.fork helpers")
+
+
+# ---------------------------------------------------------------------------
+# exception discipline
+# ---------------------------------------------------------------------------
+
+class BroadExceptRule(Rule):
+    """REP301: no swallowed broad excepts in ``storage/`` and ``gist/``.
+
+    The typed ``StorageError`` hierarchy exists so callers can tell
+    "never written" from "written and damaged".  A bare ``except:`` is
+    always an error; ``except Exception``/``BaseException`` is an error
+    unless the handler re-raises unchanged (a bare ``raise``), which
+    keeps cleanup-then-propagate legal.
+    """
+
+    id = "REP301"
+    title = "no swallowed broad excepts in storage paths"
+    scopes = ("storage/", "gist/")
+
+    @staticmethod
+    def _names(node: Optional[ast.expr]) -> List[str]:
+        if node is None:
+            return []
+        if isinstance(node, ast.Tuple):
+            return [dotted_name(e) or "" for e in node.elts]
+        return [dotted_name(node) or ""]
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare 'except:' swallows everything including "
+                    "KeyboardInterrupt; catch a StorageError subclass")
+                continue
+            broad = [n for n in self._names(node.type)
+                     if n in ("Exception", "BaseException")]
+            if not broad:
+                continue
+            reraises = any(isinstance(sub, ast.Raise) and sub.exc is None
+                           for sub in ast.walk(node))
+            if not reraises:
+                yield self.finding(
+                    module, node,
+                    f"'except {broad[0]}' swallows typed storage "
+                    f"failures; catch a StorageError subclass (or "
+                    f"re-raise unchanged)")
+
+
+class TypedRaiseRule(Rule):
+    """REP302: storage paths raise ``StorageError`` subclasses.
+
+    Raising raw ``KeyError``/``OSError``/``struct.error`` reintroduces
+    exactly the duck-typed failures PR 1 eliminated.  ``ValueError`` /
+    ``TypeError`` for argument validation stay legal: those are
+    programming errors, not storage outcomes.
+    """
+
+    id = "REP302"
+    title = "storage failures must be StorageError subclasses"
+    scopes = ("storage/",)
+
+    _BANNED = frozenset({
+        "KeyError", "OSError", "IOError", "EOFError", "PermissionError",
+        "FileNotFoundError", "InterruptedError", "struct.error",
+        "json.JSONDecodeError",
+    })
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = dotted_name(exc.func) if isinstance(exc, ast.Call) \
+                else dotted_name(exc)
+            if name in self._BANNED:
+                yield self.finding(
+                    module, node,
+                    f"storage path raises raw {name}; use a "
+                    f"StorageError subclass (PageMissingError / "
+                    f"PageCorruptError / TransientIOError)")
+
+
+# ---------------------------------------------------------------------------
+# zero-copy discipline
+# ---------------------------------------------------------------------------
+
+def _is_decode_path(name: str) -> bool:
+    return name.lstrip("_").startswith(("decode", "read", "verify"))
+
+
+class _ServingVisitor(ast.NodeVisitor):
+    """Tracks the enclosing function-name stack for the serving rules."""
+
+    def __init__(self) -> None:
+        self.stack: List[str] = []
+        #: (node, in_decode_path) call sites, collected in source order.
+        self.calls: List[Tuple[ast.Call, bool]] = []
+
+    def _visit_func(self, node: ast.AST, name: str) -> None:
+        self.stack.append(name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        in_decode = any(_is_decode_path(name) for name in self.stack)
+        self.calls.append((node, in_decode))
+        self.generic_visit(node)
+
+
+class ZeroCopyRule(Rule):
+    """REP401: no byte copies on the serving read path.
+
+    PR 4's mmap serving layer keeps pages as ``memoryview`` slices from
+    the map to the decoded node arrays.  Inside decode/read/verify
+    functions of the hot-path files, materializing bytes —
+    ``.tobytes()``, ``bytes(view)``, ``np.array(..., copy=True)`` —
+    silently reintroduces the copy the layer exists to avoid.  Encode
+    and write paths are exempt: sealing a page *must* materialize it.
+    """
+
+    id = "REP401"
+    title = "no byte copies in the serving read path"
+    scopes = _SERVING_SCOPE
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        visitor = _ServingVisitor()
+        visitor.visit(module.tree)
+        for node, in_decode in visitor.calls:
+            func = node.func
+            if in_decode and isinstance(func, ast.Attribute) \
+                    and func.attr == "tobytes":
+                yield self.finding(
+                    module, node,
+                    ".tobytes() materializes a copy in the read path; "
+                    "serve memoryview slices instead")
+            elif in_decode and isinstance(func, ast.Name) \
+                    and func.id == "bytes" and len(node.args) == 1 \
+                    and not node.keywords \
+                    and not isinstance(node.args[0], ast.Constant):
+                yield self.finding(
+                    module, node,
+                    "bytes(view) materializes a copy in the read "
+                    "path; serve memoryview slices instead")
+            else:
+                name = _normalized_call_name(node)
+                if name in ("np.array", "np.asarray"):
+                    for kw in node.keywords:
+                        if kw.arg == "copy" and \
+                                isinstance(kw.value, ast.Constant) and \
+                                kw.value.value is True:
+                            yield self.finding(
+                                module, node,
+                                f"{name}(..., copy=True) in a "
+                                f"zero-copy hot-path file; decode "
+                                f"into views")
+
+
+class CopyInDecodeRule(Rule):
+    """REP402 (warning): ``.copy()`` inside a decode path.
+
+    The scalar-compat decode paths copy entry arrays out of page
+    buffers; that is deliberate (legacy per-entry decode) but worth a
+    flag so new hot-path code reaches for ``decode_block`` views first.
+    """
+
+    id = "REP402"
+    severity = WARNING
+    title = "array copy in a decode path"
+    scopes = _SERVING_SCOPE
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        visitor = _ServingVisitor()
+        visitor.visit(module.tree)
+        for node, in_decode in visitor.calls:
+            if in_decode and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "copy":
+                yield self.finding(
+                    module, node,
+                    ".copy() in a decode path keeps the scalar-compat "
+                    "copy alive; the zero-copy path is decode_block")
+
+
+# ---------------------------------------------------------------------------
+# protocol conformance
+# ---------------------------------------------------------------------------
+
+class _Signature:
+    """Positional shape of one method, compared structurally."""
+
+    def __init__(self, args: ast.arguments) -> None:
+        self.names = [a.arg for a in args.args[1:]]  # drop self
+        self.defaults = len(args.defaults)
+        self.vararg = args.vararg is not None
+
+    @property
+    def required(self) -> int:
+        return len(self.names) - self.defaults
+
+    def accepts(self, proto: "_Signature") -> Optional[str]:
+        """None if this signature can take the protocol's calls, else why."""
+        if proto.vararg:
+            if not self.vararg and self.required > 0:
+                return ("protocol method takes *args but implementation "
+                        "requires fixed positional arguments")
+            return None
+        want = len(proto.names)
+        if self.required > want:
+            return (f"requires {self.required} positional arguments, "
+                    f"protocol passes {want}")
+        if not self.vararg and len(self.names) < want:
+            return (f"accepts only {len(self.names)} positional "
+                    f"arguments, protocol passes {want}")
+        for mine, theirs in zip(self.names, proto.names):
+            if mine != theirs:
+                return (f"positional parameter {mine!r} does not match "
+                        f"protocol's {theirs!r}")
+        return None
+
+
+class ProtocolConformanceRule(Rule):
+    """REP501: page-file implementers match ``PageFileProtocol``.
+
+    ``runtime_checkable`` protocols check method *presence* at runtime
+    only — and only when somebody isinstance-checks.  This rule checks
+    statically, at lint time: every class in ``storage/`` that offers
+    the core trio (``read``/``write``/``allocate``) must define every
+    protocol method, with positional signatures the protocol's call
+    shape can satisfy.
+    """
+
+    id = "REP501"
+    title = "page-file protocol conformance"
+    project = True
+
+    _CORE = frozenset({"read", "write", "allocate"})
+
+    @staticmethod
+    def _protocol_methods(modules: Sequence[ModuleSource]
+                          ) -> Tuple[Dict[str, _Signature], Set[str]]:
+        methods: Dict[str, _Signature] = {}
+        protocol_names: Set[str] = set()
+        for module in modules:
+            if module.relpath != "storage/__init__.py":
+                continue
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = [dotted_name(b) or "" for b in node.bases]
+                if not any(b.split(".")[-1] == "Protocol" for b in bases):
+                    continue
+                protocol_names.add(node.name)
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        methods[item.name] = _Signature(item.args)
+        return methods, protocol_names
+
+    def check_project(self,
+                      modules: Sequence[ModuleSource]) -> Iterator[Finding]:
+        protocol, protocol_names = self._protocol_methods(modules)
+        if not protocol:
+            return
+        for module in modules:
+            if not module.relpath.startswith("storage/"):
+                continue
+            for node in module.tree.body:
+                if not isinstance(node, ast.ClassDef) \
+                        or node.name in protocol_names:
+                    continue
+                defined: Dict[str, _Signature] = {
+                    item.name: _Signature(item.args)
+                    for item in node.body
+                    if isinstance(item, ast.FunctionDef)}
+                if not self._CORE <= set(defined):
+                    continue
+                for name, proto_sig in sorted(protocol.items()):
+                    if name not in defined:
+                        yield self.finding(
+                            module, node,
+                            f"class {node.name} implements the "
+                            f"page-file protocol but lacks {name}()")
+                        continue
+                    why = defined[name].accepts(proto_sig)
+                    if why is not None:
+                        yield self.finding(
+                            module, node,
+                            f"{node.name}.{name}() signature "
+                            f"mismatch: {why}")
+
+
+#: every rule amlint runs, in catalog order.
+ALL_RULES: List[Rule] = [
+    WallClockRule(),
+    SeededRngRule(),
+    ForkReopenRule(),
+    ForkCaptureRule(),
+    BroadExceptRule(),
+    TypedRaiseRule(),
+    ZeroCopyRule(),
+    CopyInDecodeRule(),
+    ProtocolConformanceRule(),
+]
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

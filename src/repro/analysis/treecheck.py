@@ -1,0 +1,367 @@
+"""treecheck: a structural verifier for built and saved indexes.
+
+PR 1's ``fsck`` (:func:`repro.gist.validate.scrub_file`) verifies the
+*page* format: superblock seal, per-slot CRCs, slot/page-id agreement.
+This module extends verification to *index semantics* — the invariants
+that make search over a tree exact:
+
+- **BP containment** — every leaf key lies inside the bounding
+  predicate its parent stores for the leaf, and every child predicate
+  is covered by its parent's predicate (``BP_KEY_ESCAPE`` /
+  ``BP_CHILD_ESCAPE``);
+- **bite discipline** — every JB/XJB corner bite lies inside its
+  predicate's MBR and removes no data point stored beneath the bitten
+  node (``BITE_OUTSIDE_MBR`` / ``BITE_NONEMPTY``); a data point inside
+  a bite is exactly the "sloppy predicate" that silently drops true
+  nearest neighbors;
+- **page census** — every stored page is reachable from the root
+  exactly once (``PAGE_ORPHAN`` / ``PAGE_DUPLICATE`` /
+  ``PAGE_MISSING``), and the tree's size matches the stored RIDs
+  (``SIZE_MISMATCH`` / ``RID_DUPLICATE``);
+- **shape bounds** — per-level fanout within the AM family's page
+  budget (``NODE_OVERFULL`` / ``NODE_UNDERFULL``), consistent levels
+  (``LEVEL_MISMATCH``), and uniform leaf depth (``TREE_UNBALANCED``).
+
+Violations are *reported*, never raised — damage is the output, as with
+``scrub_file`` — through a :class:`CheckReport` that also carries the
+amdb structural summary (:func:`repro.amdb.tree_report.tree_report`) so
+per-node failures sit alongside the utilization metrics amdb already
+computes.  ``repro fsck --deep`` wires :func:`deep_scrub` into the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+import numpy as np
+
+#: violation codes, stable identifiers the tests and CI assert on.
+BP_KEY_ESCAPE = "BP_KEY_ESCAPE"
+BP_CHILD_ESCAPE = "BP_CHILD_ESCAPE"
+BITE_OUTSIDE_MBR = "BITE_OUTSIDE_MBR"
+BITE_NONEMPTY = "BITE_NONEMPTY"
+PAGE_ORPHAN = "PAGE_ORPHAN"
+PAGE_MISSING = "PAGE_MISSING"
+PAGE_DUPLICATE = "PAGE_DUPLICATE"
+NODE_OVERFULL = "NODE_OVERFULL"
+NODE_UNDERFULL = "NODE_UNDERFULL"
+NODE_EMPTY = "NODE_EMPTY"
+LEVEL_MISMATCH = "LEVEL_MISMATCH"
+TREE_UNBALANCED = "TREE_UNBALANCED"
+SIZE_MISMATCH = "SIZE_MISMATCH"
+RID_DUPLICATE = "RID_DUPLICATE"
+
+ALL_CODES = (
+    BP_KEY_ESCAPE, BP_CHILD_ESCAPE, BITE_OUTSIDE_MBR, BITE_NONEMPTY,
+    PAGE_ORPHAN, PAGE_MISSING, PAGE_DUPLICATE, NODE_OVERFULL,
+    NODE_UNDERFULL, NODE_EMPTY, LEVEL_MISMATCH, TREE_UNBALANCED,
+    SIZE_MISMATCH, RID_DUPLICATE,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant at one node (or tree-wide, page_id None)."""
+
+    code: str
+    page_id: Optional[int]
+    detail: str
+
+    def render(self) -> str:
+        where = f"page {self.page_id}" if self.page_id is not None \
+            else "tree"
+        return f"[{self.code}] {where}: {self.detail}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"code": self.code, "page_id": self.page_id,
+                "detail": self.detail}
+
+
+@dataclass
+class CheckReport:
+    """What one semantic verification pass over a tree found."""
+
+    method: str
+    path: Optional[str] = None
+    nodes_checked: int = 0
+    keys_checked: int = 0
+    bites_checked: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    #: amdb structural summary (None when the tree is too damaged).
+    tree_summary: Optional[Any] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def codes(self) -> Set[str]:
+        return {v.code for v in self.violations}
+
+    def add(self, code: str, page_id: Optional[int], detail: str) -> None:
+        self.violations.append(Violation(code, page_id, detail))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tool": "treecheck",
+            "method": self.method,
+            "path": self.path,
+            "nodes_checked": self.nodes_checked,
+            "keys_checked": self.keys_checked,
+            "bites_checked": self.bites_checked,
+            "clean": self.clean,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def format(self) -> str:
+        target = self.path or f"<in-memory {self.method} tree>"
+        lines = [f"treecheck {target}",
+                 f"method       : {self.method}",
+                 f"checked      : {self.nodes_checked} nodes, "
+                 f"{self.keys_checked} keys, "
+                 f"{self.bites_checked} bites"]
+        summary = self.tree_summary
+        if summary is not None and getattr(summary, "levels", None):
+            util = [f"L{lvl.level} {lvl.mean_utilization:.2f}"
+                    for lvl in summary.levels]
+            lines.append("utilization  : " + ", ".join(util)
+                         + "  (amdb per-level mean)")
+        if self.violations:
+            lines.append(f"violations   : {len(self.violations)}")
+            lines.extend("  " + v.render() for v in self.violations)
+        else:
+            lines.append("violations   : none")
+        lines.append(f"verdict      : "
+                     f"{'clean' if self.clean else 'BROKEN'}")
+        return "\n".join(lines)
+
+
+def check_tree(tree: Any, path: Optional[str] = None,
+               check_fill: bool = True) -> CheckReport:
+    """Verify every semantic invariant of a built tree.
+
+    Never raises on a broken tree — violations are the output.  With
+    ``check_fill=False`` the minimum-fanout bound is skipped (useful for
+    trees mid-mutation).
+    """
+    from repro.geometry.bites import BittenRect
+    from repro.storage.errors import StorageError
+
+    report = CheckReport(method=tree.ext.name, path=path)
+    store_pages = set(tree.store.page_ids())
+
+    if tree.root_id is None:
+        if tree.height != 0 or tree.size != 0:
+            report.add(SIZE_MISMATCH, None,
+                       f"empty tree records height {tree.height}, "
+                       f"size {tree.size}")
+        for page_id in sorted(store_pages):
+            report.add(PAGE_ORPHAN, page_id,
+                       "page stored but the tree is empty")
+        return report
+
+    ext = tree.ext
+    reachable: Set[int] = set()
+    rids: List[int] = []
+    leaf_depths: Set[int] = set()
+
+    def peek(page_id: int) -> Optional[Any]:
+        try:
+            return tree._peek(page_id)
+        except StorageError as exc:
+            report.add(PAGE_MISSING, page_id, str(exc))
+            return None
+
+    def check_bites(pred: Any, child_keys: np.ndarray,
+                    child_id: int) -> None:
+        if not isinstance(pred, BittenRect) or not pred.bites:
+            return
+        rect = pred.rect
+        # Bites are carved with float arithmetic relative to the MBR
+        # corners; containment is checked to a relative tolerance so an
+        # ulp of carving noise is not reported as damage.
+        tol = 1e-9 * np.maximum(
+            1.0, np.maximum(np.abs(rect.lo), np.abs(rect.hi)))
+        for bite in pred.bites:
+            report.bites_checked += 1
+            if np.any(bite.lo < rect.lo - tol) \
+                    or np.any(bite.hi > rect.hi + tol):
+                report.add(
+                    BITE_OUTSIDE_MBR, child_id,
+                    f"bite at corner 0b{bite.corner_mask:b} "
+                    f"[{bite.lo.tolist()}, {bite.hi.tolist()}] "
+                    f"escapes the predicate MBR")
+            if len(child_keys):
+                removed = bite.removes_points(child_keys)
+                if bool(removed.any()):
+                    culprit = child_keys[int(np.argmax(removed))]
+                    report.add(
+                        BITE_NONEMPTY, child_id,
+                        f"bite at corner 0b{bite.corner_mask:b} "
+                        f"contains stored point "
+                        f"{culprit.tolist()}; the predicate excludes "
+                        f"covered data")
+
+    def walk(page_id: int, depth: int,
+             expected_level: Optional[int]) -> np.ndarray:
+        """DFS one subtree; returns the stacked keys stored beneath."""
+        empty = np.empty((0, ext.dim), dtype=np.float64)
+        if page_id in reachable:
+            report.add(PAGE_DUPLICATE, page_id,
+                       "page referenced from more than one parent")
+            return empty
+        node = peek(page_id)
+        if node is None:
+            return empty
+        reachable.add(page_id)
+        report.nodes_checked += 1
+
+        if expected_level is not None and node.level != expected_level:
+            report.add(LEVEL_MISMATCH, page_id,
+                       f"node at level {node.level}, expected "
+                       f"{expected_level}")
+        capacity = tree.capacity(node.level)
+        if len(node) > capacity:
+            report.add(NODE_OVERFULL, page_id,
+                       f"{len(node)} entries exceed the page budget "
+                       f"of {capacity}")
+        is_root = page_id == tree.root_id
+        if check_fill and not is_root \
+                and len(node) < tree.min_entries(node.level):
+            report.add(NODE_UNDERFULL, page_id,
+                       f"{len(node)} entries under the minimum fanout "
+                       f"of {tree.min_entries(node.level)}")
+
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            rids.extend(e.rid for e in node.entries)
+            report.keys_checked += len(node.entries)
+            return node.keys_array() if node.entries else empty
+
+        if not node.entries:
+            report.add(NODE_EMPTY, page_id, "inner node with no entries")
+            return empty
+
+        parts: List[np.ndarray] = []
+        for entry in node.entries:
+            child_keys = walk(entry.child, depth + 1, node.level - 1)
+            parts.append(child_keys)
+            child = peek(entry.child)
+            if child is None:
+                continue
+            if child.is_leaf:
+                for leaf_entry in child.entries:
+                    if not ext.contains(entry.pred, leaf_entry.key):
+                        report.add(
+                            BP_KEY_ESCAPE, entry.child,
+                            f"stored key "
+                            f"{np.asarray(leaf_entry.key).tolist()} "
+                            f"(rid {leaf_entry.rid}) escapes the "
+                            f"bounding predicate its parent "
+                            f"{page_id} holds")
+            else:
+                for grandchild in child.entries:
+                    if not ext.covers_pred(entry.pred, grandchild.pred):
+                        report.add(
+                            BP_CHILD_ESCAPE, entry.child,
+                            f"child predicate (for page "
+                            f"{grandchild.child}) is not covered by "
+                            f"the predicate parent {page_id} holds")
+            check_bites(entry.pred, child_keys, entry.child)
+        return np.concatenate(parts) if parts else empty
+
+    root = peek(tree.root_id)
+    if root is not None:
+        if root.level != tree.height - 1:
+            report.add(LEVEL_MISMATCH, tree.root_id,
+                       f"root level {root.level} inconsistent with "
+                       f"height {tree.height}")
+        walk(tree.root_id, 0, root.level)
+
+    if len(leaf_depths) > 1:
+        report.add(TREE_UNBALANCED, None,
+                   f"leaves at depths {sorted(leaf_depths)}")
+    if len(rids) != len(set(rids)):
+        dupes = len(rids) - len(set(rids))
+        report.add(RID_DUPLICATE, None,
+                   f"{dupes} RID(s) stored in more than one leaf")
+    if len(rids) != tree.size:
+        report.add(SIZE_MISMATCH, None,
+                   f"tree.size {tree.size} != stored entries "
+                   f"{len(rids)}")
+    for page_id in sorted(store_pages - reachable):
+        report.add(PAGE_ORPHAN, page_id, "page unreachable from the root")
+
+    try:
+        from repro.amdb.tree_report import tree_report
+        report.tree_summary = tree_report(tree)
+    except Exception:  # amlint: disable=REP301
+        # A damaged tree may defeat the amdb summary; the violations
+        # above are the verdict, the summary is garnish.
+        report.tree_summary = None
+    return report
+
+
+@dataclass
+class DeepReport:
+    """``repro fsck --deep``: page-level scrub plus semantic check."""
+
+    scrub: Any
+    check: Optional[CheckReport] = None
+    skipped: str = ""
+
+    @property
+    def clean(self) -> bool:
+        return bool(self.scrub.clean and self.check is not None
+                    and self.check.clean)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tool": "fsck-deep",
+            "path": self.scrub.path,
+            "scrub_clean": self.scrub.clean,
+            "deep": self.check.to_dict() if self.check is not None
+            else None,
+            "skipped": self.skipped,
+            "clean": self.clean,
+        }
+
+    def format(self) -> str:
+        lines = [self.scrub.format()]
+        if self.check is not None:
+            lines.append("")
+            lines.append(self.check.format())
+        elif self.skipped:
+            lines.append(f"deep check   : skipped — {self.skipped}")
+        lines.append(f"deep verdict : {'clean' if self.clean else 'BROKEN'}")
+        return "\n".join(lines)
+
+
+def deep_scrub(path: str) -> DeepReport:
+    """Scrub a saved index page-by-page, then verify index semantics.
+
+    The semantic phase needs decodable pages, so it runs whenever the
+    superblock verifies and no slot is corrupt; orphaned slots do not
+    block it (they are precisely what the deep check localizes against
+    the root's reach).  Never raises on damage.
+    """
+    from repro.gist.persist import load_tree
+    from repro.gist.validate import scrub_file
+    from repro.storage.errors import StorageError
+
+    scrub = scrub_file(path)
+    report = DeepReport(scrub=scrub)
+    if not scrub.superblock_ok:
+        report.skipped = "superblock damaged"
+        return report
+    if scrub.corrupt_slots:
+        report.skipped = (f"{len(scrub.corrupt_slots)} corrupt slot(s); "
+                          f"page-level damage defeats semantic checks")
+        return report
+    try:
+        tree = load_tree(path=path)
+    except (StorageError, ValueError) as exc:
+        report.skipped = f"tree does not load: {exc}"
+        return report
+    report.check = check_tree(tree, path=path)
+    return report

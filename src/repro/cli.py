@@ -9,7 +9,10 @@ Covers the end-to-end workflow a downstream user needs:
 - ``recall``  — the Figure 6 recall grid;
 - ``info``    — inspect a saved index;
 - ``fsck``    — scrub a saved index page-by-page (checksums,
-  reachability), exit 1 if damaged.
+  reachability), exit 1 if damaged; ``--deep`` additionally verifies
+  index semantics (BP containment, JB/XJB bite emptiness, census);
+- ``lint``    — run amlint, the repo's AST-based invariant linter,
+  over source trees; exit 1 on any ERROR finding.
 """
 
 from __future__ import annotations
@@ -203,11 +206,39 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_fsck(args) -> int:
+    if args.deep:
+        import json
+
+        from repro.analysis import deep_scrub
+
+        report = deep_scrub(args.index)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+                fh.write("\n")
+        print(report.format())
+        return 0 if report.clean else 1
+
     from repro.gist.validate import scrub_file
 
     report = scrub_file(args.index)
     print(report.format())
     return 0 if report.clean else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import (findings_to_json, format_findings,
+                                lint_paths)
+
+    report = lint_paths(args.paths)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(findings_to_json(report))
+    if args.format == "json":
+        print(findings_to_json(report), end="")
+    else:
+        print(format_findings(report))
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -316,7 +347,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fsck", help="scrub a saved index for damage")
     p.add_argument("index")
+    p.add_argument("--deep", action="store_true",
+                   help="after the page scrub, verify index semantics: "
+                        "BP containment, JB/XJB bite emptiness, page "
+                        "census, fanout bounds")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the deep report as JSON "
+                        "(--deep only)")
     p.set_defaults(func=_cmd_fsck)
+
+    p = sub.add_parser(
+        "lint", help="run amlint, the repo invariant linter")
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=["human", "json"],
+                   default="human", help="stdout format")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the JSON findings document (the "
+                        "CI artifact format)")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

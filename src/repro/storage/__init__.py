@@ -15,7 +15,7 @@ failures for testing.  All stores — memory, disk, buffered, faulty —
 satisfy :class:`PageFileProtocol` and are interchangeable.
 """
 
-from typing import Protocol, runtime_checkable
+from typing import Any, Callable, Iterable, List, Protocol, runtime_checkable
 
 from repro.storage.page import PAGE_HEADER_SIZE, page_payload
 from repro.storage.pagefile import AccessListener, MemoryPageFile, PageStats
@@ -44,25 +44,26 @@ class PageFileProtocol(Protocol):
     def reserve(self, up_to: int) -> None: ...
 
     # node access
-    def read(self, page_id: int): ...
-    def read_many(self, page_ids): ...
+    def read(self, page_id: int) -> Any: ...
+    def read_many(self, page_ids: Iterable[int]) -> List[Any]: ...
     def record_access(self, page_id: int, level: int) -> None: ...
-    def peek(self, page_id: int): ...
-    def write(self, node) -> None: ...
+    def peek(self, page_id: int) -> Any: ...
+    def write(self, node: Any) -> None: ...
+    def write_many(self, nodes: Iterable[Any]) -> None: ...
     def free(self, page_id: int) -> None: ...
-    def page_ids(self): ...
+    def page_ids(self) -> List[int]: ...
     def __contains__(self, page_id: int) -> bool: ...
     def __len__(self) -> int: ...
 
     # accounting listeners
-    def add_listener(self, listener) -> None: ...
-    def remove_listener(self, listener) -> None: ...
+    def add_listener(self, listener: Callable[[int, int], None]) -> None: ...
+    def remove_listener(self, listener: Callable[[int, int], None]) -> None: ...
 
     # lifecycle
     def flush(self) -> None: ...
     def close(self) -> None: ...
-    def __enter__(self): ...
-    def __exit__(self, *exc) -> None: ...
+    def __enter__(self) -> "PageFileProtocol": ...
+    def __exit__(self, *exc: Any) -> None: ...
 
 
 __all__ = [

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.storage.errors import TransientIOError
 from repro.storage.retry import RetryPolicy, call_with_retry
@@ -53,16 +53,16 @@ class BufferPool:
     profiler listeners) see buffered I/O traffic.
     """
 
-    def __init__(self, pagefile, capacity_pages: int,
+    def __init__(self, pagefile: Any, capacity_pages: int,
                  retry: Optional[RetryPolicy] = RetryPolicy(),
-                 sleep=time.sleep):
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         if capacity_pages < 1:
             raise ValueError("buffer pool needs at least one frame")
         self.pagefile = pagefile
         self.capacity = capacity_pages
         self.retry = retry
         self._sleep = sleep
-        self._frames: "OrderedDict[int, object]" = OrderedDict()
+        self._frames: "OrderedDict[int, Any]" = OrderedDict()
         self.stats = BufferStats()
 
     @property
@@ -73,7 +73,7 @@ class BufferPool:
     def counting(self, value: bool) -> None:
         self.pagefile.counting = value
 
-    def read(self, page_id: int):
+    def read(self, page_id: int) -> Any:
         if page_id in self._frames:
             node = self._frames[page_id]
             self._frames.move_to_end(page_id)
@@ -96,7 +96,7 @@ class BufferPool:
             self.stats.evictions += 1
         return node
 
-    def read_many(self, page_ids) -> List:
+    def read_many(self, page_ids: Iterable[int]) -> List[Any]:
         """Counted bulk read mirroring ``[self.read(p) for p in page_ids]``.
 
         Pages missing from the pool are fetched from the page file in a
@@ -112,7 +112,7 @@ class BufferPool:
             if pid not in self._frames and pid not in seen:
                 seen.add(pid)
                 missing.append(pid)
-        fetched: Dict[int, object] = {}
+        fetched: Dict[int, Any] = {}
         if missing:
             inner_many = getattr(self.pagefile, "read_many", None)
             if inner_many is not None and len(missing) > 1:
@@ -125,7 +125,7 @@ class BufferPool:
                     fetched[pid] = call_with_retry(
                         lambda pid=pid: self.pagefile.read(pid),
                         self.retry, sleep=self._sleep)
-        nodes = []
+        nodes: List[Any] = []
         for pid in page_ids:
             if pid in self._frames:
                 node = self._frames[pid]
@@ -189,10 +189,10 @@ class BufferPool:
             self._frames.popitem(last=False)
             self.stats.evictions += 1
 
-    def peek(self, page_id: int):
+    def peek(self, page_id: int) -> Any:
         return self.pagefile.peek(page_id)
 
-    def write(self, node) -> None:
+    def write(self, node: Any) -> None:
         # Write-through: the page file is the truth, so it is written
         # first; if that fails, the (now possibly stale) frame is
         # dropped so a later read refetches rather than serving a
@@ -205,6 +205,16 @@ class BufferPool:
         if node.page_id in self._frames:
             self._frames[node.page_id] = node
 
+    def write_many(self, nodes: Iterable[Any]) -> None:
+        """Write-through a batch: ``self.write`` per node, in order.
+
+        Deliberately not delegated to the inner store's bulk path — the
+        frame-invalidation bookkeeping of :meth:`write` must run per
+        node, so a mid-batch failure leaves no stale frame behind.
+        """
+        for node in nodes:
+            self.write(node)
+
     def free(self, page_id: int) -> None:
         self._frames.pop(page_id, None)
         self.pagefile.free(page_id)
@@ -215,7 +225,7 @@ class BufferPool:
     def reserve(self, up_to: int) -> None:
         self.pagefile.reserve(up_to)
 
-    def page_ids(self):
+    def page_ids(self) -> List[int]:
         return self.pagefile.page_ids()
 
     def __contains__(self, page_id: int) -> bool:
@@ -224,10 +234,10 @@ class BufferPool:
     def __len__(self) -> int:
         return len(self.pagefile)
 
-    def add_listener(self, listener) -> None:
+    def add_listener(self, listener: Callable[[int, int], None]) -> None:
         self.pagefile.add_listener(listener)
 
-    def remove_listener(self, listener) -> None:
+    def remove_listener(self, listener: Callable[[int, int], None]) -> None:
         self.pagefile.remove_listener(listener)
 
     # -- lifecycle ----------------------------------------------------------
@@ -241,14 +251,14 @@ class BufferPool:
     def __enter__(self) -> "BufferPool":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def clear(self) -> None:
         """Drop all frames (cold-cache experiments)."""
         self._frames.clear()
 
-    def pin_pages(self, page_ids) -> None:
+    def pin_pages(self, page_ids: Iterable[int]) -> None:
         """Pre-load pages (e.g. all inner nodes) without counting.
 
         The pinned set must fit in the pool: with more distinct pages

@@ -14,7 +14,7 @@ All numbers are stored as little-endian ``float64`` / ``int64``
 from __future__ import annotations
 
 import struct
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,10 +31,10 @@ class Codec:
     #: encoded size in bytes (fixed for all values)
     size: int
 
-    def encode(self, value) -> bytes:
+    def encode(self, value: Any, /) -> bytes:
         raise NotImplementedError
 
-    def decode(self, data: bytes):
+    def decode(self, data: bytes, /) -> Any:
         raise NotImplementedError
 
     @property
@@ -46,11 +46,11 @@ class Codec:
 class VectorCodec(Codec):
     """A ``dim``-dimensional float64 vector (leaf keys)."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         self.size = dim * NUMBER_SIZE
 
-    def encode(self, value) -> bytes:
+    def encode(self, value: Any) -> bytes:
         arr = np.asarray(value, dtype="<f8")
         if arr.shape != (self.dim,):
             raise ValueError(f"expected shape ({self.dim},), got {arr.shape}")
@@ -63,7 +63,7 @@ class VectorCodec(Codec):
 class RectCodec(Codec):
     """MBR predicate: ``2 * dim`` numbers (paper Table 3, MBR row)."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         self.size = 2 * dim * NUMBER_SIZE
 
@@ -79,7 +79,7 @@ class RectCodec(Codec):
 class SphereCodec(Codec):
     """SS-tree predicate: center plus radius (``dim + 1`` numbers)."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         self.size = (dim + 1) * NUMBER_SIZE
 
@@ -95,7 +95,7 @@ class SphereCodec(Codec):
 class RectSphereCodec(Codec):
     """SR-tree predicate: MBR and sphere (``3 * dim + 1`` numbers)."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         self._rect = RectCodec(dim)
         self._sphere = SphereCodec(dim)
@@ -114,7 +114,7 @@ class RectSphereCodec(Codec):
 class DualRectCodec(Codec):
     """MAP predicate: two MBRs, ``4 * dim`` numbers (Table 3, MAP row)."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         self._rect = RectCodec(dim)
         self.size = 2 * self._rect.size
@@ -137,7 +137,7 @@ class JBCodec(Codec):
     bite stores the corner point itself (a zero-volume bite).
     """
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         self._rect = RectCodec(dim)
         self.corners = 1 << dim
@@ -158,7 +158,7 @@ class JBCodec(Codec):
         flat = np.frombuffer(data[self._rect.size:], dtype="<f8",
                              count=self.corners * self.dim)
         inners = flat.reshape(self.corners, self.dim)
-        bites = []
+        bites: List[Bite] = []
         for mask in range(self.corners):
             bite = Bite(mask, rect.corner(mask), inners[mask].copy())
             if not bite.is_empty():
@@ -174,7 +174,7 @@ class XJBCodec(Codec):
     identifying the corner.  Unused slots store a corner id of -1.
     """
 
-    def __init__(self, dim: int, x: int):
+    def __init__(self, dim: int, x: int) -> None:
         if x < 0 or x > (1 << dim):
             raise ValueError(f"x={x} out of range for dim={dim}")
         self.dim = dim
@@ -196,7 +196,7 @@ class XJBCodec(Codec):
 
     def decode(self, data: bytes) -> BittenRect:
         rect = self._rect.decode(data[:self._rect.size])
-        bites = []
+        bites: List[Bite] = []
         offset = self._rect.size
         slot = NUMBER_SIZE + self.dim * NUMBER_SIZE
         for _ in range(self.x):
@@ -215,16 +215,16 @@ class XJBCodec(Codec):
 class LeafEntryCodec(Codec):
     """A ``(key, RID)`` pair: key vector plus an int64 record id."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
         self._key = VectorCodec(dim)
         self.size = self._key.size + NUMBER_SIZE
 
-    def encode(self, value) -> bytes:
+    def encode(self, value: Any) -> bytes:
         key, rid = value
         return self._key.encode(key) + struct.pack("<q", rid)
 
-    def decode(self, data: bytes):
+    def decode(self, data: bytes) -> Tuple[np.ndarray, int]:
         key = self._key.decode(data[:self._key.size])
         rid = struct.unpack_from("<q", data, self._key.size)[0]
         return key, rid
@@ -249,7 +249,8 @@ class LeafEntryCodec(Codec):
             rids, dtype="<i8").view(np.uint8).reshape(n, -1)
         return buf.tobytes()
 
-    def decode_block(self, body, count: int) -> Tuple[np.ndarray, np.ndarray]:
+    def decode_block(self, body: Any,
+                     count: int) -> Tuple[np.ndarray, np.ndarray]:
         """Inverse of :meth:`encode_block`: stacked arrays, zero-copy.
 
         ``body`` is any buffer holding ``count`` packed entries (a bytes
@@ -273,15 +274,15 @@ class LeafEntryCodec(Codec):
 class IndexEntryCodec(Codec):
     """A ``(predicate, child page id)`` pair."""
 
-    def __init__(self, pred_codec: Codec):
+    def __init__(self, pred_codec: Codec) -> None:
         self.pred_codec = pred_codec
         self.size = pred_codec.size + NUMBER_SIZE
 
-    def encode(self, value) -> bytes:
+    def encode(self, value: Any) -> bytes:
         pred, child = value
         return self.pred_codec.encode(pred) + struct.pack("<q", child)
 
-    def decode(self, data: bytes):
+    def decode(self, data: bytes) -> Tuple[Any, int]:
         pred = self.pred_codec.decode(data[:self.pred_codec.size])
         child = struct.unpack_from("<q", data, self.pred_codec.size)[0]
         return pred, child
@@ -299,14 +300,15 @@ class NodeCodec:
     """
 
     def __init__(self, page_size: int, leaf_codec: LeafEntryCodec,
-                 index_codec: IndexEntryCodec, *, checksums: bool = True):
+                 index_codec: IndexEntryCodec, *,
+                 checksums: bool = True) -> None:
         self.page_size = page_size
         self.leaf_codec = leaf_codec
         self.index_codec = index_codec
         self.checksums = checksums
 
     def encode(self, page_id: int, level: int,
-               entries: Sequence) -> bytes:
+               entries: Sequence[Any]) -> bytes:
         codec = self.leaf_codec if level == 0 else self.index_codec
         body = b"".join(codec.encode(e) for e in entries)
         header = struct.pack("<qii", page_id, level, len(entries))
@@ -345,7 +347,7 @@ class NodeCodec:
         return images
 
     def decode(self, image: bytes, *, verify: Optional[bool] = None,
-               path: Optional[str] = None) -> Tuple[int, int, List]:
+               path: Optional[str] = None) -> Tuple[int, int, List[Any]]:
         if len(image) < self.page_size:
             raise PageCorruptError(
                 f"truncated page image: {len(image)} of "

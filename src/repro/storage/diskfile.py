@@ -22,7 +22,8 @@ import mmap
 import os
 import struct
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -63,7 +64,8 @@ class FilePageFile:
 
     def __init__(self, path: str, codec: NodeCodec,
                  retry: Optional[RetryPolicy] = RetryPolicy(),
-                 sleep=time.sleep, mmap_mode: bool = False):
+                 sleep: Callable[[float], None] = time.sleep,
+                 mmap_mode: bool = False) -> None:
         self.path = path
         self.codec = codec
         self.page_size = codec.page_size
@@ -86,8 +88,8 @@ class FilePageFile:
         self.counting = True
 
     @classmethod
-    def for_extension(cls, path: str, extension,
-                      page_size: int, **kwargs) -> "FilePageFile":
+    def for_extension(cls, path: str, extension: Any,
+                      page_size: int, **kwargs: Any) -> "FilePageFile":
         from repro.storage.codecs import IndexEntryCodec, LeafEntryCodec
         codec = NodeCodec(page_size, LeafEntryCodec(extension.dim),
                           IndexEntryCodec(extension.pred_codec()))
@@ -189,6 +191,7 @@ class FilePageFile:
         if not self._ensure_map(page_id + 1):
             raise PageMissingError("slot beyond end of file",
                                    path=self.path, page_id=page_id)
+        assert self._map is not None
         start = page_id * self.page_size
         return memoryview(self._map)[start:start + self.page_size]
 
@@ -204,7 +207,7 @@ class FilePageFile:
 
     # -- node access ----------------------------------------------------------
 
-    def _node_from_image(self, page_id: int, image, *,
+    def _node_from_image(self, page_id: int, image: Any, *,
                          verified: bool = False) -> Node:
         """Decode a page image (any buffer) into a :class:`Node`.
 
@@ -277,7 +280,7 @@ class FilePageFile:
         """
         page_ids = [int(p) for p in page_ids]
         outcomes = self._fetch_many(sorted(set(page_ids)))
-        nodes = []
+        nodes: List[Node] = []
         for pid in page_ids:
             node = outcomes[pid]
             if isinstance(node, Exception):
@@ -289,9 +292,9 @@ class FilePageFile:
             nodes.append(node)
         return nodes
 
-    def _fetch_many(self, unique_ids: List[int]) -> Dict[int, object]:
+    def _fetch_many(self, unique_ids: List[int]) -> Dict[int, Any]:
         """Fetch + decode sorted unique slots; pid -> Node | error."""
-        outcomes: Dict[int, object] = {}
+        outcomes: Dict[int, Any] = {}
         valid: List[int] = []
         for pid in unique_ids:
             if pid < 1:
@@ -317,11 +320,12 @@ class FilePageFile:
         return outcomes
 
     def _decode_run(self, run: List[int],
-                    outcomes: Dict[int, object]) -> None:
+                    outcomes: Dict[int, Any]) -> None:
         """Decode one contiguous slot run into per-page outcomes."""
         ps = self.page_size
         offset = run[0] * ps
         if self.mmap_mode:
+            assert self._map is not None
             images = np.frombuffer(self._map, dtype=np.uint8,
                                    count=len(run) * ps,
                                    offset=offset).reshape(len(run), ps)
@@ -385,7 +389,7 @@ class FilePageFile:
         self._levels[node.page_id] = node.level
         self.stats.writes += 1
 
-    def write_many(self, nodes) -> None:
+    def write_many(self, nodes: Iterable[Node]) -> None:
         """Encode and write a batch of nodes in one pass.
 
         Slot-for-slot byte-identical to calling :meth:`write` per node:
@@ -396,7 +400,7 @@ class FilePageFile:
         nodes = list(nodes)
         if not nodes:
             return
-        pages = []
+        pages: List[Tuple[int, int, int, bytes]] = []
         for node in nodes:
             if node.level == 0:
                 body = self.codec.leaf_codec.encode_block(
@@ -408,8 +412,9 @@ class FilePageFile:
         images = self.codec.encode_pages(pages)
 
         order = sorted(range(len(nodes)), key=lambda i: pages[i][0])
-        run: list = []
-        for i in order + [None]:
+        tail: List[Optional[int]] = [*order, None]
+        run: List[int] = []
+        for i in tail:
             if run and (i is None
                         or pages[i][0] != pages[run[-1]][0] + 1):
                 self._file.seek(pages[run[0]][0] * self.page_size)
@@ -422,7 +427,7 @@ class FilePageFile:
         self.stats.writes += len(nodes)
         self._map_dirty = True
 
-    def note_external_writes(self, pairs) -> None:
+    def note_external_writes(self, pairs: Iterable[Tuple[int, int]]) -> None:
         """Account ``(page_id, level)`` pages another process wrote.
 
         The parallel bulk loader's forked workers write their shards
@@ -477,5 +482,5 @@ class FilePageFile:
     def __enter__(self) -> "FilePageFile":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()

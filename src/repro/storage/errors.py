@@ -33,7 +33,7 @@ class StorageError(Exception):
     """
 
     def __init__(self, message: str, *, path: Optional[str] = None,
-                 page_id: Optional[int] = None):
+                 page_id: Optional[int] = None) -> None:
         self.path = path
         self.page_id = page_id
         parts = []

@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
-from repro.storage.errors import PageCorruptError, TransientIOError
+from repro.storage.errors import (PageCorruptError, StorageError,
+                                  TransientIOError)
 
 
 @dataclass
@@ -88,17 +89,17 @@ class FaultyPageFile:
     catch the flips).
     """
 
-    def __init__(self, inner, policy: Optional[FaultPolicy] = None,
-                 **policy_kwargs):
+    def __init__(self, inner: Any, policy: Optional[FaultPolicy] = None,
+                 **policy_kwargs: Any) -> None:
         self.inner = inner
         self.policy = policy if policy is not None \
             else FaultPolicy(**policy_kwargs)
         self._rng = random.Random(self.policy.seed)
         self._pending_transients = dict(self.policy.transient_reads)
         #: page id -> previous node version (stale-read source).
-        self._shadow: Dict[int, object] = {}
+        self._shadow: Dict[int, Any] = {}
         #: pages whose write was torn, for stores without raw access.
-        self._torn: set = set()
+        self._torn: Set[int] = set()
         self.injected = FaultLog()
 
     # -- fault machinery -----------------------------------------------------
@@ -131,7 +132,7 @@ class FaultyPageFile:
 
     # -- node access ---------------------------------------------------------
 
-    def read(self, page_id: int):
+    def read(self, page_id: int) -> Any:
         pending = self._pending_transients.get(page_id, 0)
         if pending > 0:
             self._pending_transients[page_id] = pending - 1
@@ -164,7 +165,7 @@ class FaultyPageFile:
             raise PageCorruptError("injected bit flip", page_id=page_id)
         return self.inner.read(page_id)
 
-    def read_many(self, page_ids):
+    def read_many(self, page_ids: Iterable[int]) -> List[Any]:
         """Bulk read with per-page fault injection.
 
         Deliberately *not* delegated to the inner store's bulk path:
@@ -178,16 +179,16 @@ class FaultyPageFile:
     def record_access(self, page_id: int, level: int) -> None:
         self.inner.record_access(page_id, level)
 
-    def peek(self, page_id: int):
+    def peek(self, page_id: int) -> Any:
         return self.inner.peek(page_id)
 
-    def write(self, node) -> None:
+    def write(self, node: Any) -> None:
         if self._roll(self.policy.drop_write_rate):
             self.injected.dropped += 1
             return
         try:
             previous = self.inner.peek(node.page_id)
-        except Exception:
+        except StorageError:
             previous = None
         self.inner.write(node)
         if previous is not None:
@@ -202,6 +203,17 @@ class FaultyPageFile:
             else:
                 self._torn.add(node.page_id)
 
+    def write_many(self, nodes: Iterable[Any]) -> None:
+        """Batch write through the per-node fault path.
+
+        Like :meth:`read_many`, deliberately not delegated to the inner
+        store's bulk path: each node goes through :meth:`write` in
+        order, so the seeded fault sequence is identical whether a
+        caller writes pages one at a time or in a batch.
+        """
+        for node in nodes:
+            self.write(node)
+
     def free(self, page_id: int) -> None:
         self._shadow.pop(page_id, None)
         self._torn.discard(page_id)
@@ -215,7 +227,7 @@ class FaultyPageFile:
     def reserve(self, up_to: int) -> None:
         self.inner.reserve(up_to)
 
-    def page_ids(self):
+    def page_ids(self) -> List[int]:
         return self.inner.page_ids()
 
     def __contains__(self, page_id: int) -> bool:
@@ -225,7 +237,7 @@ class FaultyPageFile:
         return len(self.inner)
 
     @property
-    def stats(self):
+    def stats(self) -> Any:
         return self.inner.stats
 
     @property
@@ -236,10 +248,10 @@ class FaultyPageFile:
     def counting(self, value: bool) -> None:
         self.inner.counting = value
 
-    def add_listener(self, listener) -> None:
+    def add_listener(self, listener: Callable[[int, int], None]) -> None:
         self.inner.add_listener(listener)
 
-    def remove_listener(self, listener) -> None:
+    def remove_listener(self, listener: Callable[[int, int], None]) -> None:
         self.inner.remove_listener(listener)
 
     def flush(self) -> None:
@@ -251,7 +263,7 @@ class FaultyPageFile:
     def __enter__(self) -> "FaultyPageFile":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
 

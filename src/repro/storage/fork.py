@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Tuple
+from typing import Any, List, Tuple
 
 
 def fork_available() -> bool:
@@ -49,9 +49,10 @@ def shard_bounds(n: int, workers: int) -> List[Tuple[int, int]]:
     return bounds
 
 
-def store_chain(store) -> List:
+def store_chain(store: Any) -> List[Any]:
     """The store and every layer it wraps, outermost first."""
-    chain, seen = [], set()
+    chain: List[Any] = []
+    seen: set = set()
     layer = store
     while layer is not None and id(layer) not in seen:
         seen.add(id(layer))
@@ -61,7 +62,7 @@ def store_chain(store) -> List:
     return chain
 
 
-def reopen_files(store) -> None:
+def reopen_files(store: Any) -> None:
     """Give every file-backed layer a private file object.
 
     A forked child inherits the parent's descriptors, and with them the

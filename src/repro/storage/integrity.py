@@ -33,6 +33,7 @@ legally present that state because ``FORMAT_EPOCH`` is nonzero.
 from __future__ import annotations
 
 import struct
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -55,7 +56,7 @@ _CHECKSUM = struct.Struct("<II")
 _POLY = 0x82F63B78
 
 
-def _make_table():
+def _make_table() -> Tuple[int, ...]:
     table = []
     for i in range(256):
         crc = i
@@ -68,7 +69,8 @@ def _make_table():
 _TABLE = _make_table()
 
 
-def crc32c(data: bytes, crc: int = 0) -> int:
+def crc32c(data: Union[bytes, bytearray, memoryview],
+           crc: int = 0) -> int:
     """CRC32C of ``data``; chainable via the ``crc`` seed."""
     crc ^= 0xFFFFFFFF
     table = _TABLE
@@ -165,7 +167,8 @@ def verify_images(images: np.ndarray) -> np.ndarray:
     return (crc != stored) & ~unsealed
 
 
-def verify_view(image, *, path=None, page_id=None) -> int:
+def verify_view(image: Any, *, path: Optional[str] = None,
+                page_id: Optional[int] = None) -> int:
     """:func:`verify_image` for a zero-copy buffer (memoryview/bytes).
 
     Chains the CRC over the segments around the checksum field instead
@@ -188,12 +191,13 @@ def verify_view(image, *, path=None, page_id=None) -> int:
     return epoch
 
 
-def stored_seal(image: bytes):
+def stored_seal(image: bytes) -> Tuple[int, int]:
     """The (crc, epoch) pair stored in a page image's header."""
     return _CHECKSUM.unpack_from(image, CHECKSUM_OFFSET)
 
 
-def verify_image(image: bytes, *, path=None, page_id=None) -> int:
+def verify_image(image: bytes, *, path: Optional[str] = None,
+                 page_id: Optional[int] = None) -> int:
     """Check a page image's seal; returns its epoch (0 = unsealed).
 
     Raises :class:`PageCorruptError` on mismatch.  Unsealed images

@@ -14,7 +14,7 @@ page images through the node codec for persistence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List
 
 from repro.storage.errors import PageMissingError
 
@@ -51,8 +51,8 @@ class PageStats:
 class MemoryPageFile:
     """In-memory node store with page-level access accounting."""
 
-    def __init__(self):
-        self._nodes: Dict[int, object] = {}
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Any] = {}
         self._next_id = 1
         self.stats = PageStats()
         self._listeners: List[AccessListener] = []
@@ -73,7 +73,7 @@ class MemoryPageFile:
 
     # -- node access ----------------------------------------------------------
 
-    def read(self, page_id: int):
+    def read(self, page_id: int) -> Any:
         """Fetch a node, counting the access when accounting is on."""
         node = self._get(page_id)
         if self.counting:
@@ -95,7 +95,7 @@ class MemoryPageFile:
             for listener in self._listeners:
                 listener(page_id, level)
 
-    def read_many(self, page_ids) -> List:
+    def read_many(self, page_ids: Iterable[int]) -> List[Any]:
         """Counted bulk read: ``[self.read(p) for p in page_ids]``.
 
         In-memory nodes need no gathering or decode, so this *is* the
@@ -104,22 +104,22 @@ class MemoryPageFile:
         """
         return [self.read(page_id) for page_id in page_ids]
 
-    def peek(self, page_id: int):
+    def peek(self, page_id: int) -> Any:
         """Fetch a node without counting (maintenance / analysis paths)."""
         return self._get(page_id)
 
-    def _get(self, page_id: int):
+    def _get(self, page_id: int) -> Any:
         try:
             return self._nodes[page_id]
         except KeyError:
             raise PageMissingError("no such page",
                                    page_id=page_id) from None
 
-    def write(self, node) -> None:
+    def write(self, node: Any) -> None:
         self._nodes[node.page_id] = node
         self.stats.writes += 1
 
-    def write_many(self, nodes) -> None:
+    def write_many(self, nodes: Iterable[Any]) -> None:
         """Store a batch of nodes (bulk-load write path)."""
         for node in nodes:
             self.write(node)
@@ -133,7 +133,7 @@ class MemoryPageFile:
     def __len__(self) -> int:
         return len(self._nodes)
 
-    def page_ids(self):
+    def page_ids(self) -> List[int]:
         return list(self._nodes)
 
     # -- listeners ----------------------------------------------------------
@@ -155,5 +155,5 @@ class MemoryPageFile:
     def __enter__(self) -> "MemoryPageFile":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()

@@ -12,9 +12,11 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, TypeVar
 
 from repro.storage.errors import TransientIOError
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -44,8 +46,8 @@ class RetryPolicy:
             delay *= self.multiplier
 
 
-def call_with_retry(fn: Callable, policy: Optional[RetryPolicy],
-                    sleep: Callable[[float], None] = time.sleep):
+def call_with_retry(fn: Callable[[], T], policy: Optional[RetryPolicy],
+                    sleep: Callable[[float], None] = time.sleep) -> T:
     """Call ``fn``, retrying on :class:`TransientIOError` per ``policy``.
 
     With ``policy=None`` (or a single-attempt policy) the call is made

@@ -1,0 +1,14 @@
+"""Scope-mismatch fixture: determinism rules do not reach amdb/.
+
+Reporting code may read the wall clock and roll unseeded dice; the
+determinism scope is bulk/, gist/, geometry/ only.
+"""
+
+import random
+import time
+
+
+def stamp_report(report):
+    report.generated_at = time.time()
+    report.nonce = random.random()
+    return report

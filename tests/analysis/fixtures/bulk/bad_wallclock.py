@@ -1,0 +1,13 @@
+"""REP101 positive fixture: wall-clock reads in deterministic code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_build(tree):
+    tree.built_at = time.time()
+    return tree
+
+
+def label_run():
+    return datetime.now().isoformat()

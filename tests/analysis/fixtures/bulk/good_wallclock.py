@@ -1,0 +1,10 @@
+"""REP101 negative fixture: monotonic timers feed profiling only."""
+
+import time
+
+
+def profile_build(build):
+    start = time.perf_counter()
+    tree = build()
+    elapsed = time.monotonic() - time.monotonic()
+    return tree, time.perf_counter() - start + elapsed

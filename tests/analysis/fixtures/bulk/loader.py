@@ -1,0 +1,16 @@
+"""REP201 + REP202 negative fixture: the blessed fork pattern.
+
+Module-level worker, fork state holding only paths and plain objects,
+and a reopen call before the store is touched.
+"""
+
+from repro.storage.fork import reopen_files
+
+_FORK_STATE = {}
+
+
+def _worker_build(bounds):
+    store = _FORK_STATE["store"]
+    if _FORK_STATE.get("file_backed"):
+        reopen_files(store)
+    return store.peek(bounds[0])

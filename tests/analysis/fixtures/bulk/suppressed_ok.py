@@ -1,0 +1,8 @@
+"""Suppression fixture: a known rule ID disables its finding in place."""
+
+import time
+
+
+def stamp_build(tree):
+    tree.built_at = time.time()  # amlint: disable=REP101
+    return tree

@@ -1,0 +1,12 @@
+"""Suppression fixture: an unknown rule ID is itself an ERROR.
+
+The REP101 suppression still works, but the typo'd ``REP9999`` names
+no rule, so the line gets a REP001 finding instead of rotting silently.
+"""
+
+import time
+
+
+def stamp_build(tree):
+    tree.built_at = time.time()  # amlint: disable=REP101,REP9999
+    return tree

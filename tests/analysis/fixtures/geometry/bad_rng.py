@@ -1,0 +1,14 @@
+"""REP102 positive fixture: unseeded and global-state RNG use."""
+
+import random
+
+import numpy as np
+
+
+def jitter(points):
+    rng = np.random.default_rng()
+    return points + rng.normal(size=points.shape)
+
+
+def pick(items):
+    return items[random.randrange(len(items))]

@@ -1,0 +1,15 @@
+"""REP102 negative fixture: every generator threads an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def jitter(points, seed):
+    rng = np.random.default_rng(seed)
+    return points + rng.normal(size=points.shape)
+
+
+def pick(items, level, index):
+    rng = random.Random((level, index))
+    return items[rng.randrange(len(items))]

@@ -1,0 +1,15 @@
+"""REP301 positive fixture: broad excepts that swallow."""
+
+
+def read_or_none(store, page_id):
+    try:
+        return store.read(page_id)
+    except:  # noqa: E722 -- deliberately bare for the fixture
+        return None
+
+
+def read_default(store, page_id, default):
+    try:
+        return store.read(page_id)
+    except Exception:
+        return default

@@ -1,0 +1,14 @@
+"""REP302 positive fixture: raw exceptions on the storage path."""
+
+import struct
+
+
+def read_slot(pages, page_id):
+    if page_id not in pages:
+        raise KeyError(page_id)
+    image = pages[page_id]
+    if len(image) < 8:
+        raise struct.error("truncated page image")
+    if not image:
+        raise OSError("empty page")
+    return image

@@ -1,0 +1,26 @@
+"""REP501 positive fixture: an implementer that drifted.
+
+Offers the core read/write/allocate trio, so the conformance rule
+treats it as a protocol implementer — but ``write_many`` is missing
+and ``record_access`` renamed its positional parameter.
+"""
+
+
+class DriftedStore:
+    def __init__(self):
+        self.pages = {}
+
+    def allocate(self):
+        return len(self.pages) + 1
+
+    def read(self, page_id):
+        return self.pages[page_id]
+
+    def read_many(self, page_ids):
+        return [self.pages[p] for p in page_ids]
+
+    def record_access(self, page):
+        pass
+
+    def write(self, node):
+        self.pages[node.page_id] = node

@@ -1,0 +1,20 @@
+"""REP401/REP402 positive fixture: byte copies on the decode path.
+
+Lints as ``storage/codecs.py``, one of the zero-copy hot-path files.
+"""
+
+import numpy as np
+
+
+def decode_block(image, dim):
+    flat = np.frombuffer(image, dtype="<f8")
+    head = image.tobytes()                  # REP401: materializes bytes
+    tail = bytes(image)                     # REP401: bytes(view) copy
+    arr = np.array(flat, copy=True)         # REP401: forced array copy
+    compat = flat[:dim].copy()              # REP402: scalar-compat copy
+    return head, tail, arr, compat
+
+
+def encode_block(arr):
+    # Write path: sealing a page must materialize it; no finding here.
+    return arr.tobytes()

@@ -1,0 +1,15 @@
+"""REP401/REP402 negative fixture: a decode path that serves views."""
+
+import numpy as np
+
+
+def decode_block(image, dim):
+    flat = np.frombuffer(image, dtype="<f8")
+    count = flat.shape[0] // dim
+    return flat[:count * dim].reshape(count, dim)
+
+
+def write_slot(f, slot, page_size, view):
+    # bytes() on the write path is legal: the seal must materialize.
+    f.seek(slot * page_size)
+    f.write(bytes(view))

@@ -1,0 +1,26 @@
+"""REP301 negative fixture: typed catches and cleanup-then-propagate."""
+
+from repro.storage.errors import PageMissingError, StorageError
+
+
+def read_or_none(store, page_id):
+    try:
+        return store.read(page_id)
+    except PageMissingError:
+        return None
+
+
+def read_with_cleanup(store, page_id, frames):
+    try:
+        return store.read(page_id)
+    except Exception:
+        # Broad, but re-raised unchanged: cleanup-then-propagate is legal.
+        frames.pop(page_id, None)
+        raise
+
+
+def read_classified(store, page_id):
+    try:
+        return store.read(page_id)
+    except StorageError:
+        return None

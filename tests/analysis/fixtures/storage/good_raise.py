@@ -1,0 +1,18 @@
+"""REP302 negative fixture: the typed StorageError hierarchy in use."""
+
+from repro.storage.errors import PageCorruptError, PageMissingError
+
+
+def read_slot(pages, page_id, path):
+    if page_id not in pages:
+        raise PageMissingError("page was never written", page_id=page_id,
+                               path=path)
+    image = pages[page_id]
+    if len(image) < 8:
+        raise PageCorruptError("truncated page image", page_id=page_id,
+                               path=path)
+    if page_id < 0:
+        # Argument validation stays a plain ValueError: caller bug,
+        # not a storage outcome.
+        raise ValueError("page ids are non-negative")
+    return image

@@ -1,0 +1,25 @@
+"""REP501 negative fixture: a fully conforming implementer."""
+
+
+class ConformingStore:
+    def __init__(self):
+        self.pages = {}
+
+    def allocate(self):
+        return len(self.pages) + 1
+
+    def read(self, page_id):
+        return self.pages[page_id]
+
+    def read_many(self, page_ids):
+        return [self.pages[p] for p in page_ids]
+
+    def record_access(self, page_id, level):
+        pass
+
+    def write(self, node):
+        self.pages[node.page_id] = node
+
+    def write_many(self, nodes):
+        for node in nodes:
+            self.write(node)
