@@ -58,6 +58,19 @@ class RTreeExtension(GiSTExtension):
     def covers_pred(self, parent_pred, child_pred) -> bool:
         return parent_pred.contains_rect(self.footprint(child_pred))
 
+    # -- incremental adjust ----------------------------------------------------
+
+    def adjust_pred_insert(self, pred: Rect, key: np.ndarray):
+        if pred.contains_point(key):
+            return pred
+        return pred.union_point(key)
+
+    def adjust_pred_cover(self, pred: Rect, child_pred: Rect):
+        child = self.footprint(child_pred)
+        if pred.contains_rect(child):
+            return pred
+        return pred.union(child)
+
     def penalty(self, pred, key: np.ndarray) -> float:
         rect = self.footprint(pred)
         enlarged = rect.union_point(key)

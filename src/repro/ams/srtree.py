@@ -89,6 +89,38 @@ class SRTreeExtension(GiSTExtension):
         reach = min(via_rect, via_sphere)
         return reach <= parent_pred.sphere.radius * (1 + 1e-12) + 1e-12
 
+    # -- incremental adjust ----------------------------------------------------
+
+    def adjust_pred_insert(self, pred: SRPred, key: np.ndarray):
+        if self.contains(pred, key):
+            return pred
+        key = np.asarray(key, dtype=np.float64)
+        rect = pred.rect.union_point(key)
+        sphere = pred.sphere
+        if not sphere.contains_point(key):
+            # Smallest ball covering ball and point (see the SS-tree).
+            gap = float(np.linalg.norm(key - sphere.center))
+            new_r = (gap + sphere.radius) / 2.0
+            center = sphere.center + (key - sphere.center) \
+                * ((new_r - sphere.radius) / gap)
+            sphere = Sphere(center, new_r)
+        # Re-capping is safe: the key lies inside the widened rect, so
+        # max_dist(center) bounds its distance, and the old sphere's
+        # covered data all sits inside the old rect, hence the new one.
+        return SRPred(rect, _capped_sphere(sphere.center, sphere.radius,
+                                           rect))
+
+    def adjust_pred_cover(self, pred: SRPred, child_pred: SRPred):
+        if self.covers_pred(pred, child_pred):
+            return pred
+        rect = pred.rect.union(child_pred.rect)
+        raw = Sphere.from_spheres([pred.sphere, child_pred.sphere])
+        # Capping by the widened rect keeps covers_pred true: the
+        # child's reach from the new center is bounded both by its own
+        # sphere (covered by ``raw``) and by its rect's farthest corner,
+        # which the cap never undercuts.
+        return SRPred(rect, _capped_sphere(raw.center, raw.radius, rect))
+
     def penalty(self, pred: SRPred, key: np.ndarray) -> float:
         return float(np.linalg.norm(pred.sphere.center - key))
 

@@ -44,6 +44,25 @@ class SSTreeExtension(GiSTExtension):
     def covers_pred(self, parent_pred: Sphere, child_pred: Sphere) -> bool:
         return parent_pred.contains_sphere(child_pred)
 
+    # -- incremental adjust ----------------------------------------------------
+
+    def adjust_pred_insert(self, pred: Sphere, key: np.ndarray):
+        if pred.contains_point(key):
+            return pred
+        # Smallest ball covering ball and point: slide the center toward
+        # the key just far enough that both surfaces touch the boundary.
+        key = np.asarray(key, dtype=np.float64)
+        gap = float(np.linalg.norm(key - pred.center))
+        new_r = (gap + pred.radius) / 2.0
+        center = pred.center + (key - pred.center) * ((new_r - pred.radius)
+                                                     / gap)
+        return Sphere(center, new_r)
+
+    def adjust_pred_cover(self, pred: Sphere, child_pred: Sphere):
+        if pred.contains_sphere(child_pred):
+            return pred
+        return Sphere.from_spheres([pred, child_pred])
+
     def penalty(self, pred: Sphere, key: np.ndarray) -> float:
         # SS-tree routes to the subtree with the closest centroid.
         return float(np.linalg.norm(pred.center - key))

@@ -11,6 +11,8 @@ ID                severity  invariant
 ================  ========  =====================================================
 ``REP101``        error     no wall-clock reads in build/query/geometry code
 ``REP102``        error     RNG construction must thread an explicit seed
+``REP104``        error     mutation paths write pages through the WAL
+                            wrapper, never the raw page file beneath it
 ``REP201``        error     fork workers must reopen file-backed stores
 ``REP202``        error     fork workers must be module-level; no live handles
                             captured into fork state
@@ -169,6 +171,85 @@ class SeededRngRule(Rule):
                     f"module-level RNG call {name}() uses hidden "
                     f"global state; construct a seeded generator and "
                     f"thread it explicitly")
+
+
+# ---------------------------------------------------------------------------
+# write-ahead logging discipline
+# ---------------------------------------------------------------------------
+
+class UnloggedWriteRule(Rule):
+    """REP104: mutation paths must write through the WAL wrapper.
+
+    Crash safety rests on every page image reaching the log (and its
+    fsync) *before* the data file.  In the mutation-path files, a call
+    to ``_write_raw`` — or to ``write``/``write_many``/``free`` on a
+    receiver that reaches beneath the WAL wrapper (``.base``,
+    ``.pagefile``, ``.inner``, ``._file``) — bypasses that ordering.
+    The WAL's own machinery is exempt by construction: its append,
+    apply, tear-injection, recovery, and checkpoint functions are
+    exactly the places allowed to touch raw slots.
+    """
+
+    id = "REP104"
+    title = "mutation paths must write through the WAL wrapper"
+    scopes = ("gist/tree.py", "gist/mutable.py", "storage/wal.py")
+
+    #: receiver-chain segments that reach beneath the WAL wrapper.
+    _BYPASS_SEGMENTS = frozenset({"base", "pagefile", "inner", "_file"})
+    _WRITERS = frozenset({"write", "write_many", "free"})
+    #: enclosing-function name prefixes (underscores stripped) that ARE
+    #: the logging/redo machinery and may touch raw slots.
+    _EXEMPT_PREFIXES = ("apply", "tear", "write_partial", "append",
+                        "recover", "replay", "checkpoint", "reset",
+                        "sync", "flush", "close")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        visitor = _FunctionStackVisitor()
+        visitor.visit(module.tree)
+        for node, stack in visitor.calls:
+            if any(name.lstrip("_").startswith(self._EXEMPT_PREFIXES)
+                   for name in stack):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "_write_raw":
+                yield self.finding(
+                    module, node,
+                    "_write_raw() in a mutation path bypasses the "
+                    "write-ahead log; stage the page through the "
+                    "WALPageFile overlay instead")
+            elif func.attr in self._WRITERS:
+                chain = (dotted_name(func.value) or "").split(".")
+                if self._BYPASS_SEGMENTS & set(chain):
+                    yield self.finding(
+                        module, node,
+                        f".{func.attr}() on {'.'.join(chain)} reaches "
+                        f"beneath the WAL wrapper; unlogged page "
+                        f"writes are lost on crash")
+
+
+class _FunctionStackVisitor(ast.NodeVisitor):
+    """Collects call sites with their enclosing-function name stack."""
+
+    def __init__(self) -> None:
+        self.stack: List[str] = []
+        self.calls: List[Tuple[ast.Call, Tuple[str, ...]]] = []
+
+    def _visit_func(self, node: ast.AST, name: str) -> None:
+        self.stack.append(name)
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_func(node, node.name)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append((node, tuple(self.stack)))
+        self.generic_visit(node)
 
 
 # ---------------------------------------------------------------------------
@@ -555,6 +636,7 @@ class ProtocolConformanceRule(Rule):
 ALL_RULES: List[Rule] = [
     WallClockRule(),
     SeededRngRule(),
+    UnloggedWriteRule(),
     ForkReopenRule(),
     ForkCaptureRule(),
     BroadExceptRule(),

@@ -11,6 +11,11 @@ Covers the end-to-end workflow a downstream user needs:
 - ``fsck``    — scrub a saved index page-by-page (checksums,
   reachability), exit 1 if damaged; ``--deep`` additionally verifies
   index semantics (BP containment, JB/XJB bite emptiness, census);
+- ``recover`` — replay a mutated index's write-ahead log (torn-tail
+  truncation + committed-transaction redo), then deep-fsck the result;
+  exit 1 if the recovered index is damaged;
+- ``crashtest`` — randomized kill-and-recover trials across the AM
+  families (the CI crash-recovery job's entry point);
 - ``lint``    — run amlint, the repo's AST-based invariant linter,
   over source trees; exit 1 on any ERROR finding.
 """
@@ -226,6 +231,41 @@ def _cmd_fsck(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_recover(args) -> int:
+    import json
+
+    from repro.analysis import deep_scrub
+    from repro.storage.wal import recover
+
+    report = recover(args.index, wal_path=args.wal,
+                     checkpoint=not args.no_checkpoint)
+    print(report.format())
+    scrub = deep_scrub(args.index)
+    if args.json:
+        doc = {"recovery": report.to_dict(), "fsck": scrub.to_dict()}
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    print(scrub.format())
+    return 0 if scrub.clean else 1
+
+
+def _cmd_crashtest(args) -> int:
+    import json
+
+    from repro.workload.crash import run_crash_trials
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    report = run_crash_trials(methods=methods, trials=args.trials,
+                              seed=args.seed, workdir=args.workdir)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+    print(report.format())
+    return 0 if report.clean else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import (findings_to_json, format_findings,
                                 lint_paths)
@@ -355,6 +395,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the deep report as JSON "
                         "(--deep only)")
     p.set_defaults(func=_cmd_fsck)
+
+    p = sub.add_parser(
+        "recover", help="replay the write-ahead log of a mutated index")
+    p.add_argument("index")
+    p.add_argument("--wal", metavar="PATH", default=None,
+                   help="sidecar log path (default: <index>.wal)")
+    p.add_argument("--no-checkpoint", action="store_true",
+                   help="leave the log in place after replay (replay "
+                        "is idempotent, so this is safe to repeat)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write recovery + fsck reports as JSON")
+    p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "crashtest",
+        help="randomized kill-and-recover trials over the WAL stack")
+    p.add_argument("--methods", default=",".join(
+        ("rtree", "sstree", "srtree", "amap", "jb", "xjb")),
+        help="comma-separated AM families to round-robin")
+    p.add_argument("--trials", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workdir", default=None,
+                   help="directory for trial files (default: a temp dir)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the per-trial log as JSON (the CI "
+                        "artifact format)")
+    p.set_defaults(func=_cmd_crashtest)
 
     p = sub.add_parser(
         "lint", help="run amlint, the repo invariant linter")

@@ -241,6 +241,35 @@ class AMapExtension(RTreeExtension):
         return (parent_pred.r1.contains_rect(child)
                 or parent_pred.r2.contains_rect(child))
 
+    # -- incremental adjust ----------------------------------------------------
+    #
+    # Online inserts widen whichever of the two rectangles grows by the
+    # smaller volume — a greedy stand-in for re-running the bipartition
+    # sampler, which would reshuffle the shared RNG stream and cost a
+    # thousand candidate evaluations per touched ancestor.  Both rects
+    # only ever grow, so everything the old predicate admitted stays
+    # admitted.
+
+    def _grown(self, pred: MapPred, g1: Rect, g2: Rect) -> MapPred:
+        cost1 = g1.volume() - pred.r1.volume()
+        cost2 = g2.volume() - pred.r2.volume()
+        if cost1 <= cost2:
+            return MapPred(g1, pred.r2)
+        return MapPred(pred.r1, g2)
+
+    def adjust_pred_insert(self, pred: MapPred, key: np.ndarray):
+        if pred.contains_point(key):
+            return pred
+        return self._grown(pred, pred.r1.union_point(key),
+                           pred.r2.union_point(key))
+
+    def adjust_pred_cover(self, pred: MapPred, child_pred: MapPred):
+        if self.covers_pred(pred, child_pred):
+            return pred
+        child = self.footprint(child_pred)
+        return self._grown(pred, pred.r1.union(child),
+                           pred.r2.union(child))
+
     # -- distances ---------------------------------------------------------------
 
     def min_dist(self, pred: MapPred, q: np.ndarray) -> float:

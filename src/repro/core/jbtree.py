@@ -131,6 +131,41 @@ class JBExtension(RTreeExtension):
                     child_pred: BittenRect) -> bool:
         return parent_pred.contains_rect(self.footprint(child_pred))
 
+    # -- incremental adjust ----------------------------------------------------
+    #
+    # Online inserts widen the MBR and *invalidate* bites rather than
+    # re-carving: a bite survives only if its anchoring MBR corner did
+    # not move (the codec re-anchors bites to the stored rect's corners
+    # on decode, so a moved corner would silently translate the bite)
+    # and it still avoids the new key / child rect.  Dropping bites only
+    # grows the covered region, so the widened predicate admits
+    # everything the old one did — and XJB's bite budget is trivially
+    # respected.  Bites are re-carved from scratch only when the node
+    # splits (a full recompute).
+
+    def _surviving_bites(self, pred: BittenRect, rect: Rect):
+        old = pred.rect
+        return [b for b in pred.bites
+                if np.array_equal(rect.corner(b.corner_mask),
+                                  old.corner(b.corner_mask))]
+
+    def adjust_pred_insert(self, pred: BittenRect, key: np.ndarray):
+        if pred.contains_point(key):
+            return pred
+        rect = pred.rect.union_point(key)
+        bites = [b for b in self._surviving_bites(pred, rect)
+                 if not b.removes_point(key)]
+        return BittenRect(rect, bites)
+
+    def adjust_pred_cover(self, pred: BittenRect, child_pred: BittenRect):
+        child = self.footprint(child_pred)
+        if pred.contains_rect(child):
+            return pred
+        rect = pred.rect.union(child)
+        bites = [b for b in self._surviving_bites(pred, rect)
+                 if not b.blocks_rect(child.lo, child.hi)]
+        return BittenRect(rect, bites)
+
     def pick_split(self, entries, level: int, min_entries: int):
         if self.split_method == "quadratic":
             return super().pick_split(entries, level, min_entries)

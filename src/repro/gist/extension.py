@@ -102,6 +102,33 @@ class GiSTExtension:
         return [self.pred_for_node_at(node, token)
                 for node, token in zip(nodes, tokens)]
 
+    # -- incremental adjust (online insert path) -----------------------------
+    #
+    # A mutable tree (repro.gist.mutable) opts into incremental
+    # predicate maintenance: instead of recomputing a whole node's
+    # predicate from its contents on every insert, ancestors are
+    # *widened* just enough to keep the containment invariants.  Both
+    # hooks may return None — "no incremental rule, recompute" — which
+    # is the default, and must return ``pred`` itself (the identical
+    # object) when it already covers, so the tree can stop adjusting
+    # early.  Widened predicates must never shrink the covered region:
+    # everything the old predicate admitted must stay admitted.
+
+    def adjust_pred_insert(self, pred, key: np.ndarray):
+        """``pred`` widened to cover the freshly inserted ``key``.
+
+        Returns ``pred`` unchanged when it already covers the key, a
+        new widened predicate otherwise, or None to force a full
+        recompute (the safe default)."""
+        return None
+
+    def adjust_pred_cover(self, pred, child_pred):
+        """``pred`` widened to cover an updated child predicate.
+
+        Same contract as :meth:`adjust_pred_insert`; ``child_pred`` is
+        the predicate just installed one level below."""
+        return None
+
     # -- predicate algebra -----------------------------------------------------
 
     def consistent(self, pred, query_rect) -> bool:

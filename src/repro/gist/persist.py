@@ -32,6 +32,23 @@ _MAGIC = "repro-gist-v1"
 _SUPERBLOCK_TRAILER = 8
 
 
+def superblock_image(header: Dict, page_size: int) -> bytes:
+    """Render a header dict as a sealed page-0 image.
+
+    Shared by :func:`save_tree` and the WAL commit path
+    (:mod:`repro.storage.wal`), whose transactions carry the complete
+    post-commit superblock image so redo can rewrite page 0 like any
+    other page.
+    """
+    blob = json.dumps(header).encode()
+    if len(blob) + 4 + _SUPERBLOCK_TRAILER > page_size:
+        raise ValueError("superblock overflow")
+    page0 = struct.pack("<I", len(blob)) + blob
+    page0 += b"\x00" * (page_size - _SUPERBLOCK_TRAILER - len(page0))
+    page0 += struct.pack("<II", crc32c(page0), FORMAT_EPOCH)
+    return page0
+
+
 def save_tree(tree: GiST, path: str) -> None:
     """Write the tree to ``path`` as fixed-size page images."""
     codec = NodeCodec(tree.page_size, tree.leaf_codec, tree.index_codec)
@@ -49,13 +66,12 @@ def save_tree(tree: GiST, path: str) -> None:
         "size": tree.size,
         "num_nodes": len(nodes),
         "root_slot": slot_of.get(tree.root_id, 0),
+        # A freshly saved file is dense: every slot holds a live node.
+        # Mutable files (repro.gist.mutable) grow sparse as deletes
+        # free slots; their superblocks keep num_slots > num_nodes.
+        "num_slots": len(nodes),
     }
-    blob = json.dumps(header).encode()
-    if len(blob) + 4 + _SUPERBLOCK_TRAILER > tree.page_size:
-        raise ValueError("superblock overflow")
-    page0 = struct.pack("<I", len(blob)) + blob
-    page0 += b"\x00" * (tree.page_size - _SUPERBLOCK_TRAILER - len(page0))
-    page0 += struct.pack("<II", crc32c(page0), FORMAT_EPOCH)
+    page0 = superblock_image(header, tree.page_size)
     with open(path, "wb") as f:
         f.write(page0)
         for node in nodes:
@@ -103,13 +119,22 @@ def read_superblock(raw: bytes, path: str) -> dict:
     _int_field("height", 0)
     _int_field("size", 0)
     root_slot = _int_field("root_slot", 0)
-    if root_slot > num_nodes:
+    # Mutable files carry num_slots >= num_nodes (freed slots linger);
+    # legacy and freshly saved files are dense, so it defaults to
+    # num_nodes.
+    num_slots = _int_field("num_slots", 0) if "num_slots" in header \
+        else num_nodes
+    if num_slots < num_nodes:
         raise PageCorruptError(
-            f"superblock root_slot {root_slot} exceeds num_nodes "
+            f"superblock num_slots {num_slots} below num_nodes "
             f"{num_nodes}", path=path)
-    if len(raw) < (num_nodes + 1) * page_size:
+    if root_slot > num_slots:
         raise PageCorruptError(
-            f"superblock claims {num_nodes} nodes of {page_size} bytes "
+            f"superblock root_slot {root_slot} exceeds num_slots "
+            f"{num_slots}", path=path)
+    if len(raw) < (num_slots + 1) * page_size:
+        raise PageCorruptError(
+            f"superblock claims {num_slots} slots of {page_size} bytes "
             f"but the file holds only {len(raw)} bytes", path=path)
     if not isinstance(header.get("extension"), str):
         raise PageCorruptError("superblock field 'extension' invalid",
@@ -158,12 +183,22 @@ def load_tree(extension=None, path: str = None) -> GiST:
     codec = NodeCodec(page_size, tree.leaf_codec, tree.index_codec)
 
     root = None
-    for slot in range(1, header["num_nodes"] + 1):
+    live = 0
+    num_slots = header.get("num_slots", header["num_nodes"])
+    for slot in range(1, num_slots + 1):
         image = raw[slot * page_size:(slot + 1) * page_size]
+        # Mutable files are sparse: freed slots are stamped with page
+        # id -1, and aborted allocations can leave never-written
+        # all-zero gaps.  Neither holds a node.
+        if not any(image):
+            continue
         page_id, level, raw_entries = codec.decode(image, path=path)
+        if page_id == -1:
+            continue
         if page_id != slot:
             raise PageCorruptError(f"slot {slot} holds page {page_id}",
                                    path=path)
+        live += 1
         if level == 0:
             entries = [LeafEntry(k, rid) for k, rid in raw_entries]
         else:
@@ -174,6 +209,10 @@ def load_tree(extension=None, path: str = None) -> GiST:
         tree.store.reserve(page_id)
         if slot == header["root_slot"]:
             root = node
+    if live != header["num_nodes"]:
+        raise PageCorruptError(
+            f"superblock claims {header['num_nodes']} nodes, "
+            f"file holds {live}", path=path)
     if root is not None:
         tree.adopt(root, header["height"], header["size"])
     return tree

@@ -47,6 +47,12 @@ class GiST:
         self.index_capacity = entries_per_page(page_size,
                                                self.index_codec.size)
         self.root_id: Optional[int] = None
+        #: when True, insert-path predicate maintenance *widens*
+        #: ancestors via the extension's adjust hooks instead of
+        #: recomputing whole nodes (opt-in; set by the mutable-tree
+        #: wrapper).  Default off keeps bulk/insertion loads
+        #: bit-identical to the historical behaviour.
+        self.incremental_adjust = False
         #: number of levels; 0 for an empty tree, 1 for a lone leaf root.
         self.height = 0
         #: number of stored (key, RID) pairs.
@@ -252,6 +258,13 @@ class GiST:
         # both halves (page images cannot hold an oversize node).
         if len(node) > self.capacity(node.level):
             self._split(node, path[:-1] if path else [])
+        elif target_level > 0:
+            # Grafting an orphaned subtree (delete condensation): the
+            # ancestors must cover the subtree's whole predicate, not
+            # just its routing point.
+            self.store.write(node)
+            self._adjust_upward(path, routing_key=None,
+                                changed_preds=[entry.pred])
         else:
             self.store.write(node)
             self._adjust_upward(path, routing_key)
@@ -302,31 +315,78 @@ class GiST:
         parent.add_entry(IndexEntry(right_pred, sibling.page_id))
         if len(parent) > self.capacity(parent.level):
             self._split(parent, ancestors[:-1])
+        elif self.incremental_adjust:
+            # The parent's entries already hold both halves' exact
+            # predicates; ancestors only need widening over the two
+            # changed child predicates, no recompute.
+            self.store.write(parent)
+            self._adjust_upward(ancestors[:-1], routing_key=None,
+                                changed_preds=[left_pred, right_pred])
         else:
             self.store.write(parent)
             self._adjust_upward(ancestors, routing_key=None)
 
     def _adjust_upward(self, path: List[Tuple[Node, int]],
-                       routing_key: Optional[np.ndarray]) -> None:
-        """Recompute bounding predicates bottom-up along an insert path.
+                       routing_key: Optional[np.ndarray],
+                       changed_preds: Optional[List] = None) -> None:
+        """Restore bounding predicates bottom-up along an insert path.
 
-        Stops early once an existing predicate already covers the new key
-        and nothing below it changed — ancestors then cover it too, by
-        the tree's containment invariant.
+        Stops early once an existing predicate already covers what
+        changed below it and nothing beneath was rewritten — ancestors
+        then cover it too, by the tree's containment invariant.
+
+        ``changed_preds`` seeds the first adjusted level with the exact
+        predicates newly installed below it (a grafted subtree's
+        predicate, or both halves of a split): the predicate must cover
+        those, not merely the routing point.
+
+        With :attr:`incremental_adjust` set, the extension's
+        ``adjust_pred_*`` hooks *widen* predicates instead of
+        recomputing whole nodes; a hook returning the identical
+        predicate object means "already covered", which ends the
+        climb.
         """
         child_changed = False
+        child_pred = None
+        changed = list(changed_preds) if changed_preds else None
         for node, child_idx in reversed(path):
             if child_idx < 0:
                 continue
             entry = node.entries[child_idx]
-            if (not child_changed and routing_key is not None
-                    and self.ext.contains(entry.pred, routing_key)):
-                return
-            child = self._peek(entry.child)
-            new_pred = self.ext.pred_for_node(child)
+            if not child_changed:
+                if changed is not None:
+                    if all(self.ext.covers_pred(entry.pred, cp)
+                           for cp in changed):
+                        return
+                elif (routing_key is not None
+                        and self.ext.contains(entry.pred, routing_key)):
+                    return
+            new_pred = None
+            if self.incremental_adjust:
+                if child_changed:
+                    new_pred = self.ext.adjust_pred_cover(entry.pred,
+                                                          child_pred)
+                elif changed is not None:
+                    new_pred = entry.pred
+                    for cp in changed:
+                        new_pred = self.ext.adjust_pred_cover(new_pred, cp)
+                        if new_pred is None:
+                            break
+                elif routing_key is not None:
+                    new_pred = self.ext.adjust_pred_insert(entry.pred,
+                                                           routing_key)
+                if new_pred is entry.pred:
+                    # Already covers what changed below; by containment,
+                    # every ancestor does too.
+                    return
+            if new_pred is None:
+                child = self._peek(entry.child)
+                new_pred = self.ext.pred_for_node(child)
             node.replace_entry(child_idx, IndexEntry(new_pred, entry.child))
             self.store.write(node)
             child_changed = True
+            child_pred = new_pred
+            changed = None
 
     # -- deletion ----------------------------------------------------------------------
 

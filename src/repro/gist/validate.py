@@ -192,7 +192,9 @@ def scrub_file(path: str) -> ScrubReport:
         return report
 
     page_size = header["page_size"]
-    num_nodes = header["num_nodes"]
+    # Mutable files (repro.gist.mutable) persist the slot span
+    # explicitly; legacy files are dense, so it defaults to num_nodes.
+    claimed_slots = header.get("num_slots", header["num_nodes"])
     codec = NodeCodec(page_size, LeafEntryCodec(extension.dim),
                       IndexEntryCodec(extension.pred_codec()))
     report.superblock_ok = True
@@ -204,6 +206,12 @@ def scrub_file(path: str) -> ScrubReport:
     decoded = {}
     for slot in range(1, num_slots + 1):
         image = raw[slot * page_size:(slot + 1) * page_size]
+        if not any(image):
+            # Never-written gap (an aborted allocation's slot): not a
+            # node, not damage.
+            report.slots.append(SlotReport(slot, "free",
+                                           detail="never written"))
+            continue
         try:
             page_id, level, entries = codec.decode(image, path=path)
         except StorageError as exc:
@@ -238,8 +246,8 @@ def scrub_file(path: str) -> ScrubReport:
 
     for slot in sorted(decoded):
         level, entries = decoded[slot]
-        if slot > num_nodes:
-            status, detail = "orphaned", "slot beyond superblock node count"
+        if slot > claimed_slots:
+            status, detail = "orphaned", "slot beyond superblock slot count"
         elif slot not in reachable:
             status, detail = "orphaned", "unreachable from root"
         else:

@@ -11,8 +11,12 @@ CRC32C seals (:mod:`repro.storage.integrity`), failures surface through
 the typed hierarchy in :mod:`repro.storage.errors`, transient faults are
 masked by :mod:`repro.storage.retry`, and
 :class:`~repro.storage.faults.FaultyPageFile` injects deterministic
-failures for testing.  All stores — memory, disk, buffered, faulty —
-satisfy :class:`PageFileProtocol` and are interchangeable.
+failures for testing.  Mutation is made atomic and durable by the
+write-ahead log (:mod:`repro.storage.wal`): transactions stage in a
+:class:`WALPageFile` overlay, reach the sidecar log plus an fsync
+before the data file, and are redone by :func:`recover` after a crash.
+All stores — memory, disk, buffered, faulty, logged — satisfy
+:class:`PageFileProtocol` and are interchangeable.
 """
 
 from typing import Any, Callable, Iterable, List, Protocol, runtime_checkable
@@ -26,7 +30,11 @@ from repro.storage.errors import (StorageError, PageCorruptError,
                                   PageMissingError, TransientIOError)
 from repro.storage.integrity import FORMAT_EPOCH, crc32c
 from repro.storage.retry import RetryPolicy, call_with_retry
-from repro.storage.faults import FaultLog, FaultPolicy, FaultyPageFile
+from repro.storage.faults import (CrashError, CrashInjector, CrashPoint,
+                                  FaultLog, FaultPolicy, FaultyPageFile)
+from repro.storage.wal import (RecoveryReport, SnapshotView, WALPageFile,
+                               WALScan, WriteAheadLog, default_wal_path,
+                               recover, scan_wal)
 
 
 @runtime_checkable
@@ -87,4 +95,15 @@ __all__ = [
     "FaultLog",
     "FaultPolicy",
     "FaultyPageFile",
+    "CrashError",
+    "CrashInjector",
+    "CrashPoint",
+    "WriteAheadLog",
+    "WALPageFile",
+    "WALScan",
+    "SnapshotView",
+    "RecoveryReport",
+    "default_wal_path",
+    "recover",
+    "scan_wal",
 ]

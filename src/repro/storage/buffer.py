@@ -219,6 +219,14 @@ class BufferPool:
         self._frames.pop(page_id, None)
         self.pagefile.free(page_id)
 
+    def invalidate(self, page_id: int) -> None:
+        """Drop a frame whose slot was rewritten beneath the pool.
+
+        The WAL apply phase writes raw page images straight into the
+        page file; any resident frame for that slot is stale and must
+        not serve reads."""
+        self._frames.pop(page_id, None)
+
     def allocate(self) -> int:
         return self.pagefile.allocate()
 

@@ -438,6 +438,33 @@ class FilePageFile:
             self._levels[page_id] = level
             self.stats.writes += 1
 
+    def rebuild_slot_state(self) -> Tuple[List[int], List[int]]:
+        """Rescan slot headers after reopening a mutated file.
+
+        Neither the level map nor the free list is persisted, so a
+        store opened over a file that previously saw inserts/deletes
+        must rebuild both before allocating: otherwise freed slots leak
+        and ``_levels`` misses live pages.  Returns ``(live, freed)``
+        page-id lists.  Slots that are neither live nor stamped freed
+        (all-zero gaps from an aborted allocation) are skipped — they
+        stay unreusable but harmless.
+        """
+        live: List[int] = []
+        freed: List[int] = []
+        for slot in range(1, max(self._slot_count(), 1)):
+            self._file.seek(slot * self.page_size)
+            head = self._file.read(12)
+            if len(head) < 12:
+                break
+            pid, level = struct.unpack("<qi", head)
+            if pid == slot:
+                self._levels[slot] = level
+                live.append(slot)
+            elif pid == -1:
+                freed.append(slot)
+        self._free = list(freed)
+        return live, freed
+
     def free(self, page_id: int) -> None:
         # Stamp the slot with page id -1 (sealed) so stale reads fail
         # loudly with PageMissingError, never decode as live data.

@@ -38,6 +38,73 @@ from repro.storage.errors import (PageCorruptError, StorageError,
                                   TransientIOError)
 
 
+class CrashError(StorageError):
+    """The process "died" at an injected crash point.
+
+    Raised by :class:`CrashInjector` to model a kill -9 mid-mutation:
+    whatever bytes were written before the crash point stay on disk,
+    everything after it is lost.  Holders of the crashed store must
+    discard it and re-open through recovery
+    (:func:`repro.storage.wal.recover`).
+    """
+
+
+@dataclass
+class CrashPoint:
+    """Where (and how) one injected crash fires.
+
+    ``point`` names a location in the WAL commit protocol:
+
+    - ``"mid-append"``: while appending log records — the record being
+      written persists only a ``torn`` fraction of its bytes, so replay
+      sees a torn tail and the transaction never commits;
+    - ``"pre-apply"``: after the commit record is fsynced but before
+      any page image reaches the data file — the transaction is durable
+      in the log only;
+    - ``"mid-apply"``: between page writes of the apply phase — the
+      data file holds a half-applied transaction (the page being
+      written persists a ``torn`` fraction).
+
+    ``after`` skips that many matching crash-point hits first, so the
+    crash can land in any transaction of a workload, not just the
+    first.
+    """
+
+    point: str = "mid-apply"
+    #: matching hits to survive before firing.
+    after: int = 0
+    #: fraction of the in-flight record/page persisted before dying.
+    torn: float = 0.5
+
+
+class CrashInjector:
+    """Arms one :class:`CrashPoint`; fires once, then stays quiet.
+
+    The WAL commit path calls :meth:`check` at each crash point with an
+    optional ``partial`` callback that persists a torn prefix of the
+    in-flight record or page; firing invokes the callback and raises
+    :class:`CrashError`.
+    """
+
+    def __init__(self, point: CrashPoint) -> None:
+        self.point = point
+        self.remaining = point.after
+        self.fired = False
+
+    def check(self, point: str,
+              partial: Optional[Callable[[float], None]] = None) -> None:
+        """Die here if this is the armed crash point's turn."""
+        if self.fired or point != self.point.point:
+            return
+        if self.remaining > 0:
+            self.remaining -= 1
+            return
+        self.fired = True
+        if partial is not None and self.point.torn > 0.0:
+            partial(self.point.torn)
+        raise CrashError(f"injected crash at {point!r}")
+
+
 @dataclass
 class FaultPolicy:
     """Declarative description of what to inject, and how often.

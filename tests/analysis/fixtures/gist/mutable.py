@@ -1,0 +1,20 @@
+"""REP104 positive fixture: unlogged writes in a mutation path.
+
+The file name matters — REP104 scopes on ``gist/mutable.py``, so these
+calls land inside the WAL-discipline perimeter.
+"""
+
+
+class SloppyTree:
+    def insert(self, key, rid):
+        node = self._choose_leaf(key)
+        node.entries.append((key, rid))
+        # finding 1: raw slot write skips the log entirely
+        self.store._write_raw(node.page_id, node.encode())
+
+    def condense(self, nodes):
+        # finding 2: reaching beneath the wrapper to the base store
+        self.store.base.write_many(nodes)
+
+    def _choose_leaf(self, key):
+        return self.root

@@ -1,0 +1,31 @@
+"""REP104 negative fixture: disciplined writes in a mutation path.
+
+Same scope as the positive fixture (``gist/tree.py``), but every write
+either goes through the WAL wrapper or sits inside the exempt
+logging/redo machinery.
+"""
+
+
+class DisciplinedTree:
+    def insert(self, key, rid):
+        node = self._choose_leaf(key)
+        node.entries.append((key, rid))
+        # staged through the wrapper: the overlay logs it at commit
+        self.store.write(node)
+
+    def delete_many(self, nodes):
+        self.store.write_many(nodes)
+        for node in nodes:
+            self.store.free(node.page_id)
+
+    def _apply_images(self, images):
+        # exempt: the apply phase IS the redo machinery
+        for pid, image in images:
+            self.store.base._write_raw(pid, image)
+
+    def checkpoint(self):
+        # exempt: checkpointing syncs the base store by definition
+        self.store.inner.free(0)
+
+    def _choose_leaf(self, key):
+        return self.root

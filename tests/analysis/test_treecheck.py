@@ -153,6 +153,8 @@ def _append_orphan_leaf(path, tree):
     header = json.loads(raw[4:4 + hlen])
     page_size = header["page_size"]
     header["num_nodes"] += 1
+    if "num_slots" in header:
+        header["num_slots"] = max(header["num_slots"], header["num_nodes"])
     orphan_slot = header["num_nodes"]
 
     codec = NodeCodec(page_size, tree.leaf_codec, tree.index_codec)

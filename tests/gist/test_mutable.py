@@ -1,0 +1,215 @@
+"""Online mutation: durable insert/delete parity, snapshots, caches.
+
+The contract under test: a saved index reopened as a
+:class:`~repro.gist.mutable.MutableTree` supports insert/delete whose
+query results stay bit-identical to an in-memory GiST applying the same
+operations — for every registered AM family, through both the scalar
+``knn`` path and the batched Blobworld pipeline with a result cache
+attached (mutation must invalidate it, or it serves stale rankings).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gist.mutable import MutableTree
+from repro.gist.persist import load_tree, save_tree
+from repro.gist.tree import GiST
+from repro.gist.validate import validate_tree
+from repro.storage.errors import StorageError
+from tests.conftest import make_ext
+
+METHODS = ["rtree", "rstar", "sstree", "srtree", "amap", "jb", "xjb"]
+DIM = 3
+PAGE = 1024
+
+
+def _points(n, seed, dim=DIM):
+    return np.random.default_rng(seed).uniform(0.0, 100.0, size=(n, dim))
+
+
+def _saved(tmp_path, method, n=200, seed=11):
+    pts = _points(n, seed)
+    tree = GiST(make_ext(method, DIM), page_size=PAGE)
+    for i, p in enumerate(pts):
+        tree.insert(p, i)
+    path = str(tmp_path / f"{method}.amdb")
+    save_tree(tree, path)
+    return path, pts
+
+
+def _knn(tree, queries, k):
+    return [sorted((round(d, 9), rid) for d, rid in tree.knn(q, k))
+            for q in queries]
+
+
+class TestRoundTripParity:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_insert_query_delete_query(self, tmp_path, method):
+        path, pts = _saved(tmp_path, method)
+        shadow = load_tree(path=path)
+        rng = np.random.default_rng(29)
+        queries = rng.uniform(0.0, 100.0, size=(5, DIM))
+
+        with MutableTree.open(path) as mt:
+            extra = rng.uniform(0.0, 100.0, size=(60, DIM))
+            for j, p in enumerate(extra):
+                mt.insert(p, 200 + j)
+                shadow.insert(p, 200 + j)
+            assert _knn(mt.tree, queries, 10) == _knn(shadow, queries, 10)
+
+            for i in range(0, 80, 2):
+                assert mt.delete(pts[i], i)
+                assert shadow.delete(pts[i], i)
+            assert mt.tree.size == shadow.size
+            assert _knn(mt.tree, queries, 10) == _knn(shadow, queries, 10)
+            validate_tree(mt.tree)
+
+        # Durability: a fresh reader sees the same tree.
+        reloaded = load_tree(path=path)
+        assert reloaded.size == shadow.size
+        assert _knn(reloaded, queries, 10) == _knn(shadow, queries, 10)
+        validate_tree(reloaded)
+
+    def test_delete_absent_pair_is_false_and_unlogged(self, tmp_path):
+        path, _ = _saved(tmp_path, "rtree", n=50)
+        with MutableTree.open(path) as mt:
+            assert not mt.delete(np.full(DIM, -999.0), 12345)
+            assert mt.wal_size == 0          # nothing staged, nothing logged
+
+    def test_create_starts_empty_and_grows(self, tmp_path):
+        path = str(tmp_path / "fresh.amdb")
+        with MutableTree.create(make_ext("rtree", DIM), path, PAGE) as mt:
+            assert mt.tree.size == 0
+            for i, p in enumerate(_points(40, 3)):
+                mt.insert(p, i)
+            assert mt.tree.size == 40
+        assert load_tree(path=path).size == 40
+
+    def test_extension_mismatch_rejected(self, tmp_path):
+        path, _ = _saved(tmp_path, "rtree", n=30)
+        with pytest.raises(ValueError, match="saved by"):
+            MutableTree.open(path, extension=make_ext("sstree", DIM))
+
+    def test_buffered_store_round_trips(self, tmp_path):
+        path, pts = _saved(tmp_path, "sstree", n=120)
+        shadow = load_tree(path=path)
+        queries = _points(4, 31)
+        with MutableTree.open(path, buffer_pages=16) as mt:
+            for j, p in enumerate(_points(30, 5)):
+                mt.insert(p, 200 + j)
+                shadow.insert(p, 200 + j)
+            assert _knn(mt.tree, queries, 8) == _knn(shadow, queries, 8)
+        assert _knn(load_tree(path=path), queries, 8) == \
+            _knn(shadow, queries, 8)
+
+    def test_checkpoint_trims_the_log(self, tmp_path):
+        path, _ = _saved(tmp_path, "rtree", n=50)
+        with MutableTree.open(path) as mt:
+            for i, p in enumerate(_points(20, 9)):
+                mt.insert(p, 100 + i)
+            assert mt.wal_size > 0
+            mt.checkpoint()
+            assert mt.wal_size == 0
+            # Still mutable after the checkpoint.
+            mt.insert(np.full(DIM, 50.0), 999)
+        assert load_tree(path=path).size == 71
+
+
+class TestSnapshotIsolation:
+    def test_snapshot_pins_committed_state(self, tmp_path):
+        path, pts = _saved(tmp_path, "rtree", n=150)
+        queries = _points(4, 17)
+        with MutableTree.open(path) as mt:
+            before = _knn(mt.tree, queries, 8)
+            snap = mt.snapshot()
+            try:
+                for j, p in enumerate(_points(80, 23)):
+                    mt.insert(p, 500 + j)
+                for i in range(0, 40):
+                    mt.delete(pts[i], i)
+                # The live tree moved on; the snapshot did not.
+                assert _knn(mt.tree, queries, 8) != before
+                assert _knn(snap, queries, 8) == before
+                assert snap.size == 150
+            finally:
+                snap.store.close()
+
+    def test_closed_snapshot_stops_pinning(self, tmp_path):
+        path, _ = _saved(tmp_path, "rtree", n=100)
+        with MutableTree.open(path) as mt:
+            snap = mt.snapshot()
+            snap.store.close()
+            assert mt.wpf._snapshots == []
+
+
+class TestPoisonedAfterCrash:
+    def test_crashed_tree_refuses_further_mutation(self, tmp_path):
+        from repro.storage.faults import (CrashError, CrashInjector,
+                                          CrashPoint)
+        path, _ = _saved(tmp_path, "rtree", n=100)
+        injector = CrashInjector(CrashPoint(point="mid-apply", after=0,
+                                            torn=0.5))
+        mt = MutableTree.open(path, injector=injector)
+        with pytest.raises(CrashError):
+            for i, p in enumerate(_points(50, 41)):
+                mt.insert(p, 100 + i)
+        with pytest.raises(StorageError, match="reopen"):
+            mt.insert(np.zeros(DIM), 7777)
+        mt.close()
+        # Reopen recovers and the file is whole again.
+        with MutableTree.open(path) as mt2:
+            assert mt2.recovery.transactions_applied >= 1
+            mt2.insert(np.zeros(DIM), 7777)
+
+
+class TestCacheInvalidation:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        from repro.blobworld import build_corpus
+        return build_corpus(num_blobs=600, num_images=100, seed=7)
+
+    def test_mutation_invalidates_attached_cache(self, tmp_path, corpus):
+        """The staleness fix: a cached ranking must not survive an index
+        mutation that changes the candidate set."""
+        from repro.blobworld import BlobworldEngine, QueryResultCache
+        from repro.constants import INDEX_DIMENSIONS
+
+        vectors = corpus.reduced(INDEX_DIMENSIONS)
+        tree = GiST(make_ext("rtree", INDEX_DIMENSIONS), page_size=4096)
+        for i, v in enumerate(vectors):
+            tree.insert(v, i)
+        path = str(tmp_path / "corpus.amdb")
+        save_tree(tree, path)
+
+        stream = [3, 11, 3, 42, 11, 3]
+        with MutableTree.open(path) as mt:
+            cache = QueryResultCache(64)
+            mt.attach_cache(cache)
+            engine = BlobworldEngine(corpus, cache=cache)
+            cold = engine.am_query_batch(mt.tree, stream, 40,
+                                         INDEX_DIMENSIONS)
+            assert cache.stats.hits > 0      # repeats served from cache
+
+            # Remove a sizeable slice of blobs from the index: every
+            # candidate set changes.
+            for b in range(0, 200):
+                mt.delete(vectors[b], b)
+            assert len(cache) == 0           # mutation dropped the cache
+
+            fresh = BlobworldEngine(corpus).am_query_batch(
+                mt.tree, stream, 40, INDEX_DIMENSIONS)
+            cached = engine.am_query_batch(mt.tree, stream, 40,
+                                           INDEX_DIMENSIONS)
+            assert cached == fresh           # no stale rankings survive
+            assert cached != cold            # the mutation really mattered
+
+    def test_detached_cache_is_left_alone(self, tmp_path):
+        from repro.blobworld import QueryResultCache
+        path, pts = _saved(tmp_path, "rtree", n=60)
+        with MutableTree.open(path) as mt:
+            cache = QueryResultCache(8)
+            cache.put((1, 2, 3, 4), [9])
+            mt.attach_cache(cache)
+            mt.detach_cache(cache)
+            mt.insert(np.full(DIM, 1.0), 1000)
+            assert cache.get((1, 2, 3, 4)) == (9,)

@@ -70,7 +70,13 @@ class TestHostileFiles:
         self._poison_field(saved, "num_nodes", -3)
 
     def test_num_nodes_beyond_file(self, saved):
-        self._poison_field(saved, "num_nodes", 10_000, match="holds only")
+        # The stale num_slots field (still at the true count) catches
+        # the inflated census before the file-length check would.
+        self._poison_field(saved, "num_nodes", 10_000,
+                           match="below num_nodes")
+
+    def test_num_slots_beyond_file(self, saved):
+        self._poison_field(saved, "num_slots", 10_000, match="holds only")
 
     def test_root_slot_beyond_num_nodes(self, saved):
         self._poison_field(saved, "root_slot", 9_999, match="root_slot")

@@ -89,7 +89,7 @@ class TestDamage:
         report = scrub_file(path)
         orphans = [s.slot for s in report.orphaned_slots]
         assert orphans == [extra_slot]
-        assert "beyond superblock node count" in \
+        assert "beyond superblock slot count" in \
             report.orphaned_slots[0].detail
         assert not report.clean
 

@@ -158,6 +158,43 @@ class TestWriteFaults:
         assert faulty.injected.dropped == 1
         assert store.read(nodes[0].page_id) is nodes[0]   # lost write
 
+    def test_write_many_matches_sequential_fault_accounting(self, tmp_path):
+        """Batched writes take the per-node fault path: same seed, same
+        torn/dropped sequence and the same injected counts as a loop of
+        single writes."""
+        from repro.gist.entry import LeafEntry
+
+        def run(batched):
+            subdir = tmp_path / ("batched" if batched else "sequential")
+            subdir.mkdir()
+            store, nodes = _disk_store(subdir, n=6)
+            for node in nodes:
+                node.set_entries([LeafEntry(np.array([float(i), 0.0]), i)
+                                  for i in range(30)])
+            faulty = FaultyPageFile(store, FaultPolicy(
+                seed=9, torn_write_rate=0.5, drop_write_rate=0.25))
+            if batched:
+                faulty.write_many(nodes)
+            else:
+                for node in nodes:
+                    faulty.write(node)
+            outcomes = []
+            for node in nodes:
+                try:
+                    outcomes.append(store.read(node.page_id).page_id)
+                except PageCorruptError:
+                    outcomes.append("torn")
+            counts = (faulty.injected.torn, faulty.injected.dropped)
+            store.close()
+            return outcomes, counts
+
+        seq_outcomes, seq_counts = run(batched=False)
+        bat_outcomes, bat_counts = run(batched=True)
+        assert bat_outcomes == seq_outcomes
+        assert bat_counts == seq_counts
+        # The seed actually injected both fault kinds into this batch.
+        assert bat_counts[0] > 0 and bat_counts[1] > 0
+
     def test_stale_read_returns_old_version(self):
         store, nodes = _mem_store_with(1)
         faulty = FaultyPageFile(store, FaultPolicy(stale_read_rate=1.0))

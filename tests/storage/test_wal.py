@@ -1,0 +1,221 @@
+"""Write-ahead log: record format, torn tails, redo idempotence.
+
+These are the unit-level guarantees underneath the kill-and-recover
+harness (``tests/workload/test_crash.py``): every record is CRC-sealed,
+a torn tail is detected and truncated exactly at the first damaged
+record, and replaying committed transactions is pure image redo —
+applying the same log twice leaves the data file byte-identical.
+"""
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.storage import PageCorruptError
+from repro.storage.faults import CrashError, CrashInjector, CrashPoint
+from repro.storage.wal import (_HEADER_SIZE, _RECORD, WriteAheadLog,
+                               default_wal_path, recover, scan_wal)
+
+PAGE = 256
+
+
+def _image(fill, page_size=PAGE):
+    return bytes([fill]) * page_size
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "index.amdb.wal")
+
+
+@pytest.fixture
+def wal(wal_path):
+    log = WriteAheadLog(wal_path, PAGE)
+    yield log
+    log.close()
+
+
+class TestAppendAndScan:
+    def test_fresh_log_is_empty(self, wal, wal_path):
+        assert wal.size_bytes() == 0
+        assert wal.last_lsn == 0
+        scan = scan_wal(wal_path)
+        assert scan.records == 0
+        assert scan.committed == []
+        assert scan.truncated_bytes == 0
+
+    def test_committed_transaction_round_trips(self, wal, wal_path):
+        lsn = wal.append_transaction(
+            7, [(1, _image(0xAA)), (3, _image(0xBB))], _image(0xCC))
+        assert lsn == 3                      # two page records, then commit
+        scan = scan_wal(wal_path)
+        assert scan.records == 3
+        assert scan.last_lsn == 3
+        [(txn, pages, meta)] = scan.committed
+        assert txn == 7
+        assert pages == [(1, _image(0xAA)), (3, _image(0xBB))]
+        assert meta == _image(0xCC)
+
+    def test_commit_without_superblock_image(self, wal, wal_path):
+        wal.append_transaction(1, [(2, _image(0x11))], b"")
+        [(_, pages, meta)] = scan_wal(wal_path).committed
+        assert pages == [(2, _image(0x11))]
+        assert meta == b""
+
+    def test_lsns_are_monotonic_across_transactions(self, wal, wal_path):
+        first = wal.append_transaction(1, [(1, _image(1))], b"")
+        second = wal.append_transaction(2, [(2, _image(2))], b"")
+        assert second > first
+        assert wal.last_lsn == second
+
+    def test_wrong_size_image_rejected(self, wal):
+        with pytest.raises(ValueError, match="bytes"):
+            wal.append_transaction(1, [(1, b"\x00" * (PAGE - 1))], b"")
+
+    def test_reopen_resumes_lsn_sequence(self, wal_path):
+        with WriteAheadLog(wal_path, PAGE) as log:
+            lsn = log.append_transaction(1, [(1, _image(1))], b"")
+        with WriteAheadLog(wal_path, PAGE) as log:
+            assert log.last_lsn == lsn
+            assert log.append_transaction(2, [(2, _image(2))], b"") > lsn
+
+    def test_page_size_mismatch_rejected_on_reopen(self, wal_path):
+        WriteAheadLog(wal_path, PAGE).close()
+        with pytest.raises(PageCorruptError, match="page size"):
+            WriteAheadLog(wal_path, PAGE * 2)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = str(tmp_path / "junk.wal")
+        with open(path, "wb") as f:
+            f.write(b"\xde\xad\xbe\xef" * 16)
+        with pytest.raises(PageCorruptError, match="bad header"):
+            scan_wal(path)
+
+    def test_reset_discards_all_records(self, wal, wal_path):
+        wal.append_transaction(1, [(1, _image(1))], b"")
+        wal.reset()
+        assert wal.size_bytes() == 0
+        assert scan_wal(wal_path).records == 0
+
+
+class TestTornTail:
+    def _log_two(self, wal_path):
+        with WriteAheadLog(wal_path, PAGE) as log:
+            log.append_transaction(1, [(1, _image(0x11))], b"")
+            log.append_transaction(2, [(2, _image(0x22))], b"")
+        return os.path.getsize(wal_path)
+
+    def test_truncated_record_marks_the_tail(self, wal_path):
+        size = self._log_two(wal_path)
+        with open(wal_path, "r+b") as f:
+            f.truncate(size - 10)            # tear the last commit record
+        scan = scan_wal(wal_path)
+        assert [txn for txn, _, _ in scan.committed] == [1]
+        assert scan.uncommitted == 1         # txn 2's page record is orphaned
+        assert scan.truncated_bytes > 0
+
+    def test_corrupt_byte_marks_the_tail(self, wal_path):
+        self._log_two(wal_path)
+        first_len = _RECORD.size + PAGE
+        with open(wal_path, "r+b") as f:
+            # Flip a payload byte of txn 2's page record: its seal breaks,
+            # so txn 1 (fully intact) survives and txn 2 does not.
+            f.seek(_HEADER_SIZE + 2 * first_len + _RECORD.size + 5)
+            f.write(b"\xff")
+        scan = scan_wal(wal_path)
+        assert [txn for txn, _, _ in scan.committed] == [1]
+        assert scan.truncated_bytes > 0
+
+    def test_reopen_truncates_the_tail(self, wal_path):
+        size = self._log_two(wal_path)
+        with open(wal_path, "r+b") as f:
+            f.truncate(size - 10)
+        with WriteAheadLog(wal_path, PAGE) as log:
+            # The torn transaction is gone; appending works from the
+            # last well-formed record.
+            log.append_transaction(3, [(3, _image(0x33))], b"")
+        scan = scan_wal(wal_path)
+        assert [txn for txn, _, _ in scan.committed] == [1, 3]
+        assert scan.truncated_bytes == 0
+
+    def test_mid_append_injection_leaves_torn_record(self, wal_path):
+        injector = CrashInjector(CrashPoint(point="mid-append", after=1,
+                                            torn=0.5))
+        log = WriteAheadLog(wal_path, PAGE, injector=injector)
+        with pytest.raises(CrashError):
+            log.append_transaction(1, [(1, _image(1)), (2, _image(2))], b"")
+        log.close()
+        scan = scan_wal(wal_path)
+        assert scan.committed == []          # commit record never written
+        assert scan.uncommitted == 1
+        assert scan.truncated_bytes > 0      # the torn second record
+
+
+class TestRedoRecovery:
+    def _data_file(self, tmp_path, slots=4):
+        path = str(tmp_path / "index.amdb")
+        with open(path, "wb") as f:
+            f.write(b"\x00" * PAGE * (slots + 1))
+        return path
+
+    def test_committed_images_reach_the_data_file(self, tmp_path):
+        path = self._data_file(tmp_path)
+        with WriteAheadLog(default_wal_path(path), PAGE) as log:
+            log.append_transaction(1, [(2, _image(0xAB))], _image(0x01))
+        report = recover(path)
+        assert report.transactions_applied == 1
+        assert report.pages_applied == 2     # page 2 plus the superblock
+        with open(path, "rb") as f:
+            raw = f.read()
+        assert raw[:PAGE] == _image(0x01)
+        assert raw[2 * PAGE:3 * PAGE] == _image(0xAB)
+
+    def test_uncommitted_transaction_is_discarded(self, tmp_path):
+        path = self._data_file(tmp_path)
+        wal_path = default_wal_path(path)
+        with WriteAheadLog(wal_path, PAGE) as log:
+            log.append_transaction(1, [(1, _image(0x11))], b"")
+            size = os.path.getsize(wal_path)
+            log.append_transaction(2, [(2, _image(0x22))], b"")
+        with open(wal_path, "r+b") as f:
+            f.truncate(size + 20)            # tear txn 2 mid-record
+        report = recover(path)
+        assert report.transactions_applied == 1
+        assert report.truncated_bytes > 0
+        with open(path, "rb") as f:
+            raw = f.read()
+        assert raw[PAGE:2 * PAGE] == _image(0x11)
+        assert raw[2 * PAGE:3 * PAGE] == _image(0x00)   # txn 2 never applied
+
+    def test_replay_is_idempotent(self, tmp_path):
+        path = self._data_file(tmp_path)
+        with WriteAheadLog(default_wal_path(path), PAGE) as log:
+            log.append_transaction(1, [(1, _image(0x11))], _image(0x01))
+            log.append_transaction(2, [(1, _image(0x22))], _image(0x02))
+        recover(path, checkpoint=False)
+        first = open(path, "rb").read()
+        recover(path, checkpoint=False)
+        assert open(path, "rb").read() == first
+        # Later transaction wins on the shared page.
+        assert first[PAGE:2 * PAGE] == _image(0x22)
+        assert first[:PAGE] == _image(0x02)
+
+    def test_checkpoint_resets_the_log(self, tmp_path):
+        path = self._data_file(tmp_path)
+        wal_path = default_wal_path(path)
+        with WriteAheadLog(wal_path, PAGE) as log:
+            log.append_transaction(1, [(1, _image(0x11))], b"")
+        report = recover(path)               # checkpoint=True default
+        assert report.checkpointed
+        assert scan_wal(wal_path).records == 0
+        # Second recovery is a clean no-op.
+        again = recover(path)
+        assert again.transactions_applied == 0
+
+    def test_missing_log_is_a_clean_noop(self, tmp_path):
+        path = self._data_file(tmp_path)
+        report = recover(path)
+        assert report.transactions_applied == 0
+        assert report.clean_log
