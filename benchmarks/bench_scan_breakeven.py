@@ -8,6 +8,7 @@ accesses, no AM hit more than 1 in 50 of its total pages at 221k blobs
 (aMAP about 1 in 52).
 """
 
+import json
 import math
 
 import numpy as np
@@ -16,7 +17,7 @@ from repro.amdb import profile_workload
 from repro.core import build_index
 from repro.storage.iomodel import DiskModel
 
-from conftest import emit
+from conftest import RESULTS_DIR, emit
 
 METHODS = ["rtree", "amap", "xjb", "jb"]
 
@@ -39,6 +40,9 @@ def test_scan_breakeven(vectors, workload, profile, benchmark):
         f"{'index ms/q':>11}{'beats scan':>11}{'total frac':>11}",
     ]
     leaf_fractions = {}
+    rows = {}
+    fills = []
+    overscans = []
     for m in METHODS:
         tree = build_index(vectors, m, page_size=profile.page_size)
         prof = profile_workload(tree, workload.queries, workload.k)
@@ -48,6 +52,20 @@ def test_scan_breakeven(vectors, workload, profile, benchmark):
         leaf_fractions[m] = leaf_frac
         index_ms = model.random_reads_ms(leaf_per_q)
         beats = index_ms < model.scan_ms(flat_pages)
+        fills.append(len(vectors) / (prof.num_leaves * tree.leaf_capacity))
+        # Measured overscan: leaf reads per query relative to the
+        # minimum number of leaves that could hold k survivors — the
+        # same ratio QueryPlanner applies to its tree-cost estimate.
+        avg_entries = len(vectors) / prof.num_leaves
+        floor_leaves = max(1.0, math.ceil(workload.k / avg_entries))
+        overscans.append(leaf_per_q / floor_leaves)
+        rows[m] = {
+            "leaf_ios_per_query": round(leaf_per_q, 3),
+            "leaf_fraction": round(leaf_frac, 6),
+            "index_ms_per_query": round(index_ms, 3),
+            "beats_scan": bool(beats),
+            "total_fraction": round(total_per_q / prof.total_pages, 6),
+        }
         lines.append(f"{m:<8}{leaf_per_q:>10.1f}{leaf_frac:>10.4f}"
                      f"{index_ms:>11.0f}{str(beats):>11}"
                      f"{total_per_q / prof.total_pages:>11.4f}")
@@ -57,6 +75,35 @@ def test_scan_breakeven(vectors, workload, profile, benchmark):
         f"{model.breakeven_fraction():.3f}; fractions shrink with corpus "
         "size (paper measured < 1 in 50 of total pages at 221k blobs)")
     emit("Scan break-even", "\n".join(lines))
+
+    # Archive the measurements plus planner defaults in the shape
+    # ``PlannerConfig.from_breakeven_json`` consumes, so serve runs can
+    # calibrate routing from this bench instead of hard-coded numbers.
+    doc = {
+        "bench": "scan_breakeven",
+        "config": {
+            "num_blobs": int(len(vectors)),
+            "num_queries": int(workload.queries.shape[0]),
+            "k": int(workload.k),
+            "page_size": int(profile.page_size),
+            "flat_pages": int(flat_pages),
+        },
+        "methods": rows,
+        "planner_defaults": {
+            "overscan": round(float(np.median(overscans)), 3),
+            "leaf_fill": round(float(np.mean(fills)), 3),
+            "scan_bias_ms": 0.0,
+            "model": {
+                "seek_ms": model.seek_ms,
+                "rotational_ms": model.rotational_ms,
+                "throughput_mb_s": model.throughput_mb_s,
+                "page_size": model.page_size,
+            },
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_scan_breakeven.json").write_text(
+        json.dumps(doc, indent=2) + "\n")
 
     # Section 3.2's bar: under 1/15 of the leaf pages, beyond toy scale.
     if len(vectors) >= 10_000:

@@ -168,10 +168,28 @@ class ServeProfile:
     total_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: batches the planner routed to the index / to the flat scan
+    plans_tree: int = 0
+    plans_scan: int = 0
+    #: planner page estimates vs pages the batches actually read
+    est_pages: int = 0
+    actual_pages: int = 0
 
     def add(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = \
             self.stage_seconds.get(stage, 0.0) + seconds
+
+    def note_plan(self, plan, actual_pages: int = 0) -> None:
+        """Record one routing decision (a
+        :class:`~repro.gist.planner.Plan`) and the pages the chosen
+        execution then read."""
+        if plan.choice == "scan":
+            self.plans_scan += 1
+            self.est_pages += plan.est_scan_pages
+        else:
+            self.plans_tree += 1
+            self.est_pages += plan.est_tree_pages
+        self.actual_pages += int(actual_pages)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -196,6 +214,9 @@ class ServeProfile:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "plans": {"tree": self.plans_tree, "scan": self.plans_scan},
+            "est_pages": self.est_pages,
+            "actual_pages": self.actual_pages,
         }
 
 

@@ -57,6 +57,30 @@ class FlatFile:
         order = np.argsort(d, kind="stable")[:k]
         return [(float(d[i]), int(self.rids[i])) for i in order]
 
+    def knn_batch(self, queries, k: int) -> List[List[Tuple[float, int]]]:
+        """k-NN for a block of queries off one shared scan.
+
+        One sequential pass serves the whole block (``pages_read``
+        grows by ``num_pages`` once, the physical scan the planner
+        prices), and the distance kernel is a single ``(Q, n)``
+        matrix.  Row for row bit-identical to :meth:`knn`: the same
+        subtract/square/sum/sqrt expression per query and the same
+        stable argsort tie order.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ValueError("queries must be a 2-D (q, dim) array")
+        self.pages_read += self.num_pages
+        if len(self.vectors) == 0 or len(queries) == 0:
+            return [[] for _ in range(len(queries))]
+        d = np.sqrt(((self.vectors[None, :, :] - queries[:, None, :]) ** 2)
+                    .sum(axis=-1))
+        orders = np.argsort(d, kind="stable", axis=-1)[:, :k]
+        return [[(float(d[qi, i]), int(self.rids[i])) for i in orders[qi]]
+                for qi in range(len(queries))]
+
     def scan_time_ms(self, model: Optional[DiskModel] = None) -> float:
         """Modeled wall time of one full scan."""
         if model is None:

@@ -23,6 +23,8 @@ ID                severity  invariant
 ``REP401``        error     no byte copies (``.tobytes()``, ``bytes(view)``,
                             ``copy=True``) in the serving read path
 ``REP402``        warning   ``.copy()`` in a decode path (scalar-compat copies)
+``REP403``        warning   eager full-page dequantization (``.astype("f8")``
+                            on decoded blocks) in query hot paths
 ``REP501``        error     page-file protocol implementers define every
                             protocol method with a matching signature
 ================  ========  =====================================================
@@ -427,10 +429,23 @@ def _is_decode_path(name: str) -> bool:
     return name.lstrip("_").startswith(("decode", "read", "verify"))
 
 
-class _ServingVisitor(ast.NodeVisitor):
-    """Tracks the enclosing function-name stack for the serving rules."""
+def _is_query_hot_path(name: str) -> bool:
+    """Functions on the query/serving hot path (REP403's scope)."""
+    return name.lstrip("_").startswith(
+        ("decode", "read", "knn", "search", "query", "expand", "serve",
+         "am_query", "nn_", "plan"))
 
-    def __init__(self) -> None:
+
+class _ServingVisitor(ast.NodeVisitor):
+    """Tracks the enclosing function-name stack for the serving rules.
+
+    ``is_hot`` classifies enclosing function names; call sites are
+    collected with a flag saying whether any enclosing function
+    matched (decode paths by default).
+    """
+
+    def __init__(self, is_hot=_is_decode_path) -> None:
+        self._is_hot = is_hot
         self.stack: List[str] = []
         #: (node, in_decode_path) call sites, collected in source order.
         self.calls: List[Tuple[ast.Call, bool]] = []
@@ -447,7 +462,7 @@ class _ServingVisitor(ast.NodeVisitor):
         self._visit_func(node, node.name)
 
     def visit_Call(self, node: ast.Call) -> None:
-        in_decode = any(_is_decode_path(name) for name in self.stack)
+        in_decode = any(self._is_hot(name) for name in self.stack)
         self.calls.append((node, in_decode))
         self.generic_visit(node)
 
@@ -523,6 +538,60 @@ class CopyInDecodeRule(Rule):
                     module, node,
                     ".copy() in a decode path keeps the scalar-compat "
                     "copy alive; the zero-copy path is decode_block")
+
+
+#: dtype spellings that mean "materialize the whole block as float64".
+_F8_NAMES = {"f8", "<f8", "float64", "double", "float"}
+
+
+def _astype_f8(node: ast.Call) -> bool:
+    """Is this call ``something.astype(<a float64 spelling>)``?"""
+    if not (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"):
+        return False
+    args = list(node.args)
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            args.append(kw.value)
+    for arg in args:
+        if isinstance(arg, ast.Constant) and arg.value in _F8_NAMES:
+            return True
+        name = dotted_name(arg)
+        if name in ("float", "np.float64", "np.double",
+                    "numpy.float64", "numpy.double"):
+            return True
+    return False
+
+
+class EagerDequantizeRule(Rule):
+    """REP403 (warning): eager full-page dequantization in a hot path.
+
+    Quantized (sq8) leaf pages decode to
+    :class:`~repro.storage.codecs.QuantizedKeys` views; the k-NN
+    kernels prune whole pages on admissible cell bounds and let
+    ``Node.keys_array()`` materialize floats only for pages that
+    survive.  An ``.astype("f8")`` / ``.astype(np.float64)`` over a
+    decoded block inside a query hot path dequantizes every entry up
+    front — exactly the work the lazy layout exists to avoid.  Cold
+    paths (corpus construction, feature extraction, encode) are not
+    covered.
+    """
+
+    id = "REP403"
+    severity = WARNING
+    title = "eager dequantization in a query hot path"
+    scopes = ("gist/", "blobworld/")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        visitor = _ServingVisitor(_is_query_hot_path)
+        visitor.visit(module.tree)
+        for node, in_hot in visitor.calls:
+            if in_hot and _astype_f8(node):
+                yield self.finding(
+                    module, node,
+                    ".astype(float64) dequantizes a whole block in a "
+                    "query hot path; prune on cell bounds and let "
+                    "keys_array() materialize survivors lazily")
 
 
 # ---------------------------------------------------------------------------
@@ -643,6 +712,7 @@ ALL_RULES: List[Rule] = [
     TypedRaiseRule(),
     ZeroCopyRule(),
     CopyInDecodeRule(),
+    EagerDequantizeRule(),
     ProtocolConformanceRule(),
 ]
 

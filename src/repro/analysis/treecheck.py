@@ -18,6 +18,14 @@ that make search over a tree exact:
   exactly once (``PAGE_ORPHAN`` / ``PAGE_DUPLICATE`` /
   ``PAGE_MISSING``), and the tree's size matches the stored RIDs
   (``SIZE_MISMATCH`` / ``RID_DUPLICATE``);
+- **quantized pages** — on SQ8 leaves (see
+  :class:`repro.storage.codecs.QuantizedLeafCodec`) a reconstructed
+  key may legally sit outside its parent predicate by up to the
+  quantization-cell half diagonal; beyond that tolerance — or outside
+  the page's own declared cell bounds — it is ``QUANT_BOUND_ESCAPE``,
+  and the delta-packed RIDs must come back strictly increasing
+  (``RID_ORDER``).  Bite checks shrink by the per-key cell half widths
+  so only *certain* violations are flagged;
 - **shape bounds** — per-level fanout within the AM family's page
   budget (``NODE_OVERFULL`` / ``NODE_UNDERFULL``), consistent levels
   (``LEVEL_MISMATCH``), and uniform leaf depth (``TREE_UNBALANCED``).
@@ -32,7 +40,7 @@ computes.  ``repro fsck --deep`` wires :func:`deep_scrub` into the CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -51,12 +59,14 @@ LEVEL_MISMATCH = "LEVEL_MISMATCH"
 TREE_UNBALANCED = "TREE_UNBALANCED"
 SIZE_MISMATCH = "SIZE_MISMATCH"
 RID_DUPLICATE = "RID_DUPLICATE"
+QUANT_BOUND_ESCAPE = "QUANT_BOUND_ESCAPE"
+RID_ORDER = "RID_ORDER"
 
 ALL_CODES = (
     BP_KEY_ESCAPE, BP_CHILD_ESCAPE, BITE_OUTSIDE_MBR, BITE_NONEMPTY,
     PAGE_ORPHAN, PAGE_MISSING, PAGE_DUPLICATE, NODE_OVERFULL,
     NODE_UNDERFULL, NODE_EMPTY, LEVEL_MISMATCH, TREE_UNBALANCED,
-    SIZE_MISMATCH, RID_DUPLICATE,
+    SIZE_MISMATCH, RID_DUPLICATE, QUANT_BOUND_ESCAPE, RID_ORDER,
 )
 
 
@@ -173,6 +183,7 @@ def check_tree(tree: Any, path: Optional[str] = None,
             return None
 
     def check_bites(pred: Any, child_keys: np.ndarray,
+                    child_halfs: Optional[np.ndarray],
                     child_id: int) -> None:
         if not isinstance(pred, BittenRect) or not pred.bites:
             return
@@ -193,6 +204,17 @@ def check_tree(tree: Any, path: Optional[str] = None,
                     f"escapes the predicate MBR")
             if len(child_keys):
                 removed = bite.removes_points(child_keys)
+                if bool(removed.any()) and child_halfs is not None:
+                    # Quantized keys are reconstructions: one may drift
+                    # into a bite by up to its cell half width without
+                    # the original having been inside.  Flag only when
+                    # the whole cell box sits inside the bite — a
+                    # violation no quantization error can explain.
+                    sure = (np.all(child_keys - child_halfs > bite.lo,
+                                   axis=1)
+                            & np.all(child_keys + child_halfs < bite.hi,
+                                     axis=1))
+                    removed = removed & sure
                 if bool(removed.any()):
                     culprit = child_keys[int(np.argmax(removed))]
                     report.add(
@@ -202,10 +224,29 @@ def check_tree(tree: Any, path: Optional[str] = None,
                         f"{culprit.tolist()}; the predicate excludes "
                         f"covered data")
 
-    def walk(page_id: int, depth: int,
-             expected_level: Optional[int]) -> np.ndarray:
-        """DFS one subtree; returns the stacked keys stored beneath."""
-        empty = np.empty((0, ext.dim), dtype=np.float64)
+    def check_quantized_leaf(node: Any) -> None:
+        """SQ8 integrity: RID order and cell-bound discipline."""
+        block = node.quantized_block()
+        if block is None or not len(node):
+            return
+        rid_arr = node.rid_array()
+        if len(rid_arr) > 1 \
+                and not bool((np.diff(rid_arr) > 0).all()):
+            report.add(RID_ORDER, node.page_id,
+                       "delta-packed RIDs are not strictly increasing")
+        keys = node.keys_array()
+        if bool((keys < block.mins).any()) \
+                or bool((keys > block.maxs).any()):
+            report.add(QUANT_BOUND_ESCAPE, node.page_id,
+                       "reconstructed key outside the page's declared "
+                       "quantization cell bounds")
+
+    def walk(page_id: int, depth: int, expected_level: Optional[int]
+             ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """DFS one subtree; returns the stacked keys stored beneath and
+        their per-key quantization half widths (None when the whole
+        subtree is exact)."""
+        empty = (np.empty((0, ext.dim), dtype=np.float64), None)
         if page_id in reachable:
             report.add(PAGE_DUPLICATE, page_id,
                        "page referenced from more than one parent")
@@ -236,22 +277,48 @@ def check_tree(tree: Any, path: Optional[str] = None,
             leaf_depths.add(depth)
             rids.extend(e.rid for e in node.entries)
             report.keys_checked += len(node.entries)
-            return node.keys_array() if node.entries else empty
+            check_quantized_leaf(node)
+            if not node.entries:
+                return empty
+            keys = node.keys_array()
+            half = node.key_halfwidths()
+            halfs = (np.broadcast_to(half, keys.shape)
+                     if half is not None else None)
+            return keys, halfs
 
         if not node.entries:
             report.add(NODE_EMPTY, page_id, "inner node with no entries")
             return empty
 
         parts: List[np.ndarray] = []
+        half_parts: List[Optional[np.ndarray]] = []
         for entry in node.entries:
-            child_keys = walk(entry.child, depth + 1, node.level - 1)
+            child_keys, child_halfs = walk(entry.child, depth + 1,
+                                           node.level - 1)
             parts.append(child_keys)
+            half_parts.append(child_halfs)
             child = peek(entry.child)
             if child is None:
                 continue
             if child.is_leaf:
+                half = child.key_halfwidths()
+                qtol = (float(np.sqrt((half * half).sum())) + 1e-9
+                        if half is not None else 0.0)
                 for leaf_entry in child.entries:
                     if not ext.contains(entry.pred, leaf_entry.key):
+                        if half is not None:
+                            if ext.min_dist(entry.pred,
+                                            leaf_entry.key) <= qtol:
+                                continue
+                            report.add(
+                                QUANT_BOUND_ESCAPE, entry.child,
+                                f"reconstructed key "
+                                f"{np.asarray(leaf_entry.key).tolist()} "
+                                f"(rid {leaf_entry.rid}) escapes the "
+                                f"bounding predicate its parent "
+                                f"{page_id} holds by more than the "
+                                f"quantization tolerance {qtol:.3g}")
+                            continue
                         report.add(
                             BP_KEY_ESCAPE, entry.child,
                             f"stored key "
@@ -267,8 +334,17 @@ def check_tree(tree: Any, path: Optional[str] = None,
                             f"child predicate (for page "
                             f"{grandchild.child}) is not covered by "
                             f"the predicate parent {page_id} holds")
-            check_bites(entry.pred, child_keys, entry.child)
-        return np.concatenate(parts) if parts else empty
+            check_bites(entry.pred, child_keys, child_halfs, entry.child)
+        if not parts:
+            return empty
+        all_keys = np.concatenate(parts)
+        if any(h is not None for h in half_parts):
+            all_halfs: Optional[np.ndarray] = np.concatenate(
+                [h if h is not None else np.zeros_like(k)
+                 for k, h in zip(parts, half_parts)])
+        else:
+            all_halfs = None
+        return all_keys, all_halfs
 
     root = peek(tree.root_id)
     if root is not None:

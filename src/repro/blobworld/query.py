@@ -146,12 +146,46 @@ class BlobworldEngine:
 
     # -- AM-assisted query (Figure 2) ----------------------------------------------
 
+    @staticmethod
+    def _is_lossy(tree) -> bool:
+        """Does the index hold quantized (lossy) leaf keys?"""
+        return bool(getattr(getattr(tree, "leaf_codec", None),
+                            "lossy", False))
+
+    @staticmethod
+    def _overscan(num_blobs: int) -> int:
+        """Candidates to pull from a lossy index for ``num_blobs``.
+
+        A quantized index ranks leaf entries by admissible cell lower
+        bounds, so the true reduced-space top ``num_blobs`` can sit a
+        little below rank ``num_blobs``; pulling extra candidates and
+        re-ranking them exactly (:meth:`_refine_candidates`) absorbs
+        the slack.  The margin is generous — quantization cells are a
+        1/255 slice of each leaf's extent, so real displacement is
+        tiny — and page-granular reads make it nearly free.
+        """
+        return num_blobs + max(64, num_blobs // 2)
+
+    def _refine_candidates(self, rids: np.ndarray, query_vec: np.ndarray,
+                           reduced: np.ndarray,
+                           num_blobs: int) -> np.ndarray:
+        """Exact reduced-space top ``num_blobs`` of an overscanned
+        candidate list (the VA-file refinement step): the engine holds
+        the exact vectors in memory, so quantization error never
+        reaches stage two."""
+        diff = reduced[rids] - query_vec
+        d = (diff * diff).sum(axis=1)
+        order = np.argsort(d, kind="stable")[:num_blobs]
+        return rids[order]
+
     def am_query(self, tree, query_blob: int, num_blobs: int,
                  dims: int, top_images: Optional[int] = None) -> List[int]:
         """Two-stage query: index candidates, then full re-ranking.
 
         ``tree`` must index the corpus's ``dims``-dimensional reduced
-        vectors with blob indices as RIDs.
+        vectors with blob indices as RIDs.  Quantized (sq8) indexes are
+        overscanned and exactly refined first, so the candidates fed to
+        the rerank match the reduced-space top ``num_blobs``.
         """
         if top_images is None:
             top_images = FULL_QUERY_RESULT_IMAGES
@@ -160,9 +194,15 @@ class BlobworldEngine:
             hit = self.cache.get(key)
             if hit is not None:
                 return list(hit)
-        query_vec = self.corpus.reduced(dims)[query_blob]
-        hits = tree.knn(query_vec, num_blobs)
+        reduced = self.corpus.reduced(dims)
+        query_vec = reduced[query_blob]
+        lossy = self._is_lossy(tree)
+        fetch = self._overscan(num_blobs) if lossy else num_blobs
+        hits = tree.knn(query_vec, fetch)
         candidates = np.array([rid for _, rid in hits], dtype=np.intp)
+        if lossy:
+            candidates = self._refine_candidates(candidates, query_vec,
+                                                 reduced, num_blobs)
         result = self.rerank(query_blob, candidates, top_images)
         if self.cache is not None:
             self.cache.put(key, tuple(result))
@@ -172,7 +212,7 @@ class BlobworldEngine:
                        num_blobs: int, dims: int,
                        top_images: Optional[int] = None,
                        block_size: Optional[int] = None,
-                       profile=None) -> List[List[int]]:
+                       profile=None, planner=None) -> List[List[int]]:
         """A block of two-stage queries, each bit-identical to
         :meth:`am_query` of the same query blob.
 
@@ -184,6 +224,16 @@ class BlobworldEngine:
         (a :class:`~repro.amdb.profiler.ServeProfile`, duck-typed as
         ``add(stage, seconds)``) receives per-stage wall time split into
         traversal / read_decode / rerank / aggregation.
+
+        ``planner`` (a :class:`~repro.gist.planner.QueryPlanner`)
+        cost-routes each miss batch: batches it prices below a flat
+        scan keep the index path above; the rest run its flat file's
+        vectorized scan kernel instead (stage ``scan``).  Either way
+        the candidates feed the same rerank, so the returned images
+        match — scan-routed batches may order equal-distance
+        candidates differently, which the full-distance rerank
+        absorbs.  Decisions and page estimates land in the profile's
+        plan counters.
         """
         if top_images is None:
             top_images = FULL_QUERY_RESULT_IMAGES
@@ -210,24 +260,32 @@ class BlobworldEngine:
         else:
             misses = list(range(len(query_blobs)))
         if misses:
-            from repro.gist.batch import knn_search_batch
             query_vecs = self.corpus.reduced(dims)[
                 [query_blobs[i] for i in misses]]
-            restore, read_seconds = _instrument_reads(tree.store, profile)
-            t0 = time.perf_counter()
-            try:
-                hits_list = knn_search_batch(tree, query_vecs, num_blobs,
-                                             block_size=block_size)
-            finally:
-                restore()
-            if profile is not None:
-                knn_seconds = time.perf_counter() - t0
-                profile.add("read_decode", read_seconds[0])
-                profile.add("traversal", knn_seconds - read_seconds[0])
+            plan = (planner.plan_batch(len(misses), num_blobs)
+                    if planner is not None else None)
+            if plan is not None and plan.choice == "scan":
+                flat = planner.flat
+                pages_before = flat.pages_read
+                t0 = time.perf_counter()
+                hits_list = flat.knn_batch(query_vecs, num_blobs)
+                if profile is not None:
+                    profile.add("scan", time.perf_counter() - t0)
+                    profile.note_plan(plan,
+                                      flat.pages_read - pages_before)
+            else:
+                hits_list = self._tree_stage(tree, query_vecs, num_blobs,
+                                             block_size, profile, plan)
             candidate_lists = [
                 np.fromiter((rid for _, rid in hits), dtype=np.intp,
                             count=len(hits))
                 for hits in hits_list]
+            if self._is_lossy(tree) \
+                    and not (plan is not None and plan.choice == "scan"):
+                reduced = self.corpus.reduced(dims)
+                candidate_lists = [
+                    self._refine_candidates(c, q, reduced, num_blobs)
+                    for c, q in zip(candidate_lists, query_vecs)]
             ranked = self.rerank_batch([query_blobs[i] for i in misses],
                                        candidate_lists, top_images,
                                        profile=profile)
@@ -240,6 +298,43 @@ class BlobworldEngine:
         for i, key in duplicates:
             results[i] = list(self.cache.get(key))
         return results
+
+    def _tree_stage(self, tree, query_vecs, num_blobs: int,
+                    block_size, profile, plan) -> List:
+        """Stage one over the index, instrumented.
+
+        Lossy (quantized) indexes are asked for overscanned candidate
+        lists; the caller refines them back to ``num_blobs`` exactly.
+        When a planner chose this path (``plan`` is not None), actual
+        page reads are counted through a store listener so the
+        profile's estimated-vs-actual page accounting stays honest.
+        """
+        from repro.gist.batch import knn_search_batch
+        if self._is_lossy(tree):
+            num_blobs = self._overscan(num_blobs)
+        pages = [0]
+        listening = plan is not None \
+            and hasattr(tree.store, "add_listener")
+        if listening:
+            def _count(page_id: int, level: int) -> None:
+                pages[0] += 1
+            tree.store.add_listener(_count)
+        restore, read_seconds = _instrument_reads(tree.store, profile)
+        t0 = time.perf_counter()
+        try:
+            hits_list = knn_search_batch(tree, query_vecs, num_blobs,
+                                         block_size=block_size)
+        finally:
+            restore()
+            if listening:
+                tree.store.remove_listener(_count)
+        if profile is not None:
+            knn_seconds = time.perf_counter() - t0
+            profile.add("read_decode", read_seconds[0])
+            profile.add("traversal", knn_seconds - read_seconds[0])
+            if plan is not None:
+                profile.note_plan(plan, pages[0])
+        return hits_list
 
     def am_query_images(self, tree, query_blob: int, num_images: int,
                         dims: int,

@@ -76,7 +76,8 @@ def bulk_load(ext: GiSTExtension, keys: np.ndarray,
               store=None, fill: float = DEFAULT_FILL,
               order: str = "str", workers: int = 1,
               oversubscribe: bool = False,
-              profile: Optional[BuildProfile] = None) -> GiST:
+              profile: Optional[BuildProfile] = None,
+              leaf_codec=None) -> GiST:
     """Build a tree over ``keys`` using a packed ordering.
 
     ``order`` selects the packing: ``"str"`` (the paper's
@@ -95,6 +96,10 @@ def bulk_load(ext: GiSTExtension, keys: np.ndarray,
     regardless (useful for exercising the parallel merge path on small
     machines).  Pass a :class:`~repro.amdb.profiler.BuildProfile` as
     ``profile`` to collect per-phase timings.
+
+    ``leaf_codec`` overrides the leaf-page encoding (e.g. a
+    :class:`~repro.storage.codecs.QuantizedLeafCodec` packs 4-6x more
+    entries per page); leaf capacity and chunk sizes follow it.
     """
     keys = np.asarray(keys, dtype=np.float64)
     if keys.ndim != 2:
@@ -111,7 +116,8 @@ def bulk_load(ext: GiSTExtension, keys: np.ndarray,
     prof.n_keys = n
     prof.workers = max(1, workers)
 
-    tree = GiST(ext, store=store, page_size=page_size)
+    tree = GiST(ext, store=store, page_size=page_size,
+                leaf_codec=leaf_codec)
     if n == 0:
         return tree
     was_counting = tree.store.counting
@@ -328,7 +334,8 @@ def _worker_build(bounds: Tuple[int, int]):
 def insertion_load(ext: GiSTExtension, keys: np.ndarray,
                    rids: Optional[Sequence[int]] = None,
                    page_size: int = DEFAULT_PAGE_SIZE,
-                   store=None, shuffle_seed: Optional[int] = None) -> GiST:
+                   store=None, shuffle_seed: Optional[int] = None,
+                   leaf_codec=None) -> GiST:
     """Build a tree by inserting keys one at a time (Table 2's contrast).
 
     ``shuffle_seed`` randomizes insertion order; ``None`` inserts in the
@@ -343,7 +350,8 @@ def insertion_load(ext: GiSTExtension, keys: np.ndarray,
     if shuffle_seed is not None:
         order = np.random.default_rng(shuffle_seed).permutation(n)
 
-    tree = GiST(ext, store=store, page_size=page_size)
+    tree = GiST(ext, store=store, page_size=page_size,
+                leaf_codec=leaf_codec)
     was_counting = tree.store.counting
     tree.store.counting = False
     try:

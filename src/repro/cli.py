@@ -60,11 +60,11 @@ def _cmd_index(args) -> int:
     if args.method == "xjb" and args.x is not None:
         options["x"] = args.x if args.x >= 0 else "auto"
     tree = build_index(vectors, args.method, page_size=args.page_size,
-                       loading=args.loading, **options)
+                       loading=args.loading, codec=args.codec, **options)
     save_tree(tree, args.output)
     print(f"{args.method} index over {len(vectors)} x {args.dims}D "
-          f"vectors: height {tree.height}, {tree.num_nodes()} nodes "
-          f"-> {args.output}")
+          f"vectors ({args.codec} leaves): height {tree.height}, "
+          f"{tree.num_nodes()} nodes -> {args.output}")
     return 0
 
 
@@ -122,6 +122,27 @@ def _cmd_bench(args) -> int:
     import json
 
     from repro.workload.bench import format_bench, run_bench
+
+    if args.serve and args.codec == "sq8":
+        from repro.workload.bench import (format_quantized_bench,
+                                          run_quantized_bench)
+        result = run_quantized_bench(num_blobs=args.blobs,
+                                     num_queries=args.queries,
+                                     num_candidates=args.k,
+                                     methods=args.methods, dims=args.dims,
+                                     page_size=args.page_size,
+                                     block_size=args.block_size,
+                                     seed=args.seed)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result, fh, indent=2)
+                fh.write("\n")
+        print(format_quantized_bench(result))
+        if not result["parity_ok"]:
+            print("PARITY MISMATCH: quantized serving diverged from the "
+                  "f64 results after rerank", file=sys.stderr)
+            return 1
+        return 0
 
     if args.serve:
         from repro.workload.bench import format_serve_bench, run_serve_bench
@@ -257,7 +278,8 @@ def _cmd_crashtest(args) -> int:
 
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
     report = run_crash_trials(methods=methods, trials=args.trials,
-                              seed=args.seed, workdir=args.workdir)
+                              seed=args.seed, workdir=args.workdir,
+                              codec=args.codec)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
@@ -307,6 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-size", type=int, default=DEFAULT_PAGE_SIZE)
     p.add_argument("--loading", default="bulk",
                    choices=["bulk", "insert"])
+    p.add_argument("--codec", default="f64", choices=["f64", "sq8"],
+                   help="leaf-page format: exact f64 entries or 8-bit "
+                        "scalar-quantized (4-6x denser; exact answers "
+                        "restored by the full-descriptor rerank)")
     p.add_argument("--x", type=int, default=None,
                    help="XJB bite budget (-1 = auto)")
     p.set_defaults(func=_cmd_index)
@@ -361,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "check")
     p.add_argument("--cache-size", type=int, default=4096,
                    help="query-result cache capacity (--serve only)")
+    p.add_argument("--codec", default="f64", choices=["f64", "sq8"],
+                   help="leaf-page codec axis: with --serve, sq8 "
+                        "benchmarks quantized leaves against f64 "
+                        "(leaf reads, latency, post-rerank parity, "
+                        "planner routing)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (batched queries or "
                         "parallel build)")
@@ -416,6 +447,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated AM families to round-robin")
     p.add_argument("--trials", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--codec", default="f64", choices=["f64", "sq8"],
+                   help="leaf-page codec the trial indexes use (sq8 "
+                        "trials keep the durability checks, skip the "
+                        "bit-exact shadow k-NN)")
     p.add_argument("--workdir", default=None,
                    help="directory for trial files (default: a temp dir)")
     p.add_argument("--json", metavar="PATH", default=None,

@@ -57,13 +57,16 @@ def make_extension(method: str, dim: int, **options):
 def build_index(vectors: np.ndarray, method: str = "xjb",
                 page_size: int = DEFAULT_PAGE_SIZE,
                 loading: str = "bulk", rids: Optional[Sequence[int]] = None,
-                **options) -> GiST:
+                codec: str = "f64", **options) -> GiST:
     """Build an index of the given ``method`` over ``vectors``.
 
     ``loading`` is ``"bulk"`` (STR, the paper's configuration) or
     ``"insert"`` (one INSERT per key, Table 2's contrast).  For XJB,
     pass ``x="auto"`` to let :func:`repro.core.xjb.select_x` pick the
-    paper's "largest X that costs at most one level".
+    paper's "largest X that costs at most one level".  ``codec``
+    selects the leaf-page format: ``"f64"`` (exact) or ``"sq8"``
+    (8-bit scalar quantization; exact answers are restored by the
+    full-descriptor rerank in :mod:`repro.blobworld.query`).
     """
     vectors = np.asarray(vectors, dtype=np.float64)
     if vectors.ndim != 2:
@@ -74,11 +77,16 @@ def build_index(vectors: np.ndarray, method: str = "xjb",
         options = dict(options)
         options["x"] = select_x(len(vectors), dim, page_size)
     ext = make_extension(method, dim, **options)
+    from repro.storage.codecs import make_leaf_codec
+    leaf_codec = make_leaf_codec(codec, dim)
 
     if loading == "bulk":
-        return bulk_load(ext, vectors, rids=rids, page_size=page_size)
+        return bulk_load(ext, vectors, rids=rids, page_size=page_size,
+                         leaf_codec=leaf_codec)
     if loading == "insert":
-        return insertion_load(ext, vectors, rids=rids, page_size=page_size)
+        tree = insertion_load(ext, vectors, rids=rids, page_size=page_size,
+                              leaf_codec=leaf_codec)
+        return tree
     raise ValueError(f"unknown loading mode {loading!r}")
 
 

@@ -19,6 +19,7 @@ from repro.gist.degrade import DegradationReport, QuarantinedPage
 from repro.gist.entry import IndexEntry, LeafEntry
 from repro.gist.node import Node
 from repro.gist.extension import GiSTExtension
+from repro.gist.planner import Plan, PlannerConfig, QueryPlanner
 from repro.gist.tree import GiST
 from repro.gist.validate import ScrubReport, scrub_file, validate_tree
 
@@ -34,4 +35,7 @@ __all__ = [
     "ScrubReport",
     "DegradationReport",
     "QuarantinedPage",
+    "Plan",
+    "PlannerConfig",
+    "QueryPlanner",
 ]

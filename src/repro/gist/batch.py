@@ -260,13 +260,26 @@ def _expand_leaf(waiters: List[_QueryState], node, k: int) -> None:
     # cost more than the distance kernel below.
     keys = node.keys_array()
     rids = node.rid_array()
+    half = node.key_halfwidths()
     if len(waiters) == 1:
-        # Same 2-D expression as the sequential search.
-        rows = np.sqrt(((keys - waiters[0].q) ** 2).sum(axis=1))[None]
+        if half is None:
+            # Same 2-D expression as the sequential search.
+            rows = np.sqrt(((keys - waiters[0].q) ** 2).sum(axis=1))[None]
+        else:
+            # Quantized leaf: same VA-file cell lower bound as the
+            # sequential kernel in repro.gist.nn.
+            diff = np.abs(keys - waiters[0].q) - half
+            np.maximum(diff, 0.0, out=diff)
+            rows = np.sqrt((diff * diff).sum(axis=1))[None]
     else:
         qblock = np.stack([st.q for st in waiters])
-        rows = np.sqrt(((keys[None, :, :] - qblock[:, None, :]) ** 2)
-                       .sum(axis=-1))
+        if half is None:
+            rows = np.sqrt(((keys[None, :, :] - qblock[:, None, :]) ** 2)
+                           .sum(axis=-1))
+        else:
+            diff = np.abs(keys[None, :, :] - qblock[:, None, :]) - half
+            np.maximum(diff, 0.0, out=diff)
+            rows = np.sqrt((diff * diff).sum(axis=-1))
     for st, dists in zip(waiters, rows):
         if st.tau is None:
             kept_d = dists

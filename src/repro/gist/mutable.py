@@ -64,9 +64,13 @@ class MutableTree:
 
     @classmethod
     def create(cls, extension: Any, path: str,
-               page_size: int, **open_options: Any) -> "MutableTree":
+               page_size: int, leaf_codec: str = "f64",
+               **open_options: Any) -> "MutableTree":
         """Write an empty index file and open it for mutation."""
-        save_tree(GiST(extension, page_size=page_size), path)
+        from repro.storage.codecs import make_leaf_codec
+        save_tree(GiST(extension, page_size=page_size,
+                       leaf_codec=make_leaf_codec(leaf_codec,
+                                                  extension.dim)), path)
         return cls.open(path, extension=extension, **open_options)
 
     @classmethod
@@ -99,14 +103,17 @@ class MutableTree:
                 f"index was saved by {header['extension']!r}, "
                 f"got extension {extension.name!r}")
         page_size = header["page_size"]
-        base = FilePageFile.for_extension(path, extension, page_size)
+        codec_id = header.get("leaf_codec", "f64")
+        base = FilePageFile.for_extension(path, extension, page_size,
+                                          leaf_codec=codec_id)
         base.rebuild_slot_state()
         store: Any = base
         if buffer_pages:
             store = BufferPool(base, buffer_pages)
         wal = WriteAheadLog(wal_path, page_size, injector=injector)
         wpf = WALPageFile(store, wal, injector=injector)
-        tree = GiST(extension, store=wpf, page_size=page_size)
+        tree = GiST(extension, store=wpf, page_size=page_size,
+                    leaf_codec=base.codec.leaf_codec)
         tree.incremental_adjust = incremental_adjust
         tree.root_id = header["root_slot"] or None
         tree.height = header["height"]
@@ -166,6 +173,7 @@ class MutableTree:
             "num_nodes": num_nodes,
             "root_slot": tree.root_id or 0,
             "num_slots": num_slots,
+            "leaf_codec": tree.leaf_codec.codec_id,
         }
         meta = superblock_image(header, tree.page_size)
         try:
@@ -191,7 +199,8 @@ class MutableTree:
         """
         view = self.wpf.snapshot()
         snap = GiST(self.tree.ext, store=view,
-                    page_size=self.tree.page_size)
+                    page_size=self.tree.page_size,
+                    leaf_codec=self.tree.leaf_codec)
         snap.root_id = self.tree.root_id
         snap.height = self.tree.height
         snap.size = self.tree.size

@@ -90,7 +90,20 @@ def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
             if not node.entries:
                 continue
             keys = node.keys_array()
-            dists = np.sqrt(((keys - query) ** 2).sum(axis=1))
+            half = node.key_halfwidths()
+            if half is None:
+                dists = np.sqrt(((keys - query) ** 2).sum(axis=1))
+            else:
+                # Quantized leaf: keys are cell centers, the original
+                # key lies within `half` per axis.  Shrinking each
+                # coordinate delta by the half width gives the VA-file
+                # cell lower bound — it can only underestimate the true
+                # distance, so ranking by it keeps every true neighbor
+                # in the candidate set (the rerank stage restores exact
+                # order).
+                diff = np.abs(keys - query) - half
+                np.maximum(diff, 0.0, out=diff)
+                dists = np.sqrt((diff * diff).sum(axis=1))
             kept = np.nonzero(dists < tau)[0] if tau is not None \
                 else range(len(dists))
             entries = node.entries

@@ -50,7 +50,7 @@ class Node:
     def entries(self) -> List:
         if self._entries is None:
             self._entries = [LeafEntry(k, int(r)) for k, r
-                             in zip(self.cache["keys"],
+                             in zip(self.keys_array(),
                                     self.cache["rids"])]
         return self._entries
 
@@ -102,7 +102,14 @@ class Node:
         return value
 
     def keys_array(self) -> np.ndarray:
-        """Stacked ``(n, dim)`` array of leaf keys (leaf nodes only)."""
+        """Stacked ``(n, dim)`` array of leaf keys (leaf nodes only).
+
+        A leaf decoded from a quantized page caches a lazy
+        ``QuantizedKeys`` block; the first call here materializes the
+        float64 reconstruction (and stashes the quantization half
+        widths for :meth:`key_halfwidths`), so pages whose keys are
+        never touched never pay for the floats.
+        """
         if not self.is_leaf:
             raise ValueError("keys_array is only defined for leaves")
         cached = self.cache.get("keys")
@@ -110,7 +117,41 @@ class Node:
             cached = np.stack([e.key for e in self.entries]) \
                 if self.entries else np.empty((0, 0))
             self.cache["keys"] = cached
+        elif not isinstance(cached, np.ndarray):
+            self.cache["qhalf"] = cached.half_widths()
+            self.cache["qblock"] = cached
+            cached = cached.dequantize()
+            self.cache["keys"] = cached
         return cached
+
+    def key_halfwidths(self) -> Optional[np.ndarray]:
+        """Per-dimension quantization half widths, or None if exact.
+
+        Non-None only for leaves decoded from a lossy (SQ8) page: every
+        originally inserted key lies within these half widths of the
+        reconstructed key along each axis, which is what lets the k-NN
+        kernels subtract them to form admissible lower bounds.
+        """
+        if not self.is_leaf:
+            raise ValueError("key_halfwidths is only defined for leaves")
+        half = self.cache.get("qhalf")
+        if half is None:
+            cached = self.cache.get("keys")
+            if cached is not None and not isinstance(cached, np.ndarray):
+                half = cached.half_widths()
+                self.cache["qhalf"] = half
+        return half
+
+    def quantized_block(self):
+        """The decoded ``QuantizedKeys`` block, or None if exact."""
+        if not self.is_leaf:
+            return None
+        block = self.cache.get("qblock")
+        if block is None:
+            cached = self.cache.get("keys")
+            if cached is not None and not isinstance(cached, np.ndarray):
+                block = cached
+        return block
 
     def rids(self) -> List[int]:
         if not self.is_leaf:

@@ -17,12 +17,12 @@ import json
 import struct
 from typing import Dict
 
-from repro.gist.entry import IndexEntry, LeafEntry
+from repro.gist.entry import IndexEntry
 from repro.gist.node import Node
 from repro.gist.tree import GiST
-from repro.storage.codecs import NodeCodec
+from repro.storage.codecs import LEAF_CODECS, NodeCodec, make_leaf_codec
 from repro.storage.errors import PageCorruptError
-from repro.storage.integrity import FORMAT_EPOCH, crc32c
+from repro.storage.integrity import FORMAT_EPOCH, crc32c, verify_image
 from repro.storage.page import PAGE_HEADER_SIZE
 from repro.storage.pagefile import MemoryPageFile
 
@@ -70,6 +70,9 @@ def save_tree(tree: GiST, path: str) -> None:
         # Mutable files (repro.gist.mutable) grow sparse as deletes
         # free slots; their superblocks keep num_slots > num_nodes.
         "num_slots": len(nodes),
+        # Versions the leaf-page body format; readers without the field
+        # (pre-quantization files) imply the original "f64" layout.
+        "leaf_codec": tree.leaf_codec.codec_id,
     }
     page0 = superblock_image(header, tree.page_size)
     with open(path, "wb") as f:
@@ -139,6 +142,11 @@ def read_superblock(raw: bytes, path: str) -> dict:
     if not isinstance(header.get("extension"), str):
         raise PageCorruptError("superblock field 'extension' invalid",
                                path=path)
+    codec_id = header.get("leaf_codec", "f64")
+    if not isinstance(codec_id, str) or codec_id not in LEAF_CODECS:
+        raise PageCorruptError(
+            f"superblock field 'leaf_codec' invalid: {codec_id!r} "
+            f"(known: {sorted(LEAF_CODECS)})", path=path)
 
     # Checksum trailer (legacy files carry zeros there: skip).
     if len(raw) >= page_size:
@@ -179,7 +187,10 @@ def load_tree(extension=None, path: str = None) -> GiST:
             f"extension {extension.dim}")
 
     page_size = header["page_size"]
-    tree = GiST(extension, store=MemoryPageFile(), page_size=page_size)
+    leaf_codec = make_leaf_codec(header.get("leaf_codec", "f64"),
+                                 extension.dim)
+    tree = GiST(extension, store=MemoryPageFile(), page_size=page_size,
+                leaf_codec=leaf_codec)
     codec = NodeCodec(page_size, tree.leaf_codec, tree.index_codec)
 
     root = None
@@ -192,21 +203,15 @@ def load_tree(extension=None, path: str = None) -> GiST:
         # all-zero gaps.  Neither holds a node.
         if not any(image):
             continue
-        page_id, level, raw_entries = codec.decode(image, path=path)
-        if page_id == -1:
+        node = _decode_slot(codec, image, path)
+        if node is None:
             continue
-        if page_id != slot:
-            raise PageCorruptError(f"slot {slot} holds page {page_id}",
+        if node.page_id != slot:
+            raise PageCorruptError(f"slot {slot} holds page {node.page_id}",
                                    path=path)
         live += 1
-        if level == 0:
-            entries = [LeafEntry(k, rid) for k, rid in raw_entries]
-        else:
-            entries = [IndexEntry(pred, child)
-                       for pred, child in raw_entries]
-        node = Node(page_id, level, entries)
         tree.store.write(node)
-        tree.store.reserve(page_id)
+        tree.store.reserve(node.page_id)
         if slot == header["root_slot"]:
             root = node
     if live != header["num_nodes"]:
@@ -216,3 +221,36 @@ def load_tree(extension=None, path: str = None) -> GiST:
     if root is not None:
         tree.adopt(root, header["height"], header["size"])
     return tree
+
+
+def _decode_slot(codec: NodeCodec, image: bytes, path: str):
+    """Decode one page image into a :class:`Node`; None if the slot is
+    freed (page id -1).
+
+    Leaf bodies go through the leaf codec's block decode into a lazy
+    :meth:`Node.leaf_from_arrays`, so a quantized page's keys keep
+    their codes and half widths in memory — the k-NN kernels prune with
+    admissible cell bounds and treecheck can audit the quantization
+    grid.  Inner pages decode through the node codec as before.
+    """
+    if codec.checksums:
+        verify_image(image, path=path)
+    page_id, level, count = struct.unpack_from("<qii", image, 0)
+    if page_id == -1:
+        return None
+    if level != 0:
+        _, _, raw_entries = codec.decode(image, verify=False, path=path)
+        return Node(page_id, level,
+                    [IndexEntry(pred, child) for pred, child in raw_entries])
+    nbytes = codec.leaf_codec.body_bytes(count)
+    if count < 0 or PAGE_HEADER_SIZE + nbytes > len(image):
+        raise PageCorruptError(
+            f"entry count {count} overflows page (level 0)",
+            path=path, page_id=page_id)
+    try:
+        keys, rids = codec.leaf_codec.decode_block(
+            image[PAGE_HEADER_SIZE:PAGE_HEADER_SIZE + nbytes], count)
+    except PageCorruptError as exc:
+        raise PageCorruptError(str(exc), path=path,
+                               page_id=page_id) from None
+    return Node.leaf_from_arrays(page_id, keys, rids)

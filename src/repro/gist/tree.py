@@ -37,13 +37,24 @@ class GiST:
     """A height-balanced multi-way search tree specialized by an extension."""
 
     def __init__(self, extension: GiSTExtension, store=None,
-                 page_size: int = DEFAULT_PAGE_SIZE):
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 leaf_codec: Optional[LeafEntryCodec] = None):
         self.ext = extension
         self.store = store if store is not None else MemoryPageFile()
         self.page_size = page_size
-        self.leaf_codec = LeafEntryCodec(extension.dim)
+        if leaf_codec is None:
+            # A page-file store already committed to a leaf format
+            # (e.g. an SQ8 FilePageFile); the tree must agree with it
+            # or capacities and re-encodes would silently diverge.
+            store_codec = getattr(
+                getattr(self.store, "codec", None), "leaf_codec", None)
+            if store_codec is not None and store_codec.dim == extension.dim:
+                leaf_codec = store_codec
+            else:
+                leaf_codec = LeafEntryCodec(extension.dim)
+        self.leaf_codec = leaf_codec
         self.index_codec = IndexEntryCodec(extension.pred_codec())
-        self.leaf_capacity = entries_per_page(page_size, self.leaf_codec.size)
+        self.leaf_capacity = self.leaf_codec.capacity(page_size)
         self.index_capacity = entries_per_page(page_size,
                                                self.index_codec.size)
         self.root_id: Optional[int] = None
@@ -391,16 +402,29 @@ class GiST:
     # -- deletion ----------------------------------------------------------------------
 
     def delete(self, key, rid: int) -> bool:
-        """Remove one ``(key, RID)`` pair; returns whether it was found."""
+        """Remove one ``(key, RID)`` pair; returns whether it was found.
+
+        On a lossy (quantized) leaf codec the stored key is a
+        reconstruction, so a caller holding the originally inserted
+        floats cannot match it exactly — and for non-rectangular
+        families the reconstruction may even sit outside the predicate
+        that routed the original.  RIDs are unique tree-wide, so when
+        the predicate-guided descent comes up empty a lossy tree falls
+        back to locating the leaf by RID alone.
+        """
         if self.root_id is None:
             return False
         key = np.asarray(key, dtype=np.float64)
         path = self._find_leaf(self.root_id, key, rid, [])
+        lossy = self.leaf_codec.lossy
+        if path is None and lossy:
+            path = self._find_leaf_by_rid(self.root_id, rid, [])
         if path is None:
             return False
         leaf = path[-1]
         for i, entry in enumerate(leaf.entries):
-            if entry.rid == rid and np.array_equal(entry.key, key):
+            if entry.rid == rid and (lossy
+                                     or np.array_equal(entry.key, key)):
                 leaf.remove_entry_at(i)
                 break
         self.store.write(leaf)
@@ -422,6 +446,21 @@ class GiST:
                 found = self._find_leaf(entry.child, key, rid, trail)
                 if found is not None:
                     return found
+        return None
+
+    def _find_leaf_by_rid(self, page_id: int, rid: int,
+                          trail: List[Node]) -> Optional[List[Node]]:
+        """Exhaustive descent to the leaf holding ``rid`` (lossy trees)."""
+        node = self._peek(page_id)
+        trail = trail + [node]
+        if node.is_leaf:
+            if any(e.rid == rid for e in node.entries):
+                return trail
+            return None
+        for entry in node.entries:
+            found = self._find_leaf_by_rid(entry.child, rid, trail)
+            if found is not None:
+                return found
         return None
 
     def _condense(self, path: List[Node]) -> None:
@@ -530,8 +569,10 @@ class GiST:
 
     def node_utilization(self, node: Node) -> float:
         """Fraction of the page payload used by a node's entries."""
-        codec = self.leaf_codec if node.is_leaf else self.index_codec
-        return len(node) * codec.size / page_payload(self.page_size)
+        if node.is_leaf:
+            return (self.leaf_codec.body_bytes(len(node))
+                    / page_payload(self.page_size))
+        return len(node) * self.index_codec.size / page_payload(self.page_size)
 
     def parent_map(self) -> Dict[int, int]:
         """child page id -> parent page id for the whole tree."""

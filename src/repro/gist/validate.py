@@ -163,8 +163,8 @@ def scrub_file(path: str) -> ScrubReport:
       node count or is unreachable from the root.
     """
     from repro.gist.persist import read_superblock
-    from repro.storage.codecs import (IndexEntryCodec, LeafEntryCodec,
-                                      NodeCodec)
+    from repro.storage.codecs import (IndexEntryCodec, NodeCodec,
+                                      make_leaf_codec)
     from repro.storage.errors import StorageError
 
     report = ScrubReport(path=path)
@@ -195,7 +195,9 @@ def scrub_file(path: str) -> ScrubReport:
     # Mutable files (repro.gist.mutable) persist the slot span
     # explicitly; legacy files are dense, so it defaults to num_nodes.
     claimed_slots = header.get("num_slots", header["num_nodes"])
-    codec = NodeCodec(page_size, LeafEntryCodec(extension.dim),
+    codec = NodeCodec(page_size,
+                      make_leaf_codec(header.get("leaf_codec", "f64"),
+                                      extension.dim),
                       IndexEntryCodec(extension.pred_codec()))
     report.superblock_ok = True
     report.page_size = page_size
@@ -259,10 +261,23 @@ def scrub_file(path: str) -> ScrubReport:
 
 
 def _check_bp(ext, pred, child, child_id: int) -> None:
-    """A bounding predicate must hold for everything beneath it."""
+    """A bounding predicate must hold for everything beneath it.
+
+    Quantized leaves hold *reconstructions*: the predicate was fit to
+    the original keys, and a reconstruction may legitimately sit
+    outside it by up to the quantization-cell half diagonal (spheres
+    and bitten rects do not cover the cell box).  Such keys pass if
+    they are within that tolerance of the predicate.
+    """
     if child.is_leaf:
+        half = child.key_halfwidths()
+        tol = (float(np.sqrt((half * half).sum())) + 1e-9
+               if half is not None else 0.0)
         for entry in child.entries:
             if not ext.contains(pred, entry.key):
+                if half is not None \
+                        and ext.min_dist(pred, entry.key) <= tol:
+                    continue
                 raise TreeInvariantError(
                     f"BP of child {child_id} excludes stored key "
                     f"{entry.key.tolist()}")

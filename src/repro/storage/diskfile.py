@@ -89,9 +89,11 @@ class FilePageFile:
 
     @classmethod
     def for_extension(cls, path: str, extension: Any,
-                      page_size: int, **kwargs: Any) -> "FilePageFile":
-        from repro.storage.codecs import IndexEntryCodec, LeafEntryCodec
-        codec = NodeCodec(page_size, LeafEntryCodec(extension.dim),
+                      page_size: int, leaf_codec: str = "f64",
+                      **kwargs: Any) -> "FilePageFile":
+        from repro.storage.codecs import IndexEntryCodec, make_leaf_codec
+        codec = NodeCodec(page_size, make_leaf_codec(leaf_codec,
+                                                     extension.dim),
                           IndexEntryCodec(extension.pred_codec()))
         return cls(path, codec, **kwargs)
 
@@ -231,14 +233,20 @@ class FilePageFile:
                                    path=self.path, page_id=page_id)
         codec = (self.codec.leaf_codec if level == 0
                  else self.codec.index_codec)
-        if count < 0 or PAGE_HEADER_SIZE + count * codec.size > len(image):
+        nbytes = (codec.body_bytes(count) if level == 0
+                  else count * codec.size)
+        if count < 0 or PAGE_HEADER_SIZE + nbytes > len(image):
             raise PageCorruptError(
                 f"entry count {count} overflows page "
                 f"(level {level}, {codec.size}-byte entries)",
                 path=self.path, page_id=page_id)
-        body = image[PAGE_HEADER_SIZE:PAGE_HEADER_SIZE + count * codec.size]
+        body = image[PAGE_HEADER_SIZE:PAGE_HEADER_SIZE + nbytes]
         if level == 0:
-            keys, rids = codec.decode_block(body, count)
+            try:
+                keys, rids = codec.decode_block(body, count)
+            except PageCorruptError as exc:
+                raise PageCorruptError(str(exc), path=self.path,
+                                       page_id=page_id) from None
             return Node.leaf_from_arrays(page_id, keys, rids)
         entries: List[IndexEntry] = []
         offset = 0

@@ -309,6 +309,219 @@ def format_serve_bench(result: Dict) -> str:
     return "\n".join(lines)
 
 
+# -- quantized-codec serving benchmark ---------------------------------------
+
+def run_quantized_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
+                        num_candidates: int = NEIGHBORS_PER_QUERY,
+                        methods: Sequence[str] = ("rtree", "xjb"),
+                        dims: int = INDEX_DIMENSIONS,
+                        page_size: int = DEFAULT_PAGE_SIZE,
+                        block_size: Optional[int] = None,
+                        seed: int = 0,
+                        workdir: Optional[str] = None) -> Dict:
+    """Price the sq8 leaf codec against f64 on the serving pipeline.
+
+    Per method, the same query stream runs through
+    :meth:`~repro.blobworld.query.BlobworldEngine.am_query_batch` twice
+    — over an exact f64-leaf index and over an sq8 quantized-leaf index
+    of the same vectors — counting leaf-page reads through a store
+    listener.  The quantized tree packs 4-6x more entries per page, so
+    it holds fewer leaves and the workload reads fewer of them; the
+    full-dimension rerank must erase the quantization: ``parity_ok``
+    records whether every returned image list matches the f64 run, and
+    callers (CLI, CI) exit 1 on a mismatch.
+
+    A :class:`~repro.gist.planner.QueryPlanner` section exercises
+    cost-based routing over the sq8 tree: a single-query batch (the
+    default serving mix) must price below a flat scan and route to the
+    tree, while the whole stream as one miss batch must route to the
+    scan — both decisions, their page estimates, and the scan-routed
+    batch's post-rerank parity are recorded.
+    """
+    from repro.ams.flatfile import FlatFile
+    from repro.amdb.profiler import ServeProfile
+    from repro.blobworld import BlobworldEngine, build_corpus
+    from repro.gist.planner import QueryPlanner
+
+    corpus = build_corpus(num_blobs=num_blobs,
+                          num_images=max(1, num_blobs // 6), seed=seed)
+    vectors = corpus.reduced(dims)
+    rng = np.random.default_rng(seed + 2)
+    stream = [int(b) for b in rng.integers(0, num_blobs,
+                                           size=num_queries)]
+
+    results: List[Dict] = []
+    planner_doc: Optional[Dict] = None
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir if workdir is not None else tmp
+        for method in methods:
+            row, tree_sq8 = _quantized_bench_method(
+                method, corpus, vectors, stream,
+                num_candidates=num_candidates, dims=dims,
+                page_size=page_size, block_size=block_size, base=base,
+                engine_cls=BlobworldEngine, profile_cls=ServeProfile)
+            if planner_doc is None:
+                planner_doc = _quantized_planner_section(
+                    BlobworldEngine(corpus), tree_sq8,
+                    FlatFile(vectors, page_size=page_size), stream,
+                    num_candidates, dims, block_size,
+                    QueryPlanner, ServeProfile)
+                row["planner"] = planner_doc
+            tree_sq8.store.close()
+            results.append(row)
+
+    out = {
+        "bench": "quantized",
+        "config": {
+            "num_blobs": num_blobs,
+            "num_queries": num_queries,
+            "num_candidates": num_candidates,
+            "dims": dims,
+            "page_size": page_size,
+            "block_size": block_size,
+            "seed": seed,
+        },
+        "methods": results,
+        "planner": planner_doc,
+        "parity_ok": all(r["parity_ok"] for r in results)
+        and bool(planner_doc and planner_doc["parity_ok"]),
+        "min_capacity_ratio": min(r["capacity_ratio"] for r in results),
+        "min_leaf_read_reduction": min(r["leaf_read_reduction"]
+                                       for r in results),
+    }
+    return out
+
+
+def _count_reads(store, counts: Dict[str, int]):
+    """A store listener folding page reads into ``counts`` by level."""
+    def listener(page_id: int, level: int) -> None:
+        counts["leaf" if level == 0 else "inner"] += 1
+    return listener
+
+
+def _quantized_bench_method(method: str, corpus, vectors: np.ndarray,
+                            stream: List[int], num_candidates: int,
+                            dims: int, page_size: int,
+                            block_size: Optional[int], base: str,
+                            engine_cls, profile_cls):
+    ext = make_extension(method, vectors.shape[1])
+    engine = engine_cls(corpus)
+    row: Dict = {"method": method}
+    trees = {}
+    for codec in ("f64", "sq8"):
+        store = FilePageFile.for_extension(
+            os.path.join(base, f"quant_{method}_{codec}.pages"), ext,
+            page_size=page_size, leaf_codec=codec)
+        trees[codec] = bulk_load(ext, vectors, page_size=page_size,
+                                 store=store)
+
+    images = {}
+    for codec in ("f64", "sq8"):
+        tree = trees[codec]
+        counts = {"leaf": 0, "inner": 0}
+        listener = _count_reads(tree.store, counts)
+        tree.store.add_listener(listener)
+        profile = profile_cls(tree_name=method, store_mode=codec,
+                              queries=len(stream))
+        t0 = time.perf_counter()
+        try:
+            images[codec] = engine.am_query_batch(
+                tree, stream, num_candidates, dims,
+                block_size=block_size, profile=profile)
+        finally:
+            tree.store.remove_listener(listener)
+        profile.total_seconds = time.perf_counter() - t0
+        by_level = tree.nodes_by_level()
+        row[codec] = {
+            "leaf_capacity": tree.leaf_capacity,
+            "num_leaves": by_level.get(0, 0),
+            "num_pages": sum(by_level.values()),
+            "leaf_reads": counts["leaf"],
+            "inner_reads": counts["inner"],
+            "serve_seconds": round(profile.total_seconds, 4),
+            "serve_qps": round(len(stream) / profile.total_seconds, 2),
+            "profile": profile.as_dict(),
+        }
+
+    row["capacity_ratio"] = round(
+        row["sq8"]["leaf_capacity"] / row["f64"]["leaf_capacity"], 2)
+    row["leaf_read_reduction"] = round(
+        row["f64"]["leaf_reads"] / max(1, row["sq8"]["leaf_reads"]), 2)
+    row["latency_ratio"] = round(
+        row["sq8"]["serve_seconds"] / row["f64"]["serve_seconds"], 3)
+    row["parity_ok"] = images["sq8"] == images["f64"]
+    trees["f64"].store.close()
+    return row, trees["sq8"]
+
+
+def _quantized_planner_section(engine, tree, flat, stream: List[int],
+                               num_candidates: int, dims: int,
+                               block_size: Optional[int],
+                               planner_cls, profile_cls) -> Dict:
+    """Exercise cost-based routing over the sq8 tree, both ways."""
+    planner = planner_cls(tree, flat)
+    profile = profile_cls(tree_name=tree.ext.name, store_mode="planned",
+                          queries=len(stream) + 1)
+    # Default serving mix: misses arrive a few at a time, and a short
+    # descent beats rescanning the corpus.
+    tree_routed = engine.am_query_batch(
+        tree, stream[:1], num_candidates, dims,
+        block_size=block_size, profile=profile, planner=planner)
+    # High selectivity: the whole stream misses at once, and one
+    # sequential pass undercuts thousands of random descents.
+    scan_routed = engine.am_query_batch(
+        tree, stream, num_candidates, dims,
+        block_size=block_size, profile=profile, planner=planner)
+    reference = engine.am_query_batch(
+        tree, stream, num_candidates, dims, block_size=block_size)
+    return {
+        "plan_single": planner.plan_batch(1, num_candidates).as_dict(),
+        "plan_bulk": planner.plan_batch(len(stream),
+                                        num_candidates).as_dict(),
+        "profile": profile.as_dict(),
+        "chose_tree_on_single": profile.plans_tree >= 1,
+        "chose_scan_on_bulk": profile.plans_scan >= 1,
+        "parity_ok": scan_routed == reference
+        and tree_routed == reference[:1],
+    }
+
+
+def format_quantized_bench(result: Dict) -> str:
+    """A fixed-width console table of one :func:`run_quantized_bench`
+    result."""
+    cfg = result["config"]
+    lines = [
+        f"{cfg['num_queries']} queries x {cfg['num_candidates']} "
+        f"candidates over {cfg['num_blobs']} blobs ({cfg['dims']}D), "
+        f"page size {cfg['page_size']}: f64 vs sq8 leaf pages",
+        f"{'method':<8} {'cap f64':>8} {'cap sq8':>8} {'leaves':>13} "
+        f"{'leaf reads':>17} {'reduction':>10} {'lat ratio':>10} "
+        f"{'parity':>7}",
+    ]
+    for row in result["methods"]:
+        f64, sq8 = row["f64"], row["sq8"]
+        lines.append(
+            f"{row['method']:<8} {f64['leaf_capacity']:>8} "
+            f"{sq8['leaf_capacity']:>8} "
+            f"{f64['num_leaves']:>6}/{sq8['num_leaves']:<6} "
+            f"{f64['leaf_reads']:>8}/{sq8['leaf_reads']:<8} "
+            f"{row['leaf_read_reduction']:>9.2f}x "
+            f"{row['latency_ratio']:>10.3f} "
+            f"{'ok' if row['parity_ok'] else 'FAIL':>7}")
+    planner = result.get("planner")
+    if planner:
+        single, bulk = planner["plan_single"], planner["plan_bulk"]
+        lines.append(
+            f"planner: single-query batch -> {single['choice']} "
+            f"({single['est_tree_ms']:.0f} ms tree vs "
+            f"{single['est_scan_ms']:.0f} ms scan); "
+            f"{bulk['num_queries']}-query batch -> {bulk['choice']} "
+            f"({bulk['est_tree_ms']:.0f} ms tree vs "
+            f"{bulk['est_scan_ms']:.0f} ms scan); parity "
+            f"{'ok' if planner['parity_ok'] else 'FAIL'}")
+    return "\n".join(lines)
+
+
 # -- index-build benchmark ---------------------------------------------------
 
 def run_build_bench(num_blobs: int = 100_000,

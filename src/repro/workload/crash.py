@@ -54,6 +54,7 @@ class TrialResult:
     point: str
     after: int
     torn: float
+    codec: str = "f64"
     ok: bool = False
     crash_fired: bool = False
     ops_committed: int = 0
@@ -64,7 +65,7 @@ class TrialResult:
     def to_dict(self) -> Dict[str, Any]:
         return {"method": self.method, "seed": self.seed,
                 "point": self.point, "after": self.after,
-                "torn": self.torn, "ok": self.ok,
+                "torn": self.torn, "codec": self.codec, "ok": self.ok,
                 "crash_fired": self.crash_fired,
                 "ops_committed": self.ops_committed,
                 "transactions_replayed": self.transactions_replayed,
@@ -119,8 +120,19 @@ def _knn_lists(tree: GiST, queries: np.ndarray,
 
 def run_crash_trial(method: str, seed: int, workdir: str,
                     dim: int = 3, page_size: int = 1024,
-                    base_points: int = 150, ops: int = 40) -> TrialResult:
-    """One randomized kill-and-recover trial; see the module docstring."""
+                    base_points: int = 150, ops: int = 40,
+                    codec: str = "f64") -> TrialResult:
+    """One randomized kill-and-recover trial; see the module docstring.
+
+    ``codec`` selects the leaf-page format under test.  Quantized
+    (lossy) trials keep every durability check — redo idempotence,
+    deep scrub, size parity, post-recovery mutability — but skip the
+    bit-exact k-NN shadow comparison: the shadow mirrors one decode
+    generation of reconstructions while the recovered file re-quantizes
+    at every commit, so low digits legitimately drift.  Engine-level
+    post-rerank parity for sq8 is gated separately (the quantized
+    serving bench and the parity test suite).
+    """
     rng = random.Random(seed)
     nprng = np.random.default_rng(seed)
     point = rng.choice(CRASH_POINTS)
@@ -133,7 +145,7 @@ def run_crash_trial(method: str, seed: int, workdir: str,
     after = rng.randrange(0, 3 * ops)
     torn = rng.uniform(0.0, 0.95)
     result = TrialResult(method=method, seed=seed, point=point,
-                         after=after, torn=torn)
+                         after=after, torn=torn, codec=codec)
     path = os.path.join(workdir, f"{method}-{seed}.amdb")
     try:
         _run_trial(result, path, rng, nprng, dim, page_size,
@@ -155,7 +167,10 @@ def _run_trial(result: TrialResult, path: str, rng: random.Random,
 
     method = result.method
     pts = nprng.uniform(0.0, 100.0, size=(base_points, dim))
-    base = GiST(make_extension(method, dim), page_size=page_size)
+    from repro.storage.codecs import make_leaf_codec
+    exact = not make_leaf_codec(result.codec, dim).lossy
+    base = GiST(make_extension(method, dim), page_size=page_size,
+                leaf_codec=make_leaf_codec(result.codec, dim))
     for i, p in enumerate(pts):
         base.insert(p, i)
     save_tree(base, path)
@@ -217,7 +232,10 @@ def _run_trial(result: TrialResult, path: str, rng: random.Random,
             f"size {mt2.tree.size} != shadow {shadow.size}"
         queries = nprng.uniform(0.0, 100.0, size=(4, dim))
         k = min(8, max(1, shadow.size))
-        if shadow.size:
+        # Quantized trees re-encode (re-quantize) at every commit, so
+        # the shadow's distances drift in the low digits; the bit-exact
+        # comparison is an exact-codec check only (see run_crash_trial).
+        if shadow.size and exact:
             assert _knn_lists(mt2.tree, queries, k) == \
                 _knn_lists(shadow, queries, k), "k-NN diverges from shadow"
         # The recovered file is live: a few more mutations must commit
@@ -227,7 +245,9 @@ def _run_trial(result: TrialResult, path: str, rng: random.Random,
             mt2.insert(key, next_rid)
             shadow.insert(key, next_rid)
             next_rid += 1
-        if shadow.size:
+        assert mt2.tree.size == shadow.size, \
+            "size diverges after post-recovery inserts"
+        if shadow.size and exact:
             assert _knn_lists(mt2.tree, queries, k) == \
                 _knn_lists(shadow, queries, k), \
                 "k-NN diverges after post-recovery inserts"

@@ -38,6 +38,36 @@ class TestKnn:
         assert f.knn(np.zeros(3), 5) == []
 
 
+class TestKnnBatch:
+    def test_rows_match_scalar_knn(self, data):
+        f = FlatFile(data)
+        queries = data[[5, 17, 2999]]
+        batch = f.knn_batch(queries, 10)
+        assert batch == [f.knn(q, 10) for q in queries]
+
+    def test_one_shared_scan_per_batch(self, data):
+        f = FlatFile(data)
+        f.knn_batch(data[:40], 5)
+        assert f.pages_read == f.num_pages  # not 40 passes
+
+    def test_custom_rids_flow_through(self, data):
+        f = FlatFile(data[:100], rids=list(range(500, 600)))
+        [(_, rid), *_] = f.knn_batch(data[:1], 3)[0]
+        assert rid == 500
+
+    def test_invalid_inputs(self, data):
+        f = FlatFile(data)
+        with pytest.raises(ValueError):
+            f.knn_batch(data[:2], 0)
+        with pytest.raises(ValueError):
+            f.knn_batch(np.zeros(5), 3)  # 1-D: not a batch
+
+    def test_empty_batch_and_empty_file(self, data):
+        assert FlatFile(data).knn_batch(np.empty((0, 5)), 3) == []
+        f = FlatFile(np.empty((0, 3)))
+        assert f.knn_batch(np.zeros((2, 3)), 3) == [[], []]
+
+
 class TestIOAccounting:
     def test_pages_match_packing(self, data):
         f = FlatFile(data, page_size=8192)

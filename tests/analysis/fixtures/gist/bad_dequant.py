@@ -1,0 +1,17 @@
+"""REP403 positive fixture: eager dequantization in query hot paths.
+
+Parsed, never imported (see fixtures/README.md).  Lints under the
+relpath ``gist/bad_dequant.py``, inside REP403's scope.
+"""
+
+import numpy as np
+
+
+def knn_expand_leaf(node, query):
+    block = node.quantized_block()
+    keys = block.codes.astype("f8")  # REP403: whole-block dequantize
+    return ((keys - query) ** 2).sum(axis=1)
+
+
+def _search_candidates(blocks):
+    return [b.astype(np.float64) for b in blocks]  # REP403

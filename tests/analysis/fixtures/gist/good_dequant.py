@@ -1,0 +1,21 @@
+"""REP403 negative fixture: lazy pruning in hot paths, materialization
+only on cold paths.
+
+Parsed, never imported (see fixtures/README.md).
+"""
+
+import numpy as np
+
+
+def knn_expand_leaf(node, query):
+    # The sanctioned shape: prune on cell bounds, touch no floats.
+    keys = node.keys_array()
+    half = node.key_halfwidths()
+    diff = np.abs(keys - query) - half
+    np.maximum(diff, 0.0, out=diff)
+    return np.sqrt((diff * diff).sum(axis=1))
+
+
+def build_training_matrix(blocks):
+    # Cold path (not a query hot-path function): astype is fine here.
+    return np.concatenate([b.astype("f8") for b in blocks])

@@ -54,6 +54,7 @@ NEGATIVE = [
     ("REP302", ["storage/good_raise.py"]),
     ("REP401", ["storage/diskfile.py"]),
     ("REP402", ["storage/diskfile.py"]),
+    ("REP403", ["gist/good_dequant.py"]),
     ("REP501", ["storage/__init__.py", "storage/goodstore.py"]),
 ]
 
@@ -72,6 +73,15 @@ def test_rule_stays_silent_on_negative_fixture(rule_id, fixtures):
     report = lint_fixtures(*fixtures)
     hits = [f for f in report.findings if f.rule == rule_id]
     assert hits == [], format_findings(report)
+
+
+def test_eager_dequantize_is_a_warning_in_hot_paths_only():
+    report = lint_fixtures("gist/bad_dequant.py")
+    rep403 = [f for f in report.findings if f.rule == "REP403"]
+    assert len(rep403) == 2, format_findings(report)
+    assert all(f.severity == WARNING for f in rep403)
+    # Warnings alone never fail the build.
+    assert report.exit_code == 0
 
 
 def test_copy_in_decode_is_a_warning_not_an_error():
