@@ -1,0 +1,40 @@
+"""Sharded serving daemon: scatter-gather parity, tails, degradation.
+
+Runs the three-phase shard bench (:func:`repro.workload.bench.
+run_shard_bench`): a per-AM-family parity gate at two shards (merged
+scatter-gather answers must be bit-identical to the unsharded
+baseline), a 1/2/4-shard scaling sweep with p50/p95/p99 request latency
+and queue depth, and a kill-one-worker trial that must produce a
+degraded answer rather than an exception.  Results land in
+``benchmarks/results/BENCH_shard_serve.json``.  Parity and degraded
+behavior are contracts and assert; speedup is recorded, not asserted —
+wall-clock on shared CI machines is advice.
+"""
+
+import json
+
+from conftest import RESULTS_DIR, emit
+
+from repro.constants import NEIGHBORS_PER_QUERY
+from repro.workload.bench import format_shard_bench, run_shard_bench
+
+
+def test_shard_serve_parity_tails_and_degradation(profile):
+    result = run_shard_bench(
+        num_blobs=profile.num_blobs,
+        num_queries=profile.num_queries,
+        num_candidates=min(NEIGHBORS_PER_QUERY, profile.neighbors),
+        page_size=profile.page_size,
+        parity_queries=min(128, profile.num_queries))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_shard_serve.json").write_text(
+        json.dumps(result, indent=2) + "\n")
+    emit("sharded serving daemon", format_shard_bench(result))
+    assert result["parity_ok"], (
+        "sharded scatter-gather diverged from the unsharded baseline: "
+        + ", ".join(f"{row['method']}/{row['codec']}"
+                    for row in result["parity"]
+                    if not row["parity_ok"]))
+    assert result["degraded_ok"], (
+        "killing one shard worker did not yield a degraded answer: "
+        + str(result["degraded"]))

@@ -147,6 +147,24 @@ class BuildProfile:
         }
 
 
+def latency_percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """Tail-latency summary of per-request wall times (seconds in,
+    milliseconds out).
+
+    Returns ``p50_ms`` / ``p95_ms`` / ``p99_ms`` — the percentiles the
+    serving benchmarks compare sharded against unsharded tails with —
+    or an empty dict when no samples were recorded, so JSON consumers
+    can tell "not measured" from "zero".
+    """
+    if not len(samples):
+        return {}
+    arr = np.asarray(samples, dtype=np.float64) * 1e3
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50_ms": round(float(p50), 3),
+            "p95_ms": round(float(p95), 3),
+            "p99_ms": round(float(p99), 3)}
+
+
 @dataclass
 class ServeProfile:
     """Per-stage telemetry for one serving (two-stage query) run.
@@ -174,10 +192,16 @@ class ServeProfile:
     #: planner page estimates vs pages the batches actually read
     est_pages: int = 0
     actual_pages: int = 0
+    #: per-request wall times (seconds) when the caller serves the
+    #: stream in request blocks rather than one monolithic batch
+    latencies: List[float] = field(default_factory=list)
 
     def add(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = \
             self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
 
     def note_plan(self, plan, actual_pages: int = 0) -> None:
         """Record one routing decision (a
@@ -217,6 +241,102 @@ class ServeProfile:
             "plans": {"tree": self.plans_tree, "scan": self.plans_scan},
             "est_pages": self.est_pages,
             "actual_pages": self.actual_pages,
+            "latency_ms": latency_percentiles(self.latencies),
+        }
+
+
+@dataclass
+class ShardServeProfile:
+    """Telemetry for one sharded serving run.
+
+    Filled by :class:`~repro.serving.coordinator.ShardedService`:
+    stage wall times (``scatter`` / ``gather`` / ``merge`` / ``refine``
+    / ``rerank`` / ``aggregation``), one latency sample plus queue
+    depth per request block, per-shard busy seconds from the workers'
+    own clocks, worker cache/pool/planner counters, the registry's
+    heartbeat snapshot, and how many requests were answered degraded
+    (at least one shard dead or expired at scatter time).
+    """
+
+    method: str = ""
+    codec: str = "f64"
+    num_shards: int = 0
+    request_size: int = 0
+    queries: int = 0
+    total_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: per-request wall times (seconds), sizes, and queue depths —
+    #: parallel lists, one entry per request block
+    request_latencies: List[float] = field(default_factory=list)
+    request_sizes: List[int] = field(default_factory=list)
+    queue_depths: List[int] = field(default_factory=list)
+    #: shard -> seconds the worker spent handling this run's requests
+    shard_partial_seconds: Dict[int, float] = field(default_factory=dict)
+    #: shard -> worker-side cache/pool/planner counters
+    shard_stats: Dict[int, Dict] = field(default_factory=dict)
+    #: registry snapshot (liveness state per shard) at run end
+    heartbeats: Dict[int, Dict] = field(default_factory=dict)
+    degraded_requests: int = 0
+    #: coordinator-level result-cache counters
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = \
+            self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_request(self, seconds: float, size: int,
+                       queue_depth: int) -> None:
+        self.request_latencies.append(seconds)
+        self.request_sizes.append(size)
+        self.queue_depths.append(queue_depth)
+
+    def note_partial(self, shard_id: int, seconds: float) -> None:
+        self.shard_partial_seconds[shard_id] = \
+            self.shard_partial_seconds.get(shard_id, 0.0) + seconds
+
+    def note_cache(self, stats) -> None:
+        self.cache_hits = stats.hits
+        self.cache_misses = stats.misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
+    @property
+    def requests(self) -> int:
+        return len(self.request_latencies)
+
+    def as_dict(self) -> Dict:
+        """JSON-ready form (string keys, plain floats)."""
+        depths = self.queue_depths
+        return {
+            "method": self.method,
+            "codec": self.codec,
+            "num_shards": self.num_shards,
+            "request_size": self.request_size,
+            "queries": self.queries,
+            "requests": self.requests,
+            "total_seconds": self.total_seconds,
+            "stage_seconds": {k: float(v)
+                              for k, v in sorted(self.stage_seconds.items())},
+            "latency_ms": latency_percentiles(self.request_latencies),
+            "queue_depth": {
+                "max": max(depths) if depths else 0,
+                "mean": round(float(np.mean(depths)), 2) if depths else 0.0,
+            },
+            "shard_partial_seconds": {
+                str(k): round(float(v), 4)
+                for k, v in sorted(self.shard_partial_seconds.items())},
+            "shard_stats": {str(k): v
+                            for k, v in sorted(self.shard_stats.items())},
+            "heartbeats": {str(k): v
+                           for k, v in sorted(self.heartbeats.items())},
+            "degraded_requests": self.degraded_requests,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
         }
 
 

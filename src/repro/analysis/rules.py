@@ -16,6 +16,8 @@ ID                severity  invariant
 ``REP201``        error     fork workers must reopen file-backed stores
 ``REP202``        error     fork workers must be module-level; no live handles
                             captured into fork state
+``REP203``        error     serving daemon worker entrypoints reopen
+                            file-backed stores after the fork
 ``REP301``        error     no bare/broad ``except`` that swallows in
                             ``storage/`` and ``gist/``
 ``REP302``        error     storage paths raise ``StorageError`` subclasses,
@@ -335,6 +337,55 @@ class ForkCaptureRule(Rule):
                             "fork state captures a live OS handle; "
                             "workers must reopen by path via the "
                             "storage.fork helpers")
+
+
+class DaemonReopenRule(Rule):
+    """REP203: daemon worker entrypoints reopen stores after the fork.
+
+    The serving daemon forks long-lived workers that keep reading their
+    shard's page file for the life of the process — a shared inherited
+    file offset there is not a transient race but a permanent
+    corruption source under concurrent queries.  Any function in
+    ``serving/`` that runs on the child side of the fork — named
+    ``_worker*`` by the repo convention, or handed to a
+    ``Process(target=...)`` constructor defined in the same module —
+    must call a ``reopen_files`` helper before serving.
+    """
+
+    id = "REP203"
+    title = "daemon workers must reopen stores post-fork"
+    scopes = ("serving/",)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        defs = {node.name: node for node in module.tree.body
+                if isinstance(node,
+                              (ast.FunctionDef, ast.AsyncFunctionDef))}
+        entrypoints = {name for name in defs
+                       if name.startswith("_worker")}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (dotted_name(node.func) or "").endswith("Process"):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "target":
+                    continue
+                target = (dotted_name(kw.value) or "").split(".")[-1]
+                if target in defs:
+                    entrypoints.add(target)
+        for name in sorted(entrypoints):
+            func = defs[name]
+            calls_reopen = any(
+                isinstance(sub, ast.Call)
+                and (dotted_name(sub.func) or "").endswith("reopen_files")
+                for sub in ast.walk(func))
+            if not calls_reopen:
+                yield self.finding(
+                    module, func,
+                    f"daemon worker {name}() never calls a "
+                    f"reopen_files helper; a long-lived forked worker "
+                    f"sharing the parent's file offset corrupts "
+                    f"concurrent page reads")
 
 
 # ---------------------------------------------------------------------------
@@ -708,6 +759,7 @@ ALL_RULES: List[Rule] = [
     UnloggedWriteRule(),
     ForkReopenRule(),
     ForkCaptureRule(),
+    DaemonReopenRule(),
     BroadExceptRule(),
     TypedRaiseRule(),
     ZeroCopyRule(),

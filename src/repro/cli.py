@@ -16,6 +16,9 @@ Covers the end-to-end workflow a downstream user needs:
   exit 1 if the recovered index is damaged;
 - ``crashtest`` — randomized kill-and-recover trials across the AM
   families (the CI crash-recovery job's entry point);
+- ``serve``   — run the sharded scatter-gather serving daemon over a
+  synthetic request stream, reporting tail latency, queue depth, and
+  heartbeat state;
 - ``lint``    — run amlint, the repo's AST-based invariant linter,
   over source trees; exit 1 on any ERROR finding.
 """
@@ -118,10 +121,90 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+    import time
+
+    from repro.amdb.profiler import ShardServeProfile
+    from repro.blobworld import load_corpus
+    from repro.serving import ShardedService
+
+    corpus = load_corpus(args.corpus)
+    rng = np.random.default_rng(args.seed)
+    pool = rng.choice(corpus.num_blobs,
+                      size=max(1, args.stream // 4), replace=False)
+    stream = [int(b) for b in rng.choice(pool, size=args.stream)]
+    profile = ShardServeProfile(method=args.method, codec=args.codec,
+                                num_shards=args.shards,
+                                request_size=args.request_size)
+    service = ShardedService.build(
+        corpus, args.shards, method=args.method, dims=args.dims,
+        page_size=args.page_size, codec=args.codec,
+        cache_size=args.cache_size)
+    with service:
+        t0 = time.perf_counter()
+        service.serve_stream(stream, args.candidates,
+                             top_images=args.top,
+                             request_size=args.request_size,
+                             profile=profile)
+        profile.total_seconds = time.perf_counter() - t0
+        service.gather_stats(profile)
+        doc = profile.as_dict()
+        doc["degradation"] = service.degradation.summary()
+        mode = "inline" if service.inline else "forked"
+    lat = doc["latency_ms"]
+    print(f"{args.shards} {mode} shard(s), {args.method}/{args.codec}: "
+          f"{len(stream)} queries in {profile.total_seconds:.2f}s "
+          f"({len(stream) / profile.total_seconds:.1f} q/s)")
+    if lat:
+        print(f"request latency ms p50/p95/p99: "
+              f"{lat['p50_ms']}/{lat['p95_ms']}/{lat['p99_ms']}; "
+              f"queue depth max {doc['queue_depth']['max']}")
+    print(f"coordinator cache hit rate: {profile.cache_hit_rate:.0%}; "
+          f"degraded requests: {profile.degraded_requests}")
+    for shard_id, beat in doc["heartbeats"].items():
+        print(f"  shard {shard_id}: {beat['state']}, "
+              f"rids {beat['rid_range']}, {beat['beats']} beats")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
 
     from repro.workload.bench import format_bench, run_bench
+
+    if args.shard:
+        from repro.workload.bench import (format_shard_bench,
+                                          run_shard_bench)
+        result = run_shard_bench(num_blobs=args.blobs,
+                                 num_queries=args.queries,
+                                 num_candidates=args.k,
+                                 method=args.methods[0],
+                                 dims=args.dims,
+                                 page_size=args.page_size,
+                                 shards_list=tuple(args.shards_list),
+                                 request_size=args.request_size,
+                                 cache_size=args.cache_size,
+                                 seed=args.seed)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(result, fh, indent=2)
+                fh.write("\n")
+        print(format_shard_bench(result))
+        ok = True
+        if not result["parity_ok"]:
+            print("PARITY MISMATCH: sharded scatter-gather diverged "
+                  "from the unsharded baseline", file=sys.stderr)
+            ok = False
+        if not result["degraded_ok"]:
+            print("DEGRADED-MODE FAILURE: killing one worker did not "
+                  "yield a degraded answer", file=sys.stderr)
+            ok = False
+        return 0 if ok else 1
 
     if args.serve and args.codec == "sq8":
         from repro.workload.bench import (format_quantized_bench,
@@ -385,6 +468,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "pread baseline vs batched mmap two-stage "
                         "queries with a result cache, with a parity "
                         "check")
+    p.add_argument("--shard", action="store_true",
+                   help="benchmark the sharded scatter-gather daemon: "
+                        "per-family parity at 2 shards, 1/2/4-shard "
+                        "scaling with tail latency, and a kill-one-"
+                        "worker degraded-mode check")
+    p.add_argument("--shards-list", type=int, nargs="+",
+                   default=[1, 2, 4],
+                   help="shard counts for the scaling phase "
+                        "(--shard only)")
+    p.add_argument("--request-size", type=int, default=64,
+                   help="queries per request block (--shard only)")
     p.add_argument("--cache-size", type=int, default=4096,
                    help="query-result cache capacity (--serve only)")
     p.add_argument("--codec", default="f64", choices=["f64", "sq8"],
@@ -401,6 +495,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the result dict as JSON")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="run the sharded serving daemon over a stream")
+    p.add_argument("corpus", help="corpus .npz path")
+    p.add_argument("--shards", type=int, default=2,
+                   help="number of shard worker processes")
+    p.add_argument("--method", default="rtree",
+                   choices=["rtree", "rstar", "sstree", "srtree",
+                            "amap", "xjb", "jb"])
+    p.add_argument("--dims", type=int, default=INDEX_DIMENSIONS)
+    p.add_argument("--page-size", type=int, default=DEFAULT_PAGE_SIZE)
+    p.add_argument("--codec", default="f64", choices=["f64", "sq8"])
+    p.add_argument("--candidates", type=int,
+                   default=NEIGHBORS_PER_QUERY)
+    p.add_argument("--top", type=int, default=FULL_QUERY_RESULT_IMAGES)
+    p.add_argument("--stream", type=int, default=512,
+                   help="synthetic request-stream length")
+    p.add_argument("--request-size", type=int, default=64,
+                   help="queries per request block")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="coordinator result-cache capacity")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the serve profile as JSON")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("recall", help="Figure 6 recall grid")
     p.add_argument("corpus")

@@ -1,0 +1,495 @@
+"""The scatter-gather coordinator over a fleet of shard workers.
+
+:class:`ShardedService` owns the full serving topology: it builds one
+tree + flat-file comparator per contiguous blob range with the existing
+bulk-load pipeline, forks one daemon worker per shard
+(:func:`repro.serving.worker._worker_main`), scatters each query batch
+to every *live* shard, gathers canonical partials, and merges them into
+the global top-k under the ``(distance, rid)`` total order — bit-
+identical to a single tree over the whole corpus answering under the
+same order (see :mod:`repro.serving.partials`).
+
+Liveness is the registry's job (:mod:`repro.serving.registry`): every
+successful reply refreshes the shard's heartbeat, a transport failure
+marks it dead, and a shard that stops answering expires.  Dead or
+expired shards do not fail the query — the coordinator answers from the
+remaining partials and records what was given up in a
+:class:`~repro.gist.degrade.DegradationReport`, the same bookkeeping a
+quarantined tree uses for corrupt subtrees: a missing shard is a pruned
+subtree at fleet scale.
+
+Where ``fork`` is unavailable the service falls back to in-process
+shards driving the same :class:`~repro.serving.worker.ShardServer`
+request handler, so every platform exercises the same protocol,
+planner, cache, and merge code — only the process boundary differs.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blobworld.cache import QueryResultCache
+from repro.blobworld.query import BlobworldEngine
+from repro.bulk import bulk_load
+from repro.constants import (DEFAULT_PAGE_SIZE, FULL_QUERY_RESULT_IMAGES,
+                             INDEX_DIMENSIONS)
+from repro.core.api import make_extension
+from repro.gist.degrade import DegradationReport
+from repro.serving import worker as worker_mod
+from repro.serving.partials import merge_topk, unpack_hits
+from repro.serving.protocol import ProtocolError, recv_msg, send_msg
+from repro.serving.registry import DEAD, LIVE, ShardRegistry
+from repro.serving.worker import ShardServer, _worker_main
+from repro.storage.diskfile import FilePageFile
+from repro.storage.fork import fork_available, shard_bounds
+
+
+class _SocketShard:
+    """Transport handle for one forked worker."""
+
+    def __init__(self, shard_id: int, sock, process):
+        self.shard_id = shard_id
+        self.sock = sock
+        self.process = process
+
+    def send(self, msg: Dict[str, Any]) -> None:
+        send_msg(self.sock, msg)
+
+    def recv(self) -> Dict[str, Any]:
+        return recv_msg(self.sock)
+
+    def kill(self) -> None:
+        if self.process is not None:
+            self.process.kill()
+            self.process.join()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join()
+
+
+class _InlineShard:
+    """Fork-free stand-in: the same request handler, called in-process.
+
+    ``send`` computes the reply immediately and queues it for ``recv``,
+    preserving the scatter-then-gather call shape.  ``kill`` makes the
+    transport fail like a dead process would, so degraded-mode behavior
+    is testable without fork.
+    """
+
+    def __init__(self, shard_id: int, server: ShardServer):
+        self.shard_id = shard_id
+        self.server = server
+        self._replies: List[Dict[str, Any]] = []
+        self._killed = False
+
+    def send(self, msg: Dict[str, Any]) -> None:
+        if self._killed:
+            raise ProtocolError(f"shard {self.shard_id} is down")
+        if msg.get("op") == "exit":
+            self._replies.append({"ok": True})
+            return
+        try:
+            self._replies.append(self.server.handle(msg))
+        except Exception as exc:
+            self._replies.append(
+                {"error": f"{type(exc).__name__}: {exc}"})
+
+    def recv(self) -> Dict[str, Any]:
+        return self._replies.pop(0)
+
+    def kill(self) -> None:
+        self._killed = True
+
+    def close(self) -> None:
+        self._replies.clear()
+
+
+class ShardedService:
+    """A sharded serving deployment: build, start, query, account.
+
+    Construct with :meth:`build`, then :meth:`start` the workers.  The
+    query surface mirrors the single-tree engine —
+    :meth:`knn_batch` answers raw nearest-neighbor batches,
+    :meth:`am_query_batch` the full two-stage Blobworld queries — plus
+    :meth:`serve_stream`, which drives a request stream in fixed-size
+    blocks and records tail latency and queue depth into a
+    :class:`~repro.amdb.profiler.ShardServeProfile`.
+    """
+
+    def __init__(self, corpus, shards: List[Dict[str, Any]], dims: int,
+                 method: str, codec: str,
+                 cache_size: int = 4096,
+                 worker_cache: int = 2048, pool_pages: int = 256,
+                 heartbeat_ttl: float = 30.0, clock=time.monotonic,
+                 tmpdir=None):
+        self.corpus = corpus
+        self.shards = shards
+        self.dims = dims
+        self.method = method
+        self.codec = codec
+        self.lossy = codec == "sq8"
+        self.reduced = corpus.reduced(dims)
+        self.cache = QueryResultCache(cache_size) if cache_size else None
+        self.engine = BlobworldEngine(corpus)
+        self.worker_cache = worker_cache
+        self.pool_pages = pool_pages
+        self.registry = ShardRegistry(ttl=heartbeat_ttl, clock=clock)
+        self.degradation = DegradationReport()
+        self.degraded_requests = 0
+        self.handles: List[Any] = []
+        self.inline = False
+        self._tmpdir = tmpdir
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, corpus, num_shards: int, method: str = "rtree",
+              dims: int = INDEX_DIMENSIONS,
+              page_size: int = DEFAULT_PAGE_SIZE, codec: str = "f64",
+              workdir: Optional[str] = None, build_workers: int = 1,
+              **kwargs) -> "ShardedService":
+        """Build one tree per contiguous blob range.
+
+        Every shard is a normal bulk load over its slice of the reduced
+        vectors, carrying *global* rids — partials therefore speak
+        corpus-wide blob ids and no translation happens at merge time.
+        """
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        reduced = corpus.reduced(dims)
+        tmpdir = None
+        if workdir is None:
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro_shards_")
+            workdir = tmpdir.name
+        shards: List[Dict[str, Any]] = []
+        for shard_id, (lo, hi) in enumerate(
+                shard_bounds(len(reduced), num_shards)):
+            ext = make_extension(method, dims)
+            store = FilePageFile.for_extension(
+                os.path.join(workdir,
+                             f"shard_{method}_{codec}_{shard_id}.pages"),
+                ext, page_size=page_size, leaf_codec=codec)
+            tree = bulk_load(ext, reduced[lo:hi],
+                             rids=list(range(lo, hi)),
+                             page_size=page_size, store=store,
+                             workers=build_workers)
+            shards.append({"shard_id": shard_id, "tree": tree,
+                           "lo": lo, "hi": hi})
+        return cls(corpus, shards, dims=dims, method=method, codec=codec,
+                   tmpdir=tmpdir, **kwargs)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def start(self) -> "ShardedService":
+        """Fork the workers (or fall back to in-process shards)."""
+        if self._started:
+            return self
+        self._started = True
+        self.inline = not fork_available()
+        for shard in self.shards:
+            self.registry.register(shard["shard_id"], shard["lo"],
+                                   shard["hi"])
+        if self.inline:
+            for shard in self.shards:
+                server = ShardServer(
+                    shard["shard_id"], shard["tree"], self.reduced,
+                    lo=shard["lo"], hi=shard["hi"],
+                    cache_size=self.worker_cache,
+                    pool_pages=self.pool_pages)
+                self.handles.append(
+                    _InlineShard(shard["shard_id"], server))
+            return self
+        import multiprocessing
+        ctx = multiprocessing.get_context("fork")
+        state: Dict[str, Any] = {
+            "shards": {}, "reduced": self.reduced,
+            "config": {"worker_cache": self.worker_cache,
+                       "pool_pages": self.pool_pages},
+        }
+        worker_mod._FORK_STATE = state
+        try:
+            for shard in self.shards:
+                # Flush parent-side write buffers before the fork so the
+                # child's reopened descriptor sees every page.
+                shard["tree"].store.flush()
+                parent_sock, child_sock = socket.socketpair()
+                state["shards"][shard["shard_id"]] = {
+                    "tree": shard["tree"], "conn": child_sock,
+                    "lo": shard["lo"], "hi": shard["hi"]}
+                process = ctx.Process(target=_worker_main,
+                                      args=(shard["shard_id"],),
+                                      daemon=True)
+                process.start()
+                child_sock.close()
+                self.handles.append(
+                    _SocketShard(shard["shard_id"], parent_sock, process))
+        finally:
+            worker_mod._FORK_STATE = {}
+        return self
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Forcibly take one worker down (failure injection)."""
+        for handle in self.handles:
+            if handle.shard_id == shard_id:
+                handle.kill()
+                return
+        raise KeyError(f"no shard {shard_id}")
+
+    def ping(self) -> Dict[int, bool]:
+        """Heartbeat every non-dead shard; revives expired ones that
+        answer.  Returns shard -> answered."""
+        answered: Dict[int, bool] = {}
+        for handle in self.handles:
+            if self.registry.state(handle.shard_id) == DEAD:
+                answered[handle.shard_id] = False
+                continue
+            try:
+                handle.send({"op": "ping"})
+                reply = handle.recv()
+                ok = bool(reply.get("ok"))
+            except (ProtocolError, OSError) as exc:
+                self._shard_down(handle, exc)
+                ok = False
+            if ok:
+                self.registry.beat(handle.shard_id)
+            answered[handle.shard_id] = ok
+        return answered
+
+    def stop(self) -> None:
+        """Ask every live worker to exit, then reap the processes."""
+        for handle in self.handles:
+            if self.registry.state(handle.shard_id) != DEAD:
+                try:
+                    handle.send({"op": "exit"})
+                    handle.recv()
+                except (ProtocolError, OSError):
+                    pass
+            handle.close()
+        self.handles = []
+
+    def close(self) -> None:
+        self.stop()
+        for shard in self.shards:
+            shard["tree"].store.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "ShardedService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- scatter / gather ----------------------------------------------------
+
+    def _shard_down(self, handle, exc: Exception) -> None:
+        shard = self.shards[handle.shard_id]
+        self.registry.mark_dead(handle.shard_id, cause=str(exc))
+        self.degradation.record(
+            handle.shard_id, level=None,
+            error=f"shard {handle.shard_id} down: {exc}",
+            estimated_candidates_lost=shard["hi"] - shard["lo"])
+
+    def _scatter_gather(self, msg: Dict[str, Any],
+                        profile=None) -> Dict[int, Dict[str, Any]]:
+        """One request to every live shard; partials from those that
+        answered.  Unreachable shards degrade the answer, they do not
+        fail it; only a fleet with *no* answering shard raises."""
+        if not self._started:
+            raise RuntimeError("service not started")
+        degraded = False
+        targets = []
+        for handle in self.handles:
+            state = self.registry.state(handle.shard_id)
+            if state == LIVE:
+                targets.append(handle)
+            else:
+                degraded = True
+                shard = self.shards[handle.shard_id]
+                self.degradation.record(
+                    handle.shard_id, level=None,
+                    error=f"shard {handle.shard_id} {state} at scatter",
+                    estimated_candidates_lost=shard["hi"] - shard["lo"])
+        t0 = time.perf_counter()
+        sent = []
+        for handle in targets:
+            try:
+                handle.send(msg)
+                sent.append(handle)
+            except (ProtocolError, OSError) as exc:
+                self._shard_down(handle, exc)
+                degraded = True
+        t1 = time.perf_counter()
+        parts: Dict[int, Dict[str, Any]] = {}
+        for handle in sent:
+            try:
+                reply = handle.recv()
+            except (ProtocolError, OSError) as exc:
+                self._shard_down(handle, exc)
+                degraded = True
+                continue
+            if "error" in reply:
+                # The worker is alive and talking; its request blew up.
+                # That is a bug, not an outage — surface it.
+                raise RuntimeError(
+                    f"shard {handle.shard_id}: {reply['error']}")
+            self.registry.beat(handle.shard_id)
+            parts[handle.shard_id] = reply
+        if profile is not None:
+            profile.add("scatter", t1 - t0)
+            profile.add("gather", time.perf_counter() - t1)
+            for shard_id, reply in parts.items():
+                profile.note_partial(shard_id, reply.get("seconds", 0.0))
+        if degraded:
+            self.degraded_requests += 1
+            if profile is not None:
+                profile.degraded_requests += 1
+        if not parts:
+            raise RuntimeError("no live shards answered")
+        return parts
+
+    def _merge(self, parts: Dict[int, Dict[str, Any]], k: int,
+               profile=None) -> Tuple[np.ndarray, np.ndarray]:
+        t0 = time.perf_counter()
+        merged = merge_topk(
+            [(parts[sid]["dists"], parts[sid]["rids"])
+             for sid in sorted(parts)], k)
+        if profile is not None:
+            profile.add("merge", time.perf_counter() - t0)
+        return merged
+
+    # -- query surface -------------------------------------------------------
+
+    def knn_batch(self, queries, k: int,
+                  profile=None) -> List[List[Tuple[float, int]]]:
+        """Global canonical top-``k`` per query across all live shards."""
+        queries = np.asarray(queries, dtype=np.float64)
+        parts = self._scatter_gather(
+            {"op": "knn", "queries": queries, "k": k}, profile=profile)
+        return unpack_hits(*self._merge(parts, k, profile=profile))
+
+    def am_query_batch(self, query_blobs: Sequence[int], num_candidates: int,
+                       top_images: Optional[int] = None,
+                       profile=None) -> List[List[int]]:
+        """A block of two-stage queries over the sharded fleet.
+
+        Stage one scatters to the shards and merges canonical
+        candidate partials; stage two — lossy refinement against the
+        exact in-memory reduced vectors, then the full-dimension
+        rerank — runs on the coordinator via the same engine kernels
+        the single-tree path uses, so the image lists match the
+        unsharded :meth:`~repro.blobworld.query.BlobworldEngine.
+        am_query_batch` answer.
+        """
+        if top_images is None:
+            top_images = FULL_QUERY_RESULT_IMAGES
+        query_blobs = [int(b) for b in query_blobs]
+        results: List[Optional[List[int]]] = [None] * len(query_blobs)
+        misses: List[int] = []
+        duplicates: List[Tuple[int, tuple]] = []
+        if self.cache is not None:
+            pending: set = set()
+            for i, blob in enumerate(query_blobs):
+                key = (blob, self.dims, num_candidates, top_images)
+                if key in pending:
+                    duplicates.append((i, key))
+                    continue
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = list(hit)
+                else:
+                    pending.add(key)
+                    misses.append(i)
+        else:
+            misses = list(range(len(query_blobs)))
+        if misses:
+            miss_blobs = [query_blobs[i] for i in misses]
+            fetch = (self.engine._overscan(num_candidates)
+                     if self.lossy else num_candidates)
+            parts = self._scatter_gather(
+                {"op": "am", "blobs": miss_blobs, "fetch": fetch,
+                 "dims": self.dims}, profile=profile)
+            rows = unpack_hits(*self._merge(parts, fetch, profile=profile))
+            candidate_lists = [
+                np.fromiter((rid for _, rid in row), dtype=np.intp,
+                            count=len(row))
+                for row in rows]
+            if self.lossy:
+                t0 = time.perf_counter()
+                candidate_lists = [
+                    self.engine._refine_candidates(
+                        c, self.reduced[b], self.reduced, num_candidates)
+                    for c, b in zip(candidate_lists, miss_blobs)]
+                if profile is not None:
+                    profile.add("refine", time.perf_counter() - t0)
+            ranked = self.engine.rerank_batch(miss_blobs, candidate_lists,
+                                              top_images, profile=profile)
+            for i, result in zip(misses, ranked):
+                results[i] = result
+                if self.cache is not None:
+                    self.cache.put(
+                        (query_blobs[i], self.dims, num_candidates,
+                         top_images), tuple(result))
+        for i, key in duplicates:
+            results[i] = list(self.cache.get(key))
+        return results
+
+    def serve_stream(self, stream: Sequence[int], num_candidates: int,
+                     top_images: Optional[int] = None,
+                     request_size: int = 64,
+                     profile=None) -> List[List[int]]:
+        """Drive a request stream in blocks, recording tail latency.
+
+        The stream is treated as an already-arrived queue: each block
+        of ``request_size`` queries is one service request, its wall
+        time one latency sample, and the blocks still waiting at
+        dispatch time the queue depth.
+        """
+        if request_size < 1:
+            raise ValueError("request_size must be positive")
+        blocks = [list(stream[i:i + request_size])
+                  for i in range(0, len(stream), request_size)]
+        results: List[List[int]] = []
+        for i, block in enumerate(blocks):
+            t0 = time.perf_counter()
+            results.extend(self.am_query_batch(
+                block, num_candidates, top_images=top_images,
+                profile=profile))
+            if profile is not None:
+                profile.record_request(time.perf_counter() - t0,
+                                       len(block), len(blocks) - i)
+        if profile is not None:
+            profile.queries += len(stream)
+            if self.cache is not None:
+                profile.note_cache(self.cache.stats)
+            profile.heartbeats = self.registry.snapshot()
+        return results
+
+    # -- introspection -------------------------------------------------------
+
+    def gather_stats(self, profile=None) -> Dict[int, Dict[str, Any]]:
+        """Per-worker cache/pool/planner counters from live shards."""
+        parts = self._scatter_gather({"op": "stats"})
+        stats = {sid: {key: value for key, value in reply.items()
+                       if key != "seconds"}
+                 for sid, reply in parts.items()}
+        if profile is not None:
+            profile.shard_stats = stats
+            profile.heartbeats = self.registry.snapshot()
+        return stats

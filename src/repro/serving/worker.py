@@ -1,0 +1,211 @@
+"""The shard worker: one forked process serving canonical partials.
+
+Work crosses the fork boundary the same way the parallel runner and
+bulk loader do it (see :mod:`repro.storage.fork`): the coordinator
+stashes shared state in the module-global ``_FORK_STATE``, forks one
+child per shard, and each child finds its tree, socket, and the reduced
+vector matrix in its copy-on-write copy.  The first thing a child does
+is :func:`reopen_files` — the inherited descriptors share their file
+offset with the parent and every sibling, and a long-running daemon is
+exactly the workload that would hit that race.
+
+Each worker owns its serving stack outright: a
+:class:`~repro.storage.buffer.BufferPool` over the shard's page file, a
+:class:`~repro.blobworld.cache.QueryResultCache` of finished partials,
+and a :class:`~repro.gist.planner.QueryPlanner` that routes each miss
+batch between the shard tree and a flat scan of the shard's vectors.
+Requests and replies are dicts over the length-prefixed framing of
+:mod:`repro.serving.protocol`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.blobworld.cache import QueryResultCache
+from repro.serving.partials import canonical_knn_batch, pack_partials
+from repro.serving.protocol import ConnectionClosed, recv_msg, send_msg
+from repro.storage.buffer import BufferPool
+from repro.storage.fork import reopen_files
+
+#: shared state a forked worker reads back, keyed by the coordinator:
+#: ``shards`` (shard_id -> dict with tree / conn / lo / hi), ``reduced``
+#: (the full reduced vector matrix), ``config`` (cache/pool sizing).
+_FORK_STATE: Dict[str, Any] = {}
+
+
+class ShardServer:
+    """Request handling for one shard, transport-agnostic.
+
+    The forked daemon loop and the in-process fallback shards both
+    drive :meth:`handle`, so degraded-mode tests and fork-free
+    platforms exercise the same code path as the real daemon.
+    """
+
+    def __init__(self, shard_id: int, tree, reduced: np.ndarray,
+                 lo: int, hi: int, cache_size: int = 2048,
+                 pool_pages: int = 256, page_size: Optional[int] = None):
+        from repro.ams.flatfile import FlatFile
+        from repro.gist.planner import QueryPlanner
+
+        self.shard_id = shard_id
+        self.tree = tree
+        if pool_pages:
+            tree.store = BufferPool(tree.store, pool_pages)
+        #: the full reduced matrix — query blobs are global ids, and a
+        #: query may name a blob another shard owns.
+        self.reduced = reduced
+        self.lo = lo
+        self.hi = hi
+        # The shard's flat-scan comparator carries *global* rids, so
+        # scan-routed partials merge identically to tree-routed ones.
+        self.flat = FlatFile(
+            reduced[lo:hi], rids=np.arange(lo, hi),
+            **({"page_size": page_size} if page_size else {}))
+        self.planner = QueryPlanner(tree, self.flat)
+        self.cache = QueryResultCache(cache_size)
+        self.requests = 0
+        self.plans_tree = 0
+        self.plans_scan = 0
+        self.seconds = 0.0
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        op = msg.get("op")
+        t0 = time.perf_counter()
+        if op == "ping":
+            reply: Dict[str, Any] = {"ok": True, "shard": self.shard_id}
+        elif op == "knn":
+            reply = self._handle_knn(msg)
+        elif op == "am":
+            reply = self._handle_am(msg)
+        elif op == "stats":
+            reply = self.stats()
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        elapsed = time.perf_counter() - t0
+        self.requests += 1
+        self.seconds += elapsed
+        reply["seconds"] = elapsed
+        return reply
+
+    def _handle_knn(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        queries = np.asarray(msg["queries"], dtype=np.float64)
+        k = int(msg["k"])
+        hits = canonical_knn_batch(self.tree, queries, k,
+                                   block_size=msg.get("block_size"))
+        dists, rids = pack_partials(hits, k)
+        return {"dists": dists, "rids": rids}
+
+    def _handle_am(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        """Stage-one partials for a block of two-stage queries.
+
+        ``blobs`` are global blob ids; ``fetch`` is the candidate count
+        per shard (the coordinator already applied lossy overscan).
+        Finished partials are cached per (blob, dims, fetch); repeats
+        within one block compute once, exactly like the engine's
+        batch-level dedup.
+        """
+        blobs = [int(b) for b in msg["blobs"]]
+        fetch = int(msg["fetch"])
+        dims = int(msg["dims"])
+        rows: List[Optional[List[Tuple[float, int]]]] = [None] * len(blobs)
+        misses: List[int] = []
+        pending: Dict[tuple, int] = {}
+        duplicates: List[Tuple[int, int]] = []
+        for i, blob in enumerate(blobs):
+            key = (blob, dims, fetch, -1)
+            if key in pending:
+                duplicates.append((i, pending[key]))
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                rows[i] = [tuple(h) for h in hit]
+            else:
+                pending[key] = i
+                misses.append(i)
+        if misses:
+            vecs = self.reduced[[blobs[i] for i in misses]]
+            plan = self.planner.plan_batch(len(misses), fetch)
+            if plan.choice == "scan":
+                self.plans_scan += 1
+                # The flat scan's stable argsort breaks ties by
+                # position — ascending global rid — so its rows are
+                # already canonical.
+                computed = self.flat.knn_batch(vecs, fetch)
+            else:
+                self.plans_tree += 1
+                computed = canonical_knn_batch(
+                    self.tree, vecs, fetch,
+                    block_size=msg.get("block_size"))
+            for i, hits in zip(misses, computed):
+                rows[i] = hits
+                self.cache.put((blobs[i], dims, fetch, -1),
+                               tuple(tuple(h) for h in hits))
+        for i, j in duplicates:
+            rows[i] = rows[j]
+        dists, rids = pack_partials([row or [] for row in rows], fetch)
+        return {"dists": dists, "rids": rids}
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache, buffer-pool, and planner counters, JSON-ready."""
+        cache = self.cache.stats
+        out: Dict[str, Any] = {
+            "shard": self.shard_id,
+            "requests": self.requests,
+            "busy_seconds": round(self.seconds, 4),
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "hit_rate": round(cache.hit_rate, 4),
+            },
+            "plans": {"tree": self.plans_tree, "scan": self.plans_scan},
+        }
+        pool = getattr(self.tree.store, "stats", None)
+        if pool is not None:
+            out["pool"] = {
+                "hits": pool.hits,
+                "misses": pool.misses,
+                "evictions": pool.evictions,
+                "hit_rate": round(pool.hit_rate, 4),
+            }
+        return out
+
+
+def _worker_main(shard_id: int) -> None:
+    """Daemon entry point for one forked shard worker.
+
+    Reads its shard out of :data:`_FORK_STATE`, reopens the inherited
+    store descriptors, and answers framed requests until an ``exit``
+    op or a closed socket.  A request that raises is answered with an
+    ``error`` reply instead of killing the daemon — the coordinator
+    decides whether that is fatal.
+    """
+    shard = _FORK_STATE["shards"][shard_id]
+    config = _FORK_STATE.get("config", {})
+    conn = shard["conn"]
+    reopen_files(shard["tree"].store)
+    server = ShardServer(
+        shard_id, shard["tree"], _FORK_STATE["reduced"],
+        lo=shard["lo"], hi=shard["hi"],
+        cache_size=config.get("worker_cache", 2048),
+        pool_pages=config.get("pool_pages", 256))
+    while True:
+        try:
+            msg = recv_msg(conn)
+        except ConnectionClosed:
+            break
+        if msg.get("op") == "exit":
+            send_msg(conn, {"ok": True})
+            break
+        try:
+            reply = server.handle(msg)
+        except Exception as exc:
+            reply = {"error": f"{type(exc).__name__}: {exc}"}
+        send_msg(conn, reply)
+    conn.close()

@@ -10,7 +10,8 @@ from repro.workload.generator import NNWorkload, make_workload
 from repro.workload.runner import (run_workload, run_workload_batched,
                                    WorkloadResult)
 from repro.workload.bench import (format_bench, format_serve_bench,
-                                  run_bench, run_serve_bench)
+                                  format_shard_bench, run_bench,
+                                  run_serve_bench, run_shard_bench)
 from repro.workload.recall import recall, recall_curve, RecallPoint
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "format_bench",
     "run_serve_bench",
     "format_serve_bench",
+    "run_shard_bench",
+    "format_shard_bench",
     "WorkloadResult",
     "recall",
     "recall_curve",

@@ -160,6 +160,7 @@ def run_serve_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
                     distinct_fraction: float = 0.25,
                     cache_size: int = 4096,
                     block_size: Optional[int] = None,
+                    request_size: int = 64,
                     seed: int = 0, workdir: Optional[str] = None) -> Dict:
     """Time the end-to-end two-stage serving pipeline, three ways.
 
@@ -170,11 +171,15 @@ def run_serve_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
     :meth:`~repro.blobworld.query.BlobworldEngine.am_query` per request
     over a pread store, no cache; (2) the batched pipeline over the same
     pread store; (3) the batched pipeline over an mmap store with a
-    result cache — the full serving layer.  All three must return
-    identical image lists per query; like :func:`run_bench`, a parity
-    failure is recorded (``parity_ok``), not raised, so callers can
-    fail after writing the evidence.  ``speedup`` is baseline over the
-    full serving configuration.
+    result cache — the full serving layer, dispatched in request blocks
+    of ``request_size`` queries so every block yields one latency
+    sample.  All three must return identical image lists per query;
+    like :func:`run_bench`, a parity failure is recorded
+    (``parity_ok``), not raised, so callers can fail after writing the
+    evidence.  ``speedup`` is baseline over the full serving
+    configuration.  Rows carry p50/p95/p99 latency for the sequential
+    baseline (per query) and the serving configuration (per request
+    block), directly comparable against the sharded daemon's tails.
     """
     from repro.amdb.profiler import ServeProfile
     from repro.blobworld import BlobworldEngine, QueryResultCache, \
@@ -197,7 +202,8 @@ def run_serve_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
                 method, corpus, vectors, stream,
                 num_candidates=num_candidates, dims=dims,
                 page_size=page_size, cache_size=cache_size,
-                block_size=block_size, base=base,
+                block_size=block_size, request_size=request_size,
+                base=base,
                 profile_cls=ServeProfile, engine_cls=BlobworldEngine,
                 cache_cls=QueryResultCache))
 
@@ -212,6 +218,7 @@ def run_serve_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
             "distinct_queries": len(pool),
             "cache_size": cache_size,
             "block_size": block_size,
+            "request_size": request_size,
             "seed": seed,
         },
         "methods": results,
@@ -223,8 +230,11 @@ def run_serve_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
 def _serve_bench_method(method: str, corpus, vectors: np.ndarray,
                         stream: List[int], num_candidates: int, dims: int,
                         page_size: int, cache_size: int,
-                        block_size: Optional[int], base: str,
+                        block_size: Optional[int], request_size: int,
+                        base: str,
                         profile_cls, engine_cls, cache_cls) -> Dict:
+    from repro.amdb.profiler import latency_percentiles
+
     ext = make_extension(method, vectors.shape[1])
     trees = {}
     for mode in ("pread", "mmap"):
@@ -237,9 +247,14 @@ def _serve_bench_method(method: str, corpus, vectors: np.ndarray,
                                 store=store)
 
     baseline = engine_cls(corpus)
+    seq_latencies: List[float] = []
+    reference = []
     t0 = time.perf_counter()
-    reference = [baseline.am_query(trees["pread"], q, num_candidates, dims)
-                 for q in stream]
+    for q in stream:
+        tq = time.perf_counter()
+        reference.append(baseline.am_query(trees["pread"], q,
+                                           num_candidates, dims))
+        seq_latencies.append(time.perf_counter() - tq)
     seq_seconds = time.perf_counter() - t0
 
     batch_profile = profile_cls(tree_name=method, store_mode="pread",
@@ -251,14 +266,22 @@ def _serve_bench_method(method: str, corpus, vectors: np.ndarray,
         block_size=block_size, profile=batch_profile)
     batch_profile.total_seconds = time.perf_counter() - t0
 
+    # The serving configuration dispatches the stream the way a daemon
+    # would accept it — request blocks — so each block's wall time is
+    # one latency sample for the percentile summary.
     cache = cache_cls(cache_size)
     serve_profile = profile_cls(tree_name=method, store_mode="mmap",
                                 queries=len(stream))
     serve_engine = engine_cls(corpus, cache=cache)
+    served: List[List[int]] = []
     t0 = time.perf_counter()
-    served = serve_engine.am_query_batch(
-        trees["mmap"], stream, num_candidates, dims,
-        block_size=block_size, profile=serve_profile)
+    for start in range(0, len(stream), request_size):
+        tq = time.perf_counter()
+        served.extend(serve_engine.am_query_batch(
+            trees["mmap"], stream[start:start + request_size],
+            num_candidates, dims,
+            block_size=block_size, profile=serve_profile))
+        serve_profile.record_latency(time.perf_counter() - tq)
     serve_profile.total_seconds = time.perf_counter() - t0
     serve_profile.note_cache(cache.stats)
 
@@ -269,10 +292,12 @@ def _serve_bench_method(method: str, corpus, vectors: np.ndarray,
         "method": method,
         "seq_seconds": round(seq_seconds, 4),
         "seq_qps": round(len(stream) / seq_seconds, 2),
+        "seq_latency_ms": latency_percentiles(seq_latencies),
         "batch_seconds": round(batch_profile.total_seconds, 4),
         "batch_qps": round(len(stream) / batch_profile.total_seconds, 2),
         "serve_seconds": round(serve_profile.total_seconds, 4),
         "serve_qps": round(len(stream) / serve_profile.total_seconds, 2),
+        "serve_latency_ms": latency_percentiles(serve_profile.latencies),
         "speedup": round(seq_seconds / serve_profile.total_seconds, 2),
         "speedup_batch_only": round(
             seq_seconds / batch_profile.total_seconds, 2),
@@ -306,6 +331,265 @@ def format_serve_bench(result: Dict) -> str:
                 f"{name} {seconds:.2f}s"
                 for name, seconds in stages.items())
             + f"; cache hit rate {row['cache_hit_rate']:.0%}")
+        seq_lat, serve_lat = row["seq_latency_ms"], row["serve_latency_ms"]
+        if seq_lat and serve_lat:
+            lines.append(
+                f"    latency ms: seq p50/p95/p99 "
+                f"{seq_lat['p50_ms']}/{seq_lat['p95_ms']}"
+                f"/{seq_lat['p99_ms']}; serve blocks "
+                f"{serve_lat['p50_ms']}/{serve_lat['p95_ms']}"
+                f"/{serve_lat['p99_ms']}")
+    return "\n".join(lines)
+
+
+# -- sharded serving benchmark ------------------------------------------------
+
+#: every AM family the parity gate must hold for
+ALL_FAMILIES = ("rtree", "rstar", "sstree", "srtree", "amap", "jb", "xjb")
+
+
+def run_shard_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
+                    num_candidates: int = NEIGHBORS_PER_QUERY,
+                    method: str = "rtree",
+                    parity_methods: Sequence[str] = ALL_FAMILIES,
+                    dims: int = INDEX_DIMENSIONS,
+                    page_size: int = DEFAULT_PAGE_SIZE,
+                    shards_list: Sequence[int] = (1, 2, 4),
+                    parity_shards: int = 2,
+                    parity_queries: int = 128,
+                    request_size: int = 64,
+                    distinct_fraction: float = 0.25,
+                    cache_size: int = 4096,
+                    seed: int = 0, workdir: Optional[str] = None) -> Dict:
+    """Benchmark the sharded serving daemon, three phases.
+
+    **Parity**: for every AM family, a ``parity_shards``-way
+    :class:`~repro.serving.coordinator.ShardedService` answers the same
+    query block as an unsharded tree — merged canonical k-NN must be
+    bit-identical to the unsharded canonical answer, and the two-stage
+    image lists must match the unsharded
+    :meth:`~repro.blobworld.query.BlobworldEngine.am_query_batch`
+    baseline; an sq8 row checks the quantized path for ``method``.
+
+    **Scaling**: the full ``num_queries`` stream is served at each
+    shard count in ``shards_list`` and compared against one
+    single-process ``am_query_batch`` over an unsharded tree, with
+    p50/p95/p99 request latency and queue depth per point.
+
+    **Degradation**: one worker is killed mid-run; the remaining
+    shards must answer (degraded, with a
+    :class:`~repro.gist.degrade.DegradationReport`) rather than raise.
+
+    Failures are recorded (``parity_ok`` / ``throughput_ok`` /
+    ``degraded_ok``), not raised, so callers can fail after writing
+    the evidence.
+    """
+    from repro.amdb.profiler import ShardServeProfile
+    from repro.blobworld import BlobworldEngine, QueryResultCache, \
+        build_corpus
+    from repro.serving import ShardedService, canonical_knn_batch
+
+    corpus = build_corpus(num_blobs=num_blobs,
+                          num_images=max(1, num_blobs // 6), seed=seed)
+    vectors = corpus.reduced(dims)
+    rng = np.random.default_rng(seed + 2)
+    pool = rng.choice(num_blobs,
+                      size=max(1, int(distinct_fraction * num_queries)),
+                      replace=False)
+    stream = [int(b) for b in rng.choice(pool, size=num_queries)]
+    parity_stream = [int(b) for b in
+                     rng.choice(num_blobs, size=parity_queries,
+                                replace=False)]
+    knn_queries = vectors[parity_stream[:min(32, len(parity_stream))]]
+
+    out: Dict = {
+        "bench": "shard_serve",
+        "config": {
+            "num_blobs": num_blobs,
+            "num_queries": num_queries,
+            "num_candidates": num_candidates,
+            "method": method,
+            "dims": dims,
+            "page_size": page_size,
+            "shards_list": list(shards_list),
+            "parity_shards": parity_shards,
+            "parity_queries": parity_queries,
+            "request_size": request_size,
+            "distinct_queries": len(pool),
+            "cache_size": cache_size,
+            "seed": seed,
+        },
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = workdir if workdir is not None else tmp
+
+        # -- phase 1: parity across every family -----------------------------
+        parity_rows: List[Dict] = []
+        parity_cases = [(fam, "f64") for fam in parity_methods]
+        parity_cases.append((method, "sq8"))
+        for fam, codec in parity_cases:
+            ext = make_extension(fam, dims)
+            store = FilePageFile.for_extension(
+                os.path.join(base, f"shardref_{fam}_{codec}.pages"), ext,
+                page_size=page_size, leaf_codec=codec)
+            ref_tree = bulk_load(ext, vectors, page_size=page_size,
+                                 store=store)
+            engine = BlobworldEngine(corpus)
+            ref_images = engine.am_query_batch(
+                ref_tree, parity_stream, num_candidates, dims)
+            ref_knn = (canonical_knn_batch(ref_tree, knn_queries,
+                                           num_candidates)
+                       if codec == "f64" else None)
+            parity_dir = os.path.join(base, f"parity_{fam}_{codec}")
+            os.makedirs(parity_dir, exist_ok=True)
+            service = ShardedService.build(
+                corpus, parity_shards, method=fam, dims=dims,
+                page_size=page_size, codec=codec,
+                workdir=parity_dir, cache_size=0)
+            with service:
+                got_images = service.am_query_batch(parity_stream,
+                                                    num_candidates)
+                knn_ok = True
+                if ref_knn is not None:
+                    knn_ok = service.knn_batch(
+                        knn_queries, num_candidates) == ref_knn
+            store.close()
+            parity_rows.append({
+                "method": fam,
+                "codec": codec,
+                "images_ok": got_images == ref_images,
+                "knn_ok": knn_ok,
+                "parity_ok": knn_ok and got_images == ref_images,
+            })
+        out["parity"] = parity_rows
+        out["parity_ok"] = all(r["parity_ok"] for r in parity_rows)
+
+        # -- phase 2: scaling ------------------------------------------------
+        ext = make_extension(method, dims)
+        store = FilePageFile.for_extension(
+            os.path.join(base, f"shardbase_{method}.pages"), ext,
+            page_size=page_size)
+        base_tree = bulk_load(ext, vectors, page_size=page_size,
+                              store=store)
+        base_engine = BlobworldEngine(corpus,
+                                      cache=QueryResultCache(cache_size))
+        t0 = time.perf_counter()
+        baseline_images = base_engine.am_query_batch(
+            base_tree, stream, num_candidates, dims)
+        baseline_seconds = time.perf_counter() - t0
+        store.close()
+        out["baseline"] = {
+            "seconds": round(baseline_seconds, 4),
+            "qps": round(len(stream) / baseline_seconds, 2),
+        }
+
+        scaling_rows: List[Dict] = []
+        for num_shards in shards_list:
+            shard_dir = os.path.join(base, f"scale_{num_shards}")
+            os.makedirs(shard_dir, exist_ok=True)
+            service = ShardedService.build(
+                corpus, num_shards, method=method, dims=dims,
+                page_size=page_size, workdir=shard_dir,
+                cache_size=cache_size)
+            profile = ShardServeProfile(
+                method=method, codec="f64", num_shards=num_shards,
+                request_size=request_size)
+            with service:
+                t0 = time.perf_counter()
+                served = service.serve_stream(
+                    stream, num_candidates, request_size=request_size,
+                    profile=profile)
+                profile.total_seconds = time.perf_counter() - t0
+                service.gather_stats(profile)
+            seconds = profile.total_seconds
+            scaling_rows.append({
+                "shards": num_shards,
+                "seconds": round(seconds, 4),
+                "qps": round(len(stream) / seconds, 2),
+                "speedup_vs_single": round(baseline_seconds / seconds, 2),
+                "parity_ok": served == baseline_images,
+                "latency_ms": profile.as_dict()["latency_ms"],
+                "queue_depth": profile.as_dict()["queue_depth"],
+                "degraded_requests": profile.degraded_requests,
+                "profile": profile.as_dict(),
+            })
+        out["scaling"] = scaling_rows
+        out["parity_ok"] = out["parity_ok"] \
+            and all(r["parity_ok"] for r in scaling_rows)
+        out["throughput_ok"] = any(
+            r["shards"] >= 2 and r["speedup_vs_single"] > 1.0
+            for r in scaling_rows)
+
+        # -- phase 3: degraded answers, not exceptions -----------------------
+        kill_dir = os.path.join(base, "kill")
+        os.makedirs(kill_dir, exist_ok=True)
+        service = ShardedService.build(
+            corpus, max(2, parity_shards), method=method, dims=dims,
+            page_size=page_size, workdir=kill_dir, cache_size=0)
+        degraded_row: Dict = {"ok": False}
+        with service:
+            service.am_query_batch(stream[:request_size], num_candidates)
+            service.kill_shard(0)
+            try:
+                answers = service.am_query_batch(
+                    parity_stream[:request_size], num_candidates)
+                degraded_row = {
+                    "ok": service.degradation.is_degraded
+                    and len(answers) == min(request_size,
+                                            len(parity_stream)),
+                    "degraded_requests": service.degraded_requests,
+                    "summary": service.degradation.summary(),
+                    "heartbeats": service.registry.snapshot(),
+                }
+            except Exception as exc:
+                degraded_row = {"ok": False,
+                                "error": f"{type(exc).__name__}: {exc}"}
+        out["degraded"] = degraded_row
+        out["degraded_ok"] = bool(degraded_row["ok"])
+
+    return out
+
+
+def format_shard_bench(result: Dict) -> str:
+    """A fixed-width console table of one :func:`run_shard_bench`
+    result."""
+    cfg = result["config"]
+    lines = [
+        f"{cfg['num_queries']} queries ({cfg['distinct_queries']} distinct) "
+        f"x {cfg['num_candidates']} candidates over {cfg['num_blobs']} "
+        f"blobs ({cfg['dims']}D), request blocks of "
+        f"{cfg['request_size']}",
+        f"parity at {cfg['parity_shards']} shards "
+        f"({cfg['parity_queries']} queries):",
+    ]
+    for row in result["parity"]:
+        lines.append(
+            f"  {row['method']:<8} {row['codec']:<5} "
+            f"knn {'ok' if row['knn_ok'] else 'FAIL'}, "
+            f"images {'ok' if row['images_ok'] else 'FAIL'}")
+    baseline = result["baseline"]
+    lines.append(
+        f"single-process baseline ({cfg['method']}): "
+        f"{baseline['seconds']:.2f}s, {baseline['qps']:.1f} q/s")
+    lines.append(
+        f"{'shards':>7} {'secs':>8} {'q/s':>9} {'speedup':>8} "
+        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'depth':>6} "
+        f"{'parity':>7}")
+    for row in result["scaling"]:
+        lat = row["latency_ms"]
+        lines.append(
+            f"{row['shards']:>7} {row['seconds']:>8.2f} "
+            f"{row['qps']:>9.1f} {row['speedup_vs_single']:>7.2f}x "
+            f"{lat.get('p50_ms', 0):>8.1f} {lat.get('p95_ms', 0):>8.1f} "
+            f"{lat.get('p99_ms', 0):>8.1f} "
+            f"{row['queue_depth']['max']:>6} "
+            f"{'ok' if row['parity_ok'] else 'FAIL':>7}")
+    degraded = result["degraded"]
+    lines.append(
+        f"kill-one-worker: "
+        f"{'degraded answer ok' if degraded['ok'] else 'FAIL'}"
+        + (f" ({degraded.get('error')})" if degraded.get("error") else ""))
     return "\n".join(lines)
 
 

@@ -37,6 +37,7 @@ POSITIVE = [
     ("REP102", ["geometry/bad_rng.py"], 2),
     ("REP201", ["workload/runner.py"], 1),
     ("REP202", ["workload/runner.py"], 2),
+    ("REP203", ["serving/bad_daemon.py"], 2),
     ("REP104", ["gist/mutable.py"], 2),
     ("REP301", ["storage/bad_except.py"], 2),
     ("REP302", ["storage/bad_raise.py"], 3),
@@ -49,6 +50,7 @@ NEGATIVE = [
     ("REP102", ["geometry/good_rng.py"]),
     ("REP201", ["bulk/loader.py"]),
     ("REP202", ["bulk/loader.py"]),
+    ("REP203", ["serving/good_daemon.py"]),
     ("REP104", ["gist/tree.py"]),
     ("REP301", ["storage/good_except.py"]),
     ("REP302", ["storage/good_raise.py"]),

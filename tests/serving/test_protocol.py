@@ -1,0 +1,129 @@
+"""Framing: roundtrips, torn streams, and foreign bytes.
+
+The framing's one job is converting worker death into
+:class:`ConnectionClosed` instead of unpickling garbage, so the
+failure-path tests matter more than the happy path.
+"""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving.protocol import (MAX_PAYLOAD, ConnectionClosed,
+                                    ProtocolError, recv_msg, send_msg)
+
+
+def roundtrip(obj):
+    a, b = socket.socketpair()
+    try:
+        send_msg(a, obj)
+        return recv_msg(b)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestRoundtrip:
+    def test_plain_dict(self):
+        msg = {"op": "ping", "shard": 3}
+        assert roundtrip(msg) == msg
+
+    def test_numpy_payload_survives_bit_exact(self):
+        rng = np.random.default_rng(0)
+        dists = rng.random((7, 5))
+        rids = rng.integers(0, 1000, size=(7, 5))
+        got = roundtrip({"dists": dists, "rids": rids})
+        np.testing.assert_array_equal(got["dists"], dists)
+        np.testing.assert_array_equal(got["rids"], rids)
+        assert got["dists"].dtype == dists.dtype
+
+    def test_large_frame_crosses_socket_buffer(self):
+        # Bigger than any socketpair buffer: exercises the partial-read
+        # loop in _recv_exact and the blocking sendall.
+        payload = np.arange(300_000, dtype=np.float64)
+        a, b = socket.socketpair()
+        try:
+            out = {}
+            reader = threading.Thread(
+                target=lambda: out.update(msg=recv_msg(b)))
+            reader.start()
+            send_msg(a, {"vec": payload})
+            reader.join()
+        finally:
+            a.close()
+            b.close()
+        np.testing.assert_array_equal(out["msg"]["vec"], payload)
+
+    def test_many_frames_in_order(self):
+        a, b = socket.socketpair()
+        try:
+            for i in range(10):
+                send_msg(a, {"i": i})
+            assert [recv_msg(b)["i"] for i in range(10)] == list(range(10))
+        finally:
+            a.close()
+            b.close()
+
+
+class TestDeath:
+    def test_eof_before_header_is_connection_closed(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            with pytest.raises(ConnectionClosed):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_torn_frame_is_connection_closed(self):
+        # A valid header promising 100 payload bytes, but the worker
+        # died after 10: the reader must see ConnectionClosed, not
+        # attempt to unpickle the fragment.
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">2sBBI", b"RS", 1, 0, 100)
+                      + b"\x00" * 10)
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_partial_header_is_connection_closed(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"RS\x01")
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                recv_msg(b)
+        finally:
+            b.close()
+
+
+class TestForeignBytes:
+    def _recv_raw(self, raw):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(raw)
+            return recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            self._recv_raw(struct.pack(">2sBBI", b"XX", 1, 0, 4) + b"0000")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            self._recv_raw(struct.pack(">2sBBI", b"RS", 9, 0, 4) + b"0000")
+
+    def test_absurd_length_rejected_before_read(self):
+        # The length check fires on the header alone — no payload
+        # needs to arrive for the reader to bail out.
+        with pytest.raises(ProtocolError, match="cap"):
+            self._recv_raw(
+                struct.pack(">2sBBI", b"RS", 1, 0, MAX_PAYLOAD + 1))

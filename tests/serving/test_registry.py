@@ -1,0 +1,89 @@
+"""Heartbeat state machine: live -> expired -> revived, dead is dead.
+
+The clock is injected so the expiry arithmetic runs without sleeping.
+"""
+
+import pytest
+
+from repro.serving.registry import DEAD, EXPIRED, LIVE, ShardRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    reg = ShardRegistry(ttl=10.0, clock=clock)
+    reg.register(0, 0, 500)
+    reg.register(1, 500, 1000)
+    return reg
+
+
+class TestStates:
+    def test_fresh_registration_is_live(self, registry):
+        assert registry.states() == {0: LIVE, 1: LIVE}
+        assert registry.live() == [0, 1]
+
+    def test_silence_past_ttl_expires(self, registry, clock):
+        clock.now += 10.1
+        assert registry.state(0) == EXPIRED
+        assert registry.live() == []
+
+    def test_beat_keeps_a_shard_live(self, registry, clock):
+        clock.now += 8.0
+        registry.beat(0)
+        clock.now += 8.0
+        assert registry.state(0) == LIVE
+        assert registry.state(1) == EXPIRED
+        assert registry.live() == [0]
+
+    def test_beat_revives_an_expired_shard(self, registry, clock):
+        clock.now += 20.0
+        assert registry.state(1) == EXPIRED
+        registry.beat(1)
+        assert registry.state(1) == LIVE
+
+    def test_dead_is_terminal(self, registry, clock):
+        registry.mark_dead(0, cause="broken pipe")
+        registry.beat(0)  # no-op: the transport is gone
+        assert registry.state(0) == DEAD
+        clock.now += 100.0
+        assert registry.state(0) == DEAD
+        assert registry.record(0).cause == "broken pipe"
+
+    def test_beats_are_counted(self, registry):
+        for _ in range(3):
+            registry.beat(0)
+        assert registry.record(0).beats == 3
+        assert registry.record(1).beats == 0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_ready(self, registry, clock):
+        registry.beat(0)
+        clock.now += 11.0
+        registry.mark_dead(1, cause="killed")
+        snap = registry.snapshot()
+        assert snap[0]["state"] == EXPIRED
+        assert snap[0]["rid_range"] == [0, 500]
+        assert snap[0]["beats"] == 1
+        assert snap[0]["age_seconds"] == pytest.approx(11.0)
+        assert snap[1]["state"] == DEAD
+        assert snap[1]["cause"] == "killed"
+
+    def test_rejects_nonpositive_ttl(self):
+        with pytest.raises(ValueError):
+            ShardRegistry(ttl=0)
+
+    def test_len_counts_registered_shards(self, registry):
+        assert len(registry) == 2

@@ -33,7 +33,7 @@ class TestSubpackageAll:
     @pytest.mark.parametrize("module", [
         "repro.geometry", "repro.storage", "repro.gist", "repro.ams",
         "repro.core", "repro.bulk", "repro.amdb", "repro.blobworld",
-        "repro.workload",
+        "repro.workload", "repro.serving",
     ])
     def test_all_lists_resolve(self, module):
         mod = importlib.import_module(module)
@@ -45,7 +45,7 @@ class TestSubpackageAll:
         for module in ("repro.geometry", "repro.gist", "repro.core",
                        "repro.amdb", "repro.blobworld",
                        "repro.workload", "repro.storage", "repro.ams",
-                       "repro.bulk"):
+                       "repro.bulk", "repro.serving"):
             mod = importlib.import_module(module)
             for name in getattr(mod, "__all__", []):
                 obj = getattr(mod, name)
