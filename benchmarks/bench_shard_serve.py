@@ -1,14 +1,18 @@
-"""Sharded serving daemon: scatter-gather parity, tails, degradation.
+"""Sharded serving daemon: transport matrix, parity, tails, degradation.
 
 Runs the three-phase shard bench (:func:`repro.workload.bench.
 run_shard_bench`): a per-AM-family parity gate at two shards (merged
 scatter-gather answers must be bit-identical to the unsharded
-baseline), a 1/2/4-shard scaling sweep with p50/p95/p99 request latency
-and queue depth, and a kill-one-worker trial that must produce a
-degraded answer rather than an exception.  Results land in
-``benchmarks/results/BENCH_shard_serve.json``.  Parity and degraded
-behavior are contracts and assert; speedup is recorded, not asserted —
-wall-clock on shared CI machines is advice.
+baseline), a shards x transport x window scaling matrix — framed
+pickle socket vs shared-memory slot rings, serial vs pipelined
+dispatch — with p50/p95/p99 request latency, queue depth, and the
+shm/pickled/control byte split per cell, and a kill-one-worker trial
+under the widest window that must produce a degraded answer rather
+than an exception and must not leak a single shm segment.  Results
+land in ``benchmarks/results/BENCH_shard_serve.json``.  Parity,
+degraded behavior, segment hygiene, and the zero-copy invariant (shm
+rows pickle zero hot-path bytes) are contracts and assert; speedup is
+recorded, not asserted — wall-clock on shared CI machines is advice.
 """
 
 import json
@@ -25,6 +29,8 @@ def test_shard_serve_parity_tails_and_degradation(profile):
         num_queries=profile.num_queries,
         num_candidates=min(NEIGHBORS_PER_QUERY, profile.neighbors),
         page_size=profile.page_size,
+        transports=("framed", "shm"),
+        windows=(1, 4),
         parity_queries=min(128, profile.num_queries))
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_shard_serve.json").write_text(
@@ -35,6 +41,13 @@ def test_shard_serve_parity_tails_and_degradation(profile):
         + ", ".join(f"{row['method']}/{row['codec']}"
                     for row in result["parity"]
                     if not row["parity_ok"]))
+    assert result["zero_copy_ok"], (
+        "an shm scaling row pickled hot-path bytes: "
+        + str([(r["shards"], r["window"], r["transport_bytes"])
+               for r in result["scaling"] if r["transport"] == "shm"]))
     assert result["degraded_ok"], (
-        "killing one shard worker did not yield a degraded answer: "
-        + str(result["degraded"]))
+        "killing one shard worker did not yield a degraded answer, "
+        "or shm segments leaked: " + str(result["degraded"]))
+    assert not result["degraded"]["leaked_segments"], (
+        "shm segments survived service close: "
+        + str(result["degraded"]["leaked_segments"]))

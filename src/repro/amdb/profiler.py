@@ -262,9 +262,20 @@ class ShardServeProfile:
     codec: str = "f64"
     num_shards: int = 0
     request_size: int = 0
+    #: transport the run actually used (``shm`` / ``framed`` /
+    #: ``mixed`` / ``inline``) and its in-flight block window.
+    transport: str = ""
+    window: int = 1
     queries: int = 0
     total_seconds: float = 0.0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: array/control bytes by transport class (``shm`` bytes rode the
+    #: rings, ``pickled`` went through pickle, ``control`` is framing);
+    #: in shm mode the zero-copy gate asserts ``pickled == 0``.
+    transport_bytes: Dict[str, int] = field(default_factory=dict)
+    #: coordinator finish work (merge/refine/rerank) done while other
+    #: request blocks were still in flight on the workers.
+    overlap_seconds: float = 0.0
     #: per-request wall times (seconds), sizes, and queue depths —
     #: parallel lists, one entry per request block
     request_latencies: List[float] = field(default_factory=list)
@@ -277,6 +288,9 @@ class ShardServeProfile:
     #: registry snapshot (liveness state per shard) at run end
     heartbeats: Dict[int, Dict] = field(default_factory=dict)
     degraded_requests: int = 0
+    #: queries that rode an older in-flight block computing the same
+    #: key instead of re-scattering (pipelined request coalescing)
+    coalesced: int = 0
     #: coordinator-level result-cache counters
     cache_hits: int = 0
     cache_misses: int = 0
@@ -316,11 +330,17 @@ class ShardServeProfile:
             "codec": self.codec,
             "num_shards": self.num_shards,
             "request_size": self.request_size,
+            "transport": self.transport,
+            "window": self.window,
             "queries": self.queries,
             "requests": self.requests,
             "total_seconds": self.total_seconds,
             "stage_seconds": {k: float(v)
                               for k, v in sorted(self.stage_seconds.items())},
+            "transport_bytes": {k: int(v)
+                                for k, v in
+                                sorted(self.transport_bytes.items())},
+            "overlap_seconds": round(float(self.overlap_seconds), 4),
             "latency_ms": latency_percentiles(self.request_latencies),
             "queue_depth": {
                 "max": max(depths) if depths else 0,
@@ -334,6 +354,7 @@ class ShardServeProfile:
             "heartbeats": {str(k): v
                            for k, v in sorted(self.heartbeats.items())},
             "degraded_requests": self.degraded_requests,
+            "coalesced": self.coalesced,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.cache_hit_rate, 4),

@@ -57,6 +57,27 @@ class FlatFile:
         order = np.argsort(d, kind="stable")[:k]
         return [(float(d[i]), int(self.rids[i])) for i in order]
 
+    @staticmethod
+    def _topk_rows(d: np.ndarray, k: int) -> List[np.ndarray]:
+        """Per-row top-k *positions* in stable-argsort order.
+
+        Bit-identical to ``np.argsort(d, kind="stable")[:, :k]`` but
+        O(n) per row instead of O(n log n): ``argpartition`` finds the
+        k-th distance, and only the positions at or under that bound —
+        already in ascending position order from ``flatnonzero``, which
+        is exactly the stable tie order — get a real sort.
+        """
+        n = d.shape[1]
+        if k >= n:
+            return list(np.argsort(d, kind="stable", axis=-1))
+        bounds = np.partition(d, k - 1, axis=-1)[:, k - 1]
+        rows: List[np.ndarray] = []
+        for qi in range(d.shape[0]):
+            cand = np.flatnonzero(d[qi] <= bounds[qi])
+            rows.append(cand[np.argsort(d[qi, cand],
+                                        kind="stable")][:k])
+        return rows
+
     def knn_batch(self, queries, k: int) -> List[List[Tuple[float, int]]]:
         """k-NN for a block of queries off one shared scan.
 
@@ -67,6 +88,36 @@ class FlatFile:
         subtract/square/sum/sqrt expression per query and the same
         stable argsort tie order.
         """
+        d = self._scan_block(queries, k)
+        if d is None:
+            return [[] for _ in range(len(np.atleast_2d(queries)))]
+        return [[(float(d[qi, i]), int(self.rids[i])) for i in order]
+                for qi, order in enumerate(self._topk_rows(d, k))]
+
+    def knn_batch_arrays(self, queries,
+                         k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`knn_batch` as padded ``(dists, rids)`` arrays.
+
+        The serving wire format: ``(Q, k)`` float64 distances padded
+        with ``+inf`` and int64 rids padded with ``-1``, row for row
+        the same values and tie order as :meth:`knn_batch` without
+        materializing a tuple per hit — a shard worker answers a
+        scan-routed block straight into its reply buffers.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        out_d = np.full((len(queries), k), np.inf, dtype=np.float64)
+        out_r = np.full((len(queries), k), -1, dtype=np.int64)
+        d = self._scan_block(queries, k)
+        if d is None:
+            return out_d, out_r
+        for qi, order in enumerate(self._topk_rows(d, k)):
+            out_d[qi, :len(order)] = d[qi, order]
+            out_r[qi, :len(order)] = self.rids[order]
+        return out_d, out_r
+
+    def _scan_block(self, queries, k: int) -> Optional[np.ndarray]:
+        """The shared scan: one ``(Q, n)`` distance matrix, or None
+        when there is nothing to scan."""
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         queries = np.asarray(queries, dtype=np.float64)
@@ -74,12 +125,9 @@ class FlatFile:
             raise ValueError("queries must be a 2-D (q, dim) array")
         self.pages_read += self.num_pages
         if len(self.vectors) == 0 or len(queries) == 0:
-            return [[] for _ in range(len(queries))]
-        d = np.sqrt(((self.vectors[None, :, :] - queries[:, None, :]) ** 2)
-                    .sum(axis=-1))
-        orders = np.argsort(d, kind="stable", axis=-1)[:, :k]
-        return [[(float(d[qi, i]), int(self.rids[i])) for i in orders[qi]]
-                for qi in range(len(queries))]
+            return None
+        return np.sqrt(((self.vectors[None, :, :]
+                         - queries[:, None, :]) ** 2).sum(axis=-1))
 
     def scan_time_ms(self, model: Optional[DiskModel] = None) -> float:
         """Modeled wall time of one full scan."""

@@ -18,6 +18,8 @@ ID                severity  invariant
                             captured into fork state
 ``REP203``        error     serving daemon worker entrypoints reopen
                             file-backed stores after the fork
+``REP204``        error     serving hot paths never pickle numpy arrays;
+                            array payloads ride the shm/raw-buffer transport
 ``REP301``        error     no bare/broad ``except`` that swallows in
                             ``storage/`` and ``gist/``
 ``REP302``        error     storage paths raise ``StorageError`` subclasses,
@@ -386,6 +388,72 @@ class DaemonReopenRule(Rule):
                     f"reopen_files helper; a long-lived forked worker "
                     f"sharing the parent's file offset corrupts "
                     f"concurrent page reads")
+
+
+class HotPathPickleRule(Rule):
+    """REP204: serving hot paths must not pickle numpy arrays.
+
+    The zero-copy transport exists so array payloads — query blocks and
+    ``(distance, rid)`` partials — cross the process boundary as raw
+    bytes in a shared-memory slot, with the framed socket reduced to
+    control traffic.  A ``pickle`` call inside a per-block serving
+    function, or a ``send_msg`` handed a dict literal that carries
+    array-valued keys, reintroduces the copy-per-block tax the
+    transport was built to remove.  Control-plane pickling (the framed
+    channel's own ``send``, handshake/heartbeat frames, the sanctioned
+    overflow fallback) stays legal: it lives outside the hot-path
+    function names and never inlines array keys into a literal.
+    """
+
+    id = "REP204"
+    title = "serving hot paths must not pickle numpy arrays"
+    scopes = ("serving/",)
+
+    #: per-block serving functions: block handlers, scatter/gather and
+    #: pipeline stages, and the canonical partial pack/merge kernels.
+    _HOT_PREFIXES: Tuple[str, ...] = (
+        "_handle_", "_scatter", "_serve", "_dispatch", "_drain",
+        "_finish", "pack_", "merge_", "knn_", "am_query", "serve_")
+    _PICKLE_CALLS: Set[str] = {"pickle.dumps", "pickle.dump",
+                               "pickle.loads", "pickle.load"}
+    #: message keys that carry arrays on the wire by repo convention.
+    _ARRAY_KEYS: Set[str] = {"queries", "dists", "rids", "vectors",
+                             "partials", "blobs"}
+
+    def _is_hot(self, name: str) -> bool:
+        return any(name.startswith(prefix)
+                   for prefix in self._HOT_PREFIXES)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and self._is_hot(node.name):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call) and \
+                            (dotted_name(sub.func) or "") \
+                            in self._PICKLE_CALLS:
+                        yield self.finding(
+                            module, sub,
+                            f"hot-path function {node.name}() pickles "
+                            f"its payload; array traffic must ride the "
+                            f"shm/raw-buffer transport")
+            if isinstance(node, ast.Call) and \
+                    (dotted_name(node.func) or "").endswith("send_msg"):
+                for arg in list(node.args) + \
+                        [kw.value for kw in node.keywords]:
+                    if not isinstance(arg, ast.Dict):
+                        continue
+                    hot_keys = sorted(
+                        key.value for key in arg.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value in self._ARRAY_KEYS)
+                    if hot_keys:
+                        yield self.finding(
+                            module, node,
+                            f"send_msg() pickles array key(s) "
+                            f"{', '.join(hot_keys)}; hand arrays to "
+                            f"the channel so they ride the shm ring")
 
 
 # ---------------------------------------------------------------------------
@@ -760,6 +828,7 @@ ALL_RULES: List[Rule] = [
     ForkReopenRule(),
     ForkCaptureRule(),
     DaemonReopenRule(),
+    HotPathPickleRule(),
     BroadExceptRule(),
     TypedRaiseRule(),
     ZeroCopyRule(),

@@ -60,6 +60,11 @@ class QueryResultCache:
         self.stats.hits += 1
         return entry
 
+    def __contains__(self, key: CacheKey) -> bool:
+        """Membership probe that books neither a hit nor a miss —
+        for advisory callers (read-ahead) that must not skew stats."""
+        return key in self._entries
+
     def put(self, key: CacheKey, result) -> None:
         self._entries[key] = tuple(result)
         self._entries.move_to_end(key)
@@ -86,6 +91,3 @@ class QueryResultCache:
 
     def __len__(self) -> int:
         return len(self._entries)
-
-    def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries

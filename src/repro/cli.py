@@ -140,7 +140,8 @@ def _cmd_serve(args) -> int:
     service = ShardedService.build(
         corpus, args.shards, method=args.method, dims=args.dims,
         page_size=args.page_size, codec=args.codec,
-        cache_size=args.cache_size)
+        cache_size=args.cache_size,
+        transport=args.transport, window=args.window)
     with service:
         t0 = time.perf_counter()
         service.serve_stream(stream, args.candidates,
@@ -152,10 +153,17 @@ def _cmd_serve(args) -> int:
         doc = profile.as_dict()
         doc["degradation"] = service.degradation.summary()
         mode = "inline" if service.inline else "forked"
+        transport_used = service.transport_used
     lat = doc["latency_ms"]
-    print(f"{args.shards} {mode} shard(s), {args.method}/{args.codec}: "
+    print(f"{args.shards} {mode} shard(s), {args.method}/{args.codec}, "
+          f"{transport_used} transport, window {profile.window}: "
           f"{len(stream)} queries in {profile.total_seconds:.2f}s "
           f"({len(stream) / profile.total_seconds:.1f} q/s)")
+    tb = doc.get("transport_bytes", {})
+    if tb:
+        print(f"transport bytes shm/pickled/control: "
+              f"{tb.get('shm', 0)}/{tb.get('pickled', 0)}/"
+              f"{tb.get('control', 0)}")
     if lat:
         print(f"request latency ms p50/p95/p99: "
               f"{lat['p50_ms']}/{lat['p95_ms']}/{lat['p99_ms']}; "
@@ -187,6 +195,8 @@ def _cmd_bench(args) -> int:
                                  dims=args.dims,
                                  page_size=args.page_size,
                                  shards_list=tuple(args.shards_list),
+                                 transports=tuple(args.transports),
+                                 windows=tuple(args.windows),
                                  request_size=args.request_size,
                                  cache_size=args.cache_size,
                                  seed=args.seed)
@@ -202,7 +212,12 @@ def _cmd_bench(args) -> int:
             ok = False
         if not result["degraded_ok"]:
             print("DEGRADED-MODE FAILURE: killing one worker did not "
-                  "yield a degraded answer", file=sys.stderr)
+                  "yield a degraded answer (or leaked shm segments)",
+                  file=sys.stderr)
+            ok = False
+        if not result.get("zero_copy_ok", True):
+            print("ZERO-COPY FAILURE: an shm scaling row pickled "
+                  "hot-path bytes", file=sys.stderr)
             ok = False
         return 0 if ok else 1
 
@@ -470,12 +485,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "check")
     p.add_argument("--shard", action="store_true",
                    help="benchmark the sharded scatter-gather daemon: "
-                        "per-family parity at 2 shards, 1/2/4-shard "
-                        "scaling with tail latency, and a kill-one-"
-                        "worker degraded-mode check")
+                        "per-family parity at 2 shards, a shard x "
+                        "transport x window scaling matrix with tail "
+                        "latency and byte accounting, and a kill-one-"
+                        "worker degraded-mode + shm-leak check")
     p.add_argument("--shards-list", type=int, nargs="+",
                    default=[1, 2, 4],
                    help="shard counts for the scaling phase "
+                        "(--shard only)")
+    p.add_argument("--transports", nargs="+",
+                   default=["framed", "shm"],
+                   choices=["framed", "shm"],
+                   help="transports for the scaling matrix; shm is "
+                        "skipped where unavailable (--shard only)")
+    p.add_argument("--windows", type=int, nargs="+", default=[1, 4],
+                   help="pipeline windows for the scaling matrix "
                         "(--shard only)")
     p.add_argument("--request-size", type=int, default=64,
                    help="queries per request block (--shard only)")
@@ -516,6 +540,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="queries per request block")
     p.add_argument("--cache-size", type=int, default=4096,
                    help="coordinator result-cache capacity")
+    p.add_argument("--transport", default="auto",
+                   choices=["auto", "shm", "framed"],
+                   help="array transport: shm slot rings (zero-copy) "
+                        "or the framed pickle socket; auto prefers "
+                        "shm where the platform has it")
+    p.add_argument("--window", type=int, default=4,
+                   help="request blocks in flight per worker; 1 "
+                        "restores the serial scatter-gather path")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the serve profile as JSON")

@@ -40,8 +40,10 @@ class ConnectionClosed(ProtocolError):
     """The peer vanished mid-conversation (EOF or torn frame)."""
 
 
-def send_msg(sock: Any, obj: Any) -> None:
-    """Write one framed message to a socket-like object."""
+def send_msg(sock: Any, obj: Any) -> int:
+    """Write one framed message to a socket-like object; returns the
+    bytes put on the wire (header included) so transport channels can
+    account for them."""
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > MAX_PAYLOAD:
         raise ProtocolError(
@@ -49,6 +51,7 @@ def send_msg(sock: Any, obj: Any) -> None:
             f"{MAX_PAYLOAD}-byte frame cap")
     header = _HEADER.pack(MAGIC, VERSION, 0, len(payload))
     sock.sendall(header + payload)
+    return _HEADER.size + len(payload)
 
 
 def recv_msg(sock: Any) -> Any:

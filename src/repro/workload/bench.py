@@ -355,6 +355,8 @@ def run_shard_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
                     dims: int = INDEX_DIMENSIONS,
                     page_size: int = DEFAULT_PAGE_SIZE,
                     shards_list: Sequence[int] = (1, 2, 4),
+                    transports: Sequence[str] = ("framed", "shm"),
+                    windows: Sequence[int] = (1, 4),
                     parity_shards: int = 2,
                     parity_queries: int = 128,
                     request_size: int = 64,
@@ -371,23 +373,31 @@ def run_shard_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
     :meth:`~repro.blobworld.query.BlobworldEngine.am_query_batch`
     baseline; an sq8 row checks the quantized path for ``method``.
 
-    **Scaling**: the full ``num_queries`` stream is served at each
-    shard count in ``shards_list`` and compared against one
-    single-process ``am_query_batch`` over an unsharded tree, with
-    p50/p95/p99 request latency and queue depth per point.
+    **Scaling**: the full ``num_queries`` stream is served at every
+    shard count in ``shards_list`` crossed with every transport in
+    ``transports`` and pipeline window in ``windows`` — one set of
+    built trees per shard count, restarted per combination — and
+    compared against one single-process ``am_query_batch`` over an
+    unsharded tree, with p50/p95/p99 request latency, queue depth,
+    and the transport byte split per point.  Zero-copy is gated
+    honestly: every shm row must report zero hot-path pickled bytes.
 
-    **Degradation**: one worker is killed mid-run; the remaining
-    shards must answer (degraded, with a
-    :class:`~repro.gist.degrade.DegradationReport`) rather than raise.
+    **Degradation**: one worker is killed mid-stream under the widest
+    pipeline window; the remaining shards must answer (degraded, with
+    a :class:`~repro.gist.degrade.DegradationReport`) rather than
+    raise, and closing the service must leave no shared-memory
+    segment behind.
 
     Failures are recorded (``parity_ok`` / ``throughput_ok`` /
-    ``degraded_ok``), not raised, so callers can fail after writing
-    the evidence.
+    ``zero_copy_ok`` / ``degraded_ok``), not raised, so callers can
+    fail after writing the evidence.
     """
     from repro.amdb.profiler import ShardServeProfile
     from repro.blobworld import BlobworldEngine, QueryResultCache, \
         build_corpus
-    from repro.serving import ShardedService, canonical_knn_batch
+    from repro.serving import ShardedService, canonical_knn_batch, \
+        shm_available
+    from repro.serving.shm import segment_prefix
 
     corpus = build_corpus(num_blobs=num_blobs,
                           num_images=max(1, num_blobs // 6), seed=seed)
@@ -402,6 +412,19 @@ def run_shard_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
                                 replace=False)]
     knn_queries = vectors[parity_stream[:min(32, len(parity_stream))]]
 
+    transports = list(dict.fromkeys(transports))
+    if "shm" in transports and not shm_available():
+        transports = [t for t in transports if t != "shm"]
+    windows = sorted(dict.fromkeys(max(1, int(w)) for w in windows))
+
+    def leaked_segments() -> List[str]:
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):
+            return []
+        prefix = segment_prefix().lstrip("/")
+        return sorted(name for name in os.listdir(shm_dir)
+                      if name.startswith(prefix))
+
     out: Dict = {
         "bench": "shard_serve",
         "config": {
@@ -412,6 +435,8 @@ def run_shard_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
             "dims": dims,
             "page_size": page_size,
             "shards_list": list(shards_list),
+            "transports": transports,
+            "windows": windows,
             "parity_shards": parity_shards,
             "parity_queries": parity_queries,
             "request_size": request_size,
@@ -488,56 +513,125 @@ def run_shard_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
         for num_shards in shards_list:
             shard_dir = os.path.join(base, f"scale_{num_shards}")
             os.makedirs(shard_dir, exist_ok=True)
+            # One set of built trees per shard count; each transport x
+            # window combination restarts the fleet over them.
             service = ShardedService.build(
                 corpus, num_shards, method=method, dims=dims,
                 page_size=page_size, workdir=shard_dir,
-                cache_size=cache_size)
-            profile = ShardServeProfile(
-                method=method, codec="f64", num_shards=num_shards,
-                request_size=request_size)
-            with service:
-                t0 = time.perf_counter()
-                served = service.serve_stream(
-                    stream, num_candidates, request_size=request_size,
-                    profile=profile)
-                profile.total_seconds = time.perf_counter() - t0
-                service.gather_stats(profile)
-            seconds = profile.total_seconds
-            scaling_rows.append({
-                "shards": num_shards,
-                "seconds": round(seconds, 4),
-                "qps": round(len(stream) / seconds, 2),
-                "speedup_vs_single": round(baseline_seconds / seconds, 2),
-                "parity_ok": served == baseline_images,
-                "latency_ms": profile.as_dict()["latency_ms"],
-                "queue_depth": profile.as_dict()["queue_depth"],
-                "degraded_requests": profile.degraded_requests,
-                "profile": profile.as_dict(),
-            })
+                cache_size=cache_size, window=max(windows))
+            try:
+                for transport in transports:
+                    for window in windows:
+                        # A fresh result cache per combination keeps
+                        # the hit pattern identical across the matrix.
+                        service.cache = (QueryResultCache(cache_size)
+                                         if cache_size else None)
+                        service.start(transport=transport,
+                                      window=window)
+                        profile = ShardServeProfile(
+                            method=method, codec="f64",
+                            num_shards=num_shards,
+                            request_size=request_size)
+                        t0 = time.perf_counter()
+                        served = service.serve_stream(
+                            stream, num_candidates,
+                            request_size=request_size,
+                            profile=profile, window=window)
+                        profile.total_seconds = \
+                            time.perf_counter() - t0
+                        service.gather_stats(profile)
+                        service.stop()
+                        seconds = profile.total_seconds
+                        pdict = profile.as_dict()
+                        scaling_rows.append({
+                            "shards": num_shards,
+                            "transport": service.transport_used,
+                            "window": window,
+                            "seconds": round(seconds, 4),
+                            "qps": round(len(stream) / seconds, 2),
+                            "speedup_vs_single": round(
+                                baseline_seconds / seconds, 2),
+                            "parity_ok": served == baseline_images,
+                            "latency_ms": pdict["latency_ms"],
+                            "queue_depth": pdict["queue_depth"],
+                            "transport_bytes": pdict["transport_bytes"],
+                            "overlap_seconds": pdict["overlap_seconds"],
+                            "degraded_requests":
+                                profile.degraded_requests,
+                            "profile": pdict,
+                        })
+            finally:
+                service.close()
         out["scaling"] = scaling_rows
         out["parity_ok"] = out["parity_ok"] \
             and all(r["parity_ok"] for r in scaling_rows)
         out["throughput_ok"] = any(
             r["shards"] >= 2 and r["speedup_vs_single"] > 1.0
             for r in scaling_rows)
+        # Zero-copy gate: no shm row may pickle hot-path bytes.
+        shm_rows = [r for r in scaling_rows if r["transport"] == "shm"]
+        out["zero_copy_ok"] = bool(shm_rows) and all(
+            r["transport_bytes"].get("pickled", 0) == 0
+            for r in shm_rows) if "shm" in transports else True
+        # Pipelining gate: shm + widest window vs the serial framed
+        # path at the same shard count (PR-8's wire protocol).
+        def _row(num_shards: int, transport: str, window: int):
+            for r in scaling_rows:
+                if (r["shards"], r["transport"],
+                        r["window"]) == (num_shards, transport, window):
+                    return r
+            return None
+
+        pipelined: Dict = {}
+        pipe_shards = next((s for s in shards_list if s >= 2), None)
+        if pipe_shards is not None and "shm" in transports \
+                and "framed" in transports and len(windows) > 1:
+            serial = _row(pipe_shards, "framed", min(windows))
+            piped = _row(pipe_shards, "shm", max(windows))
+            shm_serial = _row(pipe_shards, "shm", min(windows))
+            if serial and piped:
+                pipelined = {
+                    "shards": pipe_shards,
+                    "serial_seconds": serial["seconds"],
+                    "pipelined_seconds": piped["seconds"],
+                    "speedup": round(
+                        serial["seconds"] / piped["seconds"], 2),
+                    "speedup_vs_single":
+                        piped["speedup_vs_single"],
+                    "coalesced": piped["profile"].get("coalesced", 0),
+                }
+                if shm_serial:
+                    # Window effect with the transport held fixed —
+                    # the pipelining win proper, untangled from the
+                    # shm-vs-framed transport difference.
+                    pipelined["window_speedup"] = round(
+                        shm_serial["seconds"] / piped["seconds"], 2)
+        out["pipelined"] = pipelined
 
         # -- phase 3: degraded answers, not exceptions -----------------------
         kill_dir = os.path.join(base, "kill")
         os.makedirs(kill_dir, exist_ok=True)
         service = ShardedService.build(
             corpus, max(2, parity_shards), method=method, dims=dims,
-            page_size=page_size, workdir=kill_dir, cache_size=0)
+            page_size=page_size, workdir=kill_dir, cache_size=0,
+            window=max(windows))
         degraded_row: Dict = {"ok": False}
         with service:
-            service.am_query_batch(stream[:request_size], num_candidates)
+            # Warm the pipeline, then take a worker down mid-stream:
+            # the in-flight window must drain degraded, not hang.
+            service.serve_stream(stream[:4 * request_size],
+                                 num_candidates,
+                                 request_size=request_size)
             service.kill_shard(0)
             try:
-                answers = service.am_query_batch(
-                    parity_stream[:request_size], num_candidates)
+                answers = service.serve_stream(
+                    parity_stream[:2 * request_size], num_candidates,
+                    request_size=request_size)
                 degraded_row = {
                     "ok": service.degradation.is_degraded
-                    and len(answers) == min(request_size,
+                    and len(answers) == min(2 * request_size,
                                             len(parity_stream)),
+                    "transport": service.transport_used,
                     "degraded_requests": service.degraded_requests,
                     "summary": service.degradation.summary(),
                     "heartbeats": service.registry.snapshot(),
@@ -545,6 +639,9 @@ def run_shard_bench(num_blobs: int = 20_000, num_queries: int = 2_000,
             except Exception as exc:
                 degraded_row = {"ok": False,
                                 "error": f"{type(exc).__name__}: {exc}"}
+        leaked = leaked_segments()
+        degraded_row["leaked_segments"] = leaked
+        degraded_row["ok"] = bool(degraded_row["ok"]) and not leaked
         out["degraded"] = degraded_row
         out["degraded_ok"] = bool(degraded_row["ok"])
 
@@ -573,23 +670,46 @@ def format_shard_bench(result: Dict) -> str:
         f"single-process baseline ({cfg['method']}): "
         f"{baseline['seconds']:.2f}s, {baseline['qps']:.1f} q/s")
     lines.append(
-        f"{'shards':>7} {'secs':>8} {'q/s':>9} {'speedup':>8} "
-        f"{'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} {'depth':>6} "
-        f"{'parity':>7}")
+        f"{'shards':>7} {'trans':>7} {'win':>4} {'secs':>8} {'q/s':>9} "
+        f"{'speedup':>8} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} "
+        f"{'pickled':>8} {'parity':>7}")
     for row in result["scaling"]:
         lat = row["latency_ms"]
         lines.append(
-            f"{row['shards']:>7} {row['seconds']:>8.2f} "
+            f"{row['shards']:>7} {row.get('transport', '?'):>7} "
+            f"{row.get('window', 1):>4} {row['seconds']:>8.2f} "
             f"{row['qps']:>9.1f} {row['speedup_vs_single']:>7.2f}x "
             f"{lat.get('p50_ms', 0):>8.1f} {lat.get('p95_ms', 0):>8.1f} "
             f"{lat.get('p99_ms', 0):>8.1f} "
-            f"{row['queue_depth']['max']:>6} "
+            f"{row.get('transport_bytes', {}).get('pickled', 0):>8} "
             f"{'ok' if row['parity_ok'] else 'FAIL':>7}")
+    pipelined = result.get("pipelined") or {}
+    if pipelined:
+        window_note = ""
+        if "window_speedup" in pipelined:
+            window_note = (f", window effect at fixed transport "
+                           f"{pipelined['window_speedup']:.2f}x")
+        lines.append(
+            f"shm+pipelined at {pipelined['shards']} shards: "
+            f"{pipelined['speedup']:.2f}x over the serial framed path "
+            f"({pipelined['serial_seconds']:.2f}s -> "
+            f"{pipelined['pipelined_seconds']:.2f}s), "
+            f"{pipelined['speedup_vs_single']:.2f}x over "
+            f"single-process{window_note}, "
+            f"{pipelined.get('coalesced', 0)} queries coalesced "
+            f"in flight")
+    if "zero_copy_ok" in result:
+        lines.append(
+            f"zero-copy: "
+            f"{'ok (shm rows pickle 0 hot-path bytes)' if result['zero_copy_ok'] else 'FAIL'}")
     degraded = result["degraded"]
+    leaked = degraded.get("leaked_segments", [])
     lines.append(
         f"kill-one-worker: "
         f"{'degraded answer ok' if degraded['ok'] else 'FAIL'}"
-        + (f" ({degraded.get('error')})" if degraded.get("error") else ""))
+        + (f" ({degraded.get('error')})" if degraded.get("error") else "")
+        + (f", LEAKED {len(leaked)} shm segment(s)" if leaked
+           else ", no shm segments leaked"))
     return "\n".join(lines)
 
 

@@ -1,0 +1,29 @@
+"""REP204 positive fixture: hot-path array traffic through pickle.
+
+The directory matters: REP204 scopes on ``serving/``, so this fixture
+lints as ``serving/bad_hotpath.py``.  Two findings: a block handler
+that pickles its partials, and a scatter stage that inlines array keys
+into a ``send_msg`` dict literal.
+"""
+
+import pickle
+
+from repro.serving.protocol import send_msg
+
+
+def _handle_knn(conn, tree, msg):
+    # REP204: a per-block handler serializing the partials itself —
+    # a full pickle copy of ~300 KB of float64 per block.
+    dists, rids = tree.knn_batch(msg["queries"], msg["k"])
+    conn.sendall(pickle.dumps((dists, rids)))
+
+
+def _scatter_partials(sock, queries, dists, rids):
+    # REP204: array keys in a send_msg dict literal pickle the arrays
+    # into the frame instead of handing them to the shm ring.
+    send_msg(sock, {"op": "partials", "dists": dists, "rids": rids})
+
+
+def handshake(sock, shard_id):
+    # Control traffic is legal: no array keys, not a hot-path name.
+    send_msg(sock, {"op": "hello", "shard": shard_id})

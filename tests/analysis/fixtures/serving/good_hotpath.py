@@ -1,0 +1,30 @@
+"""REP204 negative fixture: the sanctioned transport shapes.
+
+Array payloads ride the shm ring; the socket carries control frames
+only.  Pickling is confined to the framed channel's own ``send`` —
+control-plane code outside the hot-path function names — which is the
+sanctioned overflow/fallback path.
+"""
+
+import pickle
+
+from repro.serving.protocol import send_msg
+
+
+def _handle_knn(channel, tree, msg):
+    # Hot path: arrays go back through the channel, which routes them
+    # into the shm ring without a pickle pass.
+    dists, rids = tree.knn_batch(msg["queries"], msg["k"])
+    channel.send({"op": "partials", "dists": dists, "rids": rids})
+
+
+def _scatter_block(ring, sock, queries):
+    # Arrays into the ring, a control-only handoff over the socket.
+    slot, seq, metas = ring.write([queries])
+    send_msg(sock, {"op": "block", "slot": slot, "seq": seq})
+
+
+def framed_fallback(sock, payload):
+    # The framed channel's serializer: not a hot-path name, and the
+    # sanctioned fallback when a message overflows its slot.
+    sock.sendall(pickle.dumps(payload))

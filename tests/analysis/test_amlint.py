@@ -38,6 +38,7 @@ POSITIVE = [
     ("REP201", ["workload/runner.py"], 1),
     ("REP202", ["workload/runner.py"], 2),
     ("REP203", ["serving/bad_daemon.py"], 2),
+    ("REP204", ["serving/bad_hotpath.py"], 2),
     ("REP104", ["gist/mutable.py"], 2),
     ("REP301", ["storage/bad_except.py"], 2),
     ("REP302", ["storage/bad_raise.py"], 3),
@@ -51,6 +52,7 @@ NEGATIVE = [
     ("REP201", ["bulk/loader.py"]),
     ("REP202", ["bulk/loader.py"]),
     ("REP203", ["serving/good_daemon.py"]),
+    ("REP204", ["serving/good_hotpath.py"]),
     ("REP104", ["gist/tree.py"]),
     ("REP301", ["storage/good_except.py"]),
     ("REP302", ["storage/good_raise.py"]),

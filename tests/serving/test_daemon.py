@@ -6,6 +6,8 @@ Degraded-mode tests query *cold* blob ids on purpose — a cached answer
 never scatters, so a warm query cannot observe a dead shard.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -174,9 +176,12 @@ class TestAccounting:
         stream = [int(b) for b in rng.choice(pool, size=48)]
         profile = ShardServeProfile(method="rtree", codec="f64",
                                     num_shards=3, request_size=16)
+        # window=1 pins the serial path: the cache-hit arithmetic below
+        # assumes each block sees every earlier block's results cached,
+        # which pipelined dispatch deliberately gives up.
         with build_service(corpus) as svc:
             svc.serve_stream(stream, CANDIDATES, request_size=16,
-                             profile=profile)
+                             profile=profile, window=1)
             svc.gather_stats(profile)
         assert profile.requests == 3  # 48 queries / 16 per block
         assert profile.queries == 48
@@ -217,3 +222,165 @@ class TestAccounting:
     def test_build_rejects_zero_shards(self, corpus):
         with pytest.raises(ValueError):
             ShardedService.build(corpus, 0)
+
+
+def _leaked_segments():
+    import glob
+
+    from repro.serving.shm import segment_prefix
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return glob.glob(os.path.join("/dev/shm", segment_prefix() + "*"))
+
+
+class TestPipelined:
+    """The windowed event loop: parity, zero-copy, hygiene."""
+
+    def test_pipelined_matches_serial_and_unsharded(self, corpus,
+                                                    reference):
+        stream = [int(b) for b in
+                  np.random.default_rng(11).integers(0, 600, size=96)]
+        expected = BlobworldEngine(corpus).am_query_batch(
+            reference, stream, CANDIDATES, INDEX_DIMENSIONS)
+        with build_service(corpus, cache_size=0) as svc:
+            serial = svc.serve_stream(stream, CANDIDATES,
+                                      request_size=16, window=1)
+            pipelined = svc.serve_stream(stream, CANDIDATES,
+                                         request_size=16, window=4)
+        assert serial == expected
+        assert pipelined == expected
+
+    def test_inflight_duplicates_coalesce(self, corpus, reference):
+        # Every block repeats the same 8 blobs: once the first block is
+        # in flight, every younger in-flight block coalesces onto it
+        # instead of re-scattering — with or without a result cache.
+        stream = [int(b) for b in range(0, 64, 8)] * 8
+        expected = BlobworldEngine(corpus).am_query_batch(
+            reference, stream, CANDIDATES, INDEX_DIMENSIONS)
+        for cache_size in (0, 256):
+            profile = ShardServeProfile(method="rtree", codec="f64",
+                                        num_shards=3, request_size=8)
+            with build_service(corpus, cache_size=cache_size) as svc:
+                got = svc.serve_stream(stream, CANDIDATES,
+                                       request_size=8, profile=profile,
+                                       window=4)
+            assert got == expected
+            assert profile.coalesced > 0
+            assert profile.as_dict()["coalesced"] == profile.coalesced
+
+    def test_framed_transport_parity(self, corpus, reference):
+        stream = list(range(0, 600, 19))
+        expected = BlobworldEngine(corpus).am_query_batch(
+            reference, stream, CANDIDATES, INDEX_DIMENSIONS)
+        with build_service(corpus, transport="framed") as svc:
+            assert svc.transport_used == "framed"
+            assert svc.serve_stream(stream, CANDIDATES, request_size=16,
+                                    window=4) == expected
+
+    def test_shm_mode_pickles_no_hot_path_bytes(self, corpus):
+        from repro.serving.shm import shm_available
+        if not shm_available():
+            pytest.skip("platform has no shared memory")
+        stream = [int(b) for b in
+                  np.random.default_rng(5).integers(0, 600, size=64)]
+        profile = ShardServeProfile(method="rtree", codec="f64",
+                                    num_shards=3, request_size=16)
+        with build_service(corpus, transport="shm") as svc:
+            svc.serve_stream(stream, CANDIDATES, request_size=16,
+                             profile=profile, window=4)
+            svc.gather_stats(profile)
+        assert profile.transport == "shm"
+        assert profile.window == 4
+        assert profile.transport_bytes["pickled"] == 0
+        assert profile.transport_bytes["shm"] > 0
+        assert profile.transport_bytes["control"] > 0
+
+    def test_restart_switches_transport(self, corpus, reference):
+        stream = list(range(0, 600, 43))
+        expected = BlobworldEngine(corpus).am_query_batch(
+            reference, stream, CANDIDATES, INDEX_DIMENSIONS)
+        svc = build_service(corpus, shards=2, cache_size=0)
+        try:
+            svc.start(transport="framed", window=1)
+            first = svc.am_query_batch(stream, CANDIDATES)
+            svc.stop()
+            svc.start(transport="auto", window=4)
+            second = svc.serve_stream(stream, CANDIDATES,
+                                      request_size=8, window=4)
+        finally:
+            svc.close()
+        assert first == expected
+        assert second == expected
+
+    def test_kill_mid_pipeline_degrades_and_leaks_nothing(self, corpus):
+        stream = [int(b) for b in range(0, 600, 7)]
+        svc = build_service(corpus, shards=2)
+        try:
+            svc.start()
+            svc.serve_stream(stream[:16], CANDIDATES, request_size=8,
+                             window=4)
+            svc.kill_shard(0)
+            answers = svc.serve_stream(stream[16:], CANDIDATES,
+                                       request_size=8, window=4)
+            assert len(answers) == len(stream[16:])
+            assert all(isinstance(images, list) and images
+                       for images in answers)
+            assert svc.degradation.is_degraded
+            assert svc.registry.state(0) == DEAD
+        finally:
+            svc.close()
+        # Segment hygiene: every shm ring this process created must be
+        # unlinked once the fleet is down — including the killed
+        # worker's, which is retired the moment its death is noticed.
+        assert _leaked_segments() == []
+
+    def test_close_unlinks_all_segments(self, corpus):
+        with build_service(corpus, shards=3) as svc:
+            svc.am_query_batch([1, 2, 3], CANDIDATES)
+        assert _leaked_segments() == []
+
+    def test_hints_flow_to_workers_without_breaking_answers(self, corpus):
+        """The serial path attaches read-ahead hints; workers must
+        consume them (prefetch or planner-gate them) transparently."""
+        stream = [int(b) for b in
+                  np.random.default_rng(9).integers(0, 600, size=64)]
+        with build_service(corpus, shards=2, cache_size=0) as svc:
+            expected = svc.am_query_batch(stream, CANDIDATES)
+            svc.cache = None
+            got = svc.serve_stream(stream, CANDIDATES, request_size=8,
+                                   window=1)
+            stats = svc.gather_stats()
+        assert got == expected
+        assert all("prefetch" in blob for blob in stats.values())
+
+    def test_prefetch_descends_for_tree_routed_blocks(self, corpus):
+        """Forced onto the tree route, a hint warms real leaf pages;
+        under the scan route the descent is planner-gated to zero."""
+        from repro.serving.worker import ShardServer
+
+        svc = build_service(corpus, shards=2, cache_size=0)
+        try:
+            shard = svc.shards[0]
+            server = ShardServer(0, shard["tree"], svc.reduced,
+                                 lo=shard["lo"], hi=shard["hi"])
+            blobs = np.arange(0, 64, dtype=np.int64)
+            server.handle({"op": "am", "blobs": blobs,
+                           "fetch": CANDIDATES,
+                           "dims": INDEX_DIMENSIONS})
+            hint = list(range(100, 140))
+            # Tiny shards scan-route, so the gate suppresses the
+            # descent entirely...
+            assert server.prefetch_hint(hint) == 0
+            assert server.prefetch_calls == 0
+            # ...and a tree-routed plan descends and warms the pool.
+            import dataclasses
+            plan = dataclasses.replace(
+                server.planner.plan_batch(8, CANDIDATES),
+                choice="tree")
+            server.planner.plan_batch = lambda *a, **kw: plan
+            fetched = server.prefetch_hint(hint)
+            assert server.prefetch_calls == 1
+            assert fetched > 0
+            assert server.tree.store.stats.prefetched == fetched
+        finally:
+            svc.close()

@@ -1,0 +1,238 @@
+"""The shm slot rings and transport channels, in isolation.
+
+Everything here runs single-process: a ring's producer and consumer
+sides are the same object, and channel pairs talk over a socketpair —
+the failure modes under test (wraparound staleness, back-pressure,
+torn writers, slot overflow) are state-machine properties, not
+process-boundary ones.  The forked end-to-end paths live in
+``test_daemon.py``.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serving.shm import (FREE, READY, WRITING, ShmBackpressure,
+                               ShmRing, ShmSlotOverflow, ShmTornSlot,
+                               shm_available)
+from repro.serving.transport import FramedChannel, ShmChannel
+
+pytestmark = pytest.mark.skipif(not shm_available(),
+                                reason="platform has no shared memory")
+
+
+@pytest.fixture()
+def ring():
+    r = ShmRing.create(slots=3, slot_bytes=4096)
+    yield r
+    r.close()
+    r.unlink()
+
+
+def channel_pair(slots=3, slot_bytes=4096):
+    """Two crossed ShmChannels over a socketpair, plus their rings."""
+    a_sock, b_sock = socket.socketpair()
+    ab = ShmRing.create(slots, slot_bytes)
+    ba = ShmRing.create(slots, slot_bytes)
+    a = ShmChannel(a_sock, tx=ab, rx=ba)
+    b = ShmChannel(b_sock, tx=ba, rx=ab)
+    return a, b, (a_sock, b_sock, ab, ba)
+
+
+def teardown_pair(resources):
+    a_sock, b_sock, ab, ba = resources
+    a_sock.close()
+    b_sock.close()
+    for ring in (ab, ba):
+        ring.close()
+        ring.unlink()
+
+
+class TestRing:
+    def test_roundtrip_preserves_values_dtypes_shapes(self, ring):
+        dists = np.random.default_rng(0).random((4, 7))
+        rids = np.arange(28, dtype=np.int64).reshape(4, 7)
+        slot, seq, metas = ring.write([dists, rids])
+        out_d, out_r = ring.read(slot, seq, metas)
+        np.testing.assert_array_equal(out_d, dists)
+        np.testing.assert_array_equal(out_r, rids)
+        assert out_d.dtype == dists.dtype and out_r.dtype == rids.dtype
+
+    def test_views_are_zero_copy(self, ring):
+        arr = np.arange(8, dtype=np.float64)
+        slot, seq, metas = ring.write([arr])
+        (view,) = ring.read(slot, seq, metas)
+        # The view aliases the segment: poking the segment through a
+        # second read shows through the first.
+        (view2,) = ring.read(slot, seq, metas)
+        view2[0] = 42.0
+        assert view[0] == 42.0
+
+    def test_wraparound_reuses_slots_with_fresh_sequence(self, ring):
+        seen_slots = set()
+        last_seq = 0
+        for i in range(10):  # > 3x around the 3-slot ring
+            arr = np.full(4, float(i))
+            slot, seq, metas = ring.write([arr])
+            assert seq > last_seq
+            last_seq = seq
+            (view,) = ring.read(slot, seq, metas)
+            assert view[0] == float(i)
+            ring.release(slot)
+            seen_slots.add(slot)
+        assert seen_slots == {0, 1, 2}
+
+    def test_stale_handoff_after_wraparound_is_torn(self, ring):
+        arr = np.zeros(4)
+        slot, seq, metas = ring.write([arr])
+        ring.release(slot)
+        # The producer laps the ring and reuses the slot...
+        for _ in range(3):
+            s2, q2, m2 = ring.write([arr])
+            ring.release(s2)
+        # ...so replaying the old handoff must fail typed, not serve
+        # whatever bytes now occupy the slot.
+        with pytest.raises(ShmTornSlot):
+            ring.read(slot, seq, metas)
+
+    def test_backpressure_when_all_slots_held(self, ring):
+        arr = np.zeros(16)
+        held = [ring.write([arr])[0] for _ in range(3)]
+        assert ring.free_slots() == 0
+        with pytest.raises(ShmBackpressure):
+            ring.write([arr])
+        ring.release(held[0])
+        slot, seq, metas = ring.write([arr])  # frees unblock writers
+        assert slot == held[0]
+
+    def test_torn_writer_death_mid_slot(self, ring):
+        arr = np.zeros(4)
+        slot, seq, metas = ring.write([arr])
+        # The writer died after the handoff but the slot never reached
+        # READY (simulate by winding the state back mid-write).
+        ring._set_state(slot, WRITING)
+        with pytest.raises(ShmTornSlot):
+            ring.read(slot, seq, metas)
+        # A freed slot is just as torn under an old handoff.
+        ring._set_state(slot, FREE)
+        with pytest.raises(ShmTornSlot):
+            ring.read(slot, seq, metas)
+
+    def test_overflow_raises_before_taking_a_slot(self, ring):
+        big = np.zeros(4096 // 8 + 1, dtype=np.float64)
+        with pytest.raises(ShmSlotOverflow):
+            ring.write([big])
+        assert ring.free_slots() == 3
+
+    def test_meta_beyond_payload_is_torn(self, ring):
+        arr = np.zeros(4)
+        slot, seq, metas = ring.write([arr])
+        shape, dtype, off, nb = metas[0]
+        with pytest.raises(ShmTornSlot):
+            ring.read(slot, seq, [(shape, dtype, 4000, nb)])
+
+    def test_unlink_is_owner_only_and_idempotent(self):
+        ring = ShmRing.create(slots=2, slot_bytes=256)
+        ring.unlink()
+        ring.unlink()
+        ring.close()
+
+
+class TestChannels:
+    def test_shm_channel_roundtrip_counts_no_pickled_bytes(self):
+        a, b, resources = channel_pair()
+        try:
+            dists = np.random.default_rng(1).random((3, 5))
+            rids = np.arange(15, dtype=np.int64).reshape(3, 5)
+            a.send({"op": "am", "fetch": 5, "dists": dists,
+                    "rids": rids})
+            msg, token = b.recv()
+            assert msg["op"] == "am" and msg["fetch"] == 5
+            np.testing.assert_array_equal(msg["dists"], dists)
+            np.testing.assert_array_equal(msg["rids"], rids)
+            b.release(token)
+            assert a.bytes_pickled == 0
+            assert a.bytes_shm == dists.nbytes + rids.nbytes
+            assert a.bytes_control > 0
+        finally:
+            teardown_pair(resources)
+
+    def test_control_only_messages_skip_the_ring(self):
+        a, b, resources = channel_pair()
+        try:
+            a.send({"op": "ping"})
+            msg, token = b.recv()
+            assert msg == {"op": "ping"} and token is None
+            assert a.bytes_shm == 0 and a.bytes_pickled == 0
+        finally:
+            teardown_pair(resources)
+
+    def test_oversized_message_falls_back_to_framed(self):
+        a, b, resources = channel_pair(slots=2, slot_bytes=256)
+        try:
+            big = np.random.default_rng(2).random((8, 32))  # 2 KB > slot
+            a.send({"op": "am", "dists": big})
+            msg, token = b.recv()
+            assert token is None  # framed, no slot to release
+            np.testing.assert_array_equal(msg["dists"], big)
+            assert a.bytes_pickled == big.nbytes
+        finally:
+            teardown_pair(resources)
+
+    def test_backpressure_falls_back_instead_of_deadlocking(self):
+        a, b, resources = channel_pair(slots=1, slot_bytes=4096)
+        try:
+            a.write_timeout = 0.01
+            arr = np.arange(4, dtype=np.float64)
+            a.send({"op": "am", "dists": arr})  # takes the only slot
+            a.send({"op": "am", "dists": arr * 2})  # stalls -> framed
+            msg1, tok1 = b.recv()
+            msg2, tok2 = b.recv()
+            assert tok1 is not None and tok2 is None
+            np.testing.assert_array_equal(msg2["dists"], arr * 2)
+            assert a.bytes_pickled == arr.nbytes
+        finally:
+            teardown_pair(resources)
+
+    def test_framed_channel_parity_with_shm_channel(self):
+        """Both transports deliver byte-identical payload dicts."""
+        f_a, f_b = socket.socketpair()
+        framed_tx, framed_rx = FramedChannel(f_a), FramedChannel(f_b)
+        a, b, resources = channel_pair()
+        payload = {"op": "knn", "k": 3,
+                   "queries": np.random.default_rng(3).random((4, 5))}
+        try:
+            framed_tx.send(dict(payload))
+            via_framed, _ = framed_rx.recv()
+            a.send(dict(payload))
+            via_shm, token = b.recv()
+            assert via_framed["op"] == via_shm["op"] == "knn"
+            assert via_framed["k"] == via_shm["k"] == 3
+            np.testing.assert_array_equal(via_framed["queries"],
+                                          via_shm["queries"])
+            b.release(token)
+            assert framed_tx.bytes_pickled == payload["queries"].nbytes
+            assert a.bytes_pickled == 0
+        finally:
+            f_a.close()
+            f_b.close()
+            teardown_pair(resources)
+
+
+def test_segment_names_carry_the_leakcheck_prefix():
+    from repro.serving.shm import segment_prefix
+    ring = ShmRing.create(slots=1, slot_bytes=64)
+    try:
+        assert ring.name.lstrip("/").startswith(
+            segment_prefix().lstrip("/"))
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ready_state_visible_in_header(ring):
+    slot, seq, metas = ring.write([np.zeros(2)])
+    assert ring._header(slot)[0] == READY
+    ring.release(slot)
+    assert ring._header(slot)[0] == FREE
