@@ -1,0 +1,361 @@
+"""Per-function control-flow graphs for the amlint dataflow rules.
+
+A :class:`CFG` has one node per *statement* plus a handful of synthetic
+nodes (entry, the two exits, exception dispatchers, ``with`` teardown).
+Statement granularity is what the resource-lifecycle and protocol-state
+rules need: "every path from the ``os.open`` to function exit passes a
+``close``" is a question about statement orderings, not basic blocks.
+
+Edges carry a kind:
+
+- ``NORMAL`` — ordinary fall-through, branch, or loop edge;
+- ``EXC`` — the statement raised.  Every statement that can plausibly
+  raise gets one exception edge to the innermost enclosing handler
+  context: the ``try``'s dispatch node, the ``finally`` block, the
+  ``with`` teardown node, or the function's :attr:`CFG.raise_exit`.
+
+Two exit nodes keep normal and exceptional termination distinct:
+:attr:`CFG.exit` is reached by falling off the end or ``return``;
+:attr:`CFG.raise_exit` by an exception that escapes the function.  A
+"must release on every path" rule checks both.
+
+Compound statements are represented by a *header* node that evaluates
+only the header expression (an ``if``'s test, a ``for``'s iterable, a
+``with``'s context expressions); their bodies are separate nodes.
+:meth:`CFGNode.expressions` returns exactly the expressions evaluated
+*at* that node so dataflow transfer functions never double-count a
+body.
+
+Deliberate approximations, all conservative for may-analyses:
+
+- every statement may raise (so exception paths are never missed);
+- a ``finally`` block is built once and its out-edges fan to every
+  continuation its in-edges could want (normal fall-through, exception
+  re-raise, ``return``/``break``/``continue`` targets), which adds
+  infeasible paths but never hides a feasible one;
+- an ``except E:`` handler list without a bare/``BaseException`` arm
+  keeps a propagation edge for the unmatched exception;
+- ``with`` desugars to header -> body -> teardown, the teardown node
+  reachable from both normal completion and a raise in the body —
+  rules treat it as the point where ``__exit__`` releases the managed
+  resources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: edge kinds.
+NORMAL = "normal"
+EXC = "exc"
+
+#: node kinds.
+ENTRY = "entry"
+EXIT = "exit"
+RAISE_EXIT = "raise_exit"
+STMT = "stmt"
+DISPATCH = "dispatch"      # synthetic: try/except handler selection
+WITH_EXIT = "with_exit"    # synthetic: __exit__ of a with statement
+
+FunctionNode = ast.FunctionDef
+
+
+@dataclass
+class CFGNode:
+    """One control-flow point: a statement or a synthetic marker."""
+
+    id: int
+    kind: str
+    #: the owning statement (None for entry/exit nodes).  For compound
+    #: statements this is the *header*: only :meth:`expressions` is
+    #: evaluated here, never the body.
+    stmt: Optional[ast.stmt] = None
+    #: (target node id, edge kind) out-edges.
+    succ: List[Tuple[int, str]] = field(default_factory=list)
+    #: for WITH_EXIT nodes: the ``withitems`` whose context managers
+    #: are released here.
+    items: Tuple[ast.withitem, ...] = ()
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def expressions(self) -> List[ast.expr]:
+        """The expressions evaluated *at* this node (bodies excluded)."""
+        stmt = self.stmt
+        if stmt is None:
+            return []
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, ast.Try):
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return []  # a def/class statement only binds a name
+        if isinstance(stmt, ast.Return):
+            return [stmt.value] if stmt.value is not None else []
+        if isinstance(stmt, ast.Raise):
+            return [e for e in (stmt.exc, stmt.cause) if e is not None]
+        return [stmt]  # simple statements evaluate themselves
+
+    def walk_expressions(self) -> Iterator[ast.AST]:
+        """``ast.walk`` over everything evaluated at this node."""
+        for expr in self.expressions():
+            yield from ast.walk(expr)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function."""
+
+    func: FunctionNode
+    nodes: Dict[int, CFGNode]
+    entry: int
+    exit: int
+    raise_exit: int
+
+    def node(self, node_id: int) -> CFGNode:
+        return self.nodes[node_id]
+
+    def successors(self, node_id: int) -> List[Tuple[int, str]]:
+        return self.nodes[node_id].succ
+
+    def predecessors(self, node_id: int) -> List[Tuple[int, str]]:
+        return [(n.id, kind) for n in self.nodes.values()
+                for (t, kind) in n.succ if t == node_id]
+
+    def stmt_nodes(self) -> List[CFGNode]:
+        return [n for n in self.nodes.values() if n.stmt is not None]
+
+
+class _LoopFrame:
+    """break/continue targets of the innermost loop."""
+
+    def __init__(self, header: int, after: int) -> None:
+        self.header = header
+        self.after = after
+
+
+class _Builder:
+    """Recursive CFG construction with an explicit handler context.
+
+    ``exc_target`` is the node an exception raised "here" flows to —
+    the innermost try's dispatch node, a finally block's entry, a with
+    teardown, or the function's raise exit.  ``return`` statements jump
+    to ``return_target`` (the exit, or the innermost finally).
+    """
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.nodes: Dict[int, CFGNode] = {}
+        self._next = 0
+        self.entry = self._new(ENTRY)
+        self.exit = self._new(EXIT)
+        self.raise_exit = self._new(RAISE_EXIT)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _new(self, kind: str, stmt: Optional[ast.stmt] = None,
+             items: Tuple[ast.withitem, ...] = ()) -> int:
+        node = CFGNode(self._next, kind, stmt, items=items)
+        self.nodes[self._next] = node
+        self._next += 1
+        return node.id
+
+    def _edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        if (dst, kind) not in self.nodes[src].succ:
+            self.nodes[src].succ.append((dst, kind))
+
+    # -- statement sequences -------------------------------------------------
+
+    def build(self) -> CFG:
+        last = self._seq(self.func.body, self.entry, self.raise_exit,
+                         self.exit, None)
+        for src in last:
+            self._edge(src, self.exit)
+        return CFG(self.func, self.nodes, self.entry, self.exit,
+                   self.raise_exit)
+
+    def _seq(self, stmts: Sequence[ast.stmt], pred: int, exc: int,
+             return_to: int, loop: Optional[_LoopFrame],
+             preds: Optional[List[int]] = None) -> List[int]:
+        """Wire ``stmts`` after ``pred`` (or ``preds``); returns the
+        dangling nodes whose fall-through leaves the sequence."""
+        dangling = list(preds) if preds is not None else [pred]
+        for stmt in stmts:
+            if not dangling:
+                break  # unreachable code after return/raise/break
+            dangling = self._stmt(stmt, dangling, exc, return_to, loop)
+        return dangling
+
+    def _stmt(self, stmt: ast.stmt, preds: List[int], exc: int,
+              return_to: int, loop: Optional[_LoopFrame]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds, exc, return_to, loop)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds, exc, return_to)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds, exc, return_to, loop)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds, exc, return_to, loop)
+
+        node = self._new(STMT, stmt)
+        for p in preds:
+            self._edge(p, node)
+        if isinstance(stmt, ast.Return):
+            self._edge(node, exc, EXC)  # the value expression may raise
+            self._edge(node, return_to)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._edge(node, exc, EXC)
+            return []
+        if isinstance(stmt, ast.Break):
+            if loop is not None:
+                self._edge(node, loop.after)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if loop is not None:
+                self._edge(node, loop.header)
+            return []
+        if not isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal,
+                                 ast.Import, ast.ImportFrom,
+                                 ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            self._edge(node, exc, EXC)
+        return [node]
+
+    # -- compound statements -------------------------------------------------
+
+    def _if(self, stmt: ast.If, preds: List[int], exc: int,
+            return_to: int, loop: Optional[_LoopFrame]) -> List[int]:
+        header = self._new(STMT, stmt)
+        for p in preds:
+            self._edge(p, header)
+        self._edge(header, exc, EXC)
+        out = self._seq(stmt.body, header, exc, return_to, loop)
+        if stmt.orelse:
+            out += self._seq(stmt.orelse, header, exc, return_to, loop)
+        else:
+            out.append(header)
+        return out
+
+    def _loop(self, stmt: ast.stmt, preds: List[int], exc: int,
+              return_to: int) -> List[int]:
+        header = self._new(STMT, stmt)
+        for p in preds:
+            self._edge(p, header)
+        self._edge(header, exc, EXC)
+        # A placeholder "after" collector: break edges land here, as
+        # does the loop-not-taken edge; it is returned as the single
+        # dangling continuation.
+        after = self._new(STMT, None)
+        self.nodes[after].kind = DISPATCH  # synthetic join, no stmt
+        frame = _LoopFrame(header, after)
+        body = stmt.body if hasattr(stmt, "body") else []
+        out = self._seq(body, header, exc, return_to, frame)
+        for src in out:
+            self._edge(src, header)  # back edge
+        orelse = getattr(stmt, "orelse", [])
+        if orelse:
+            done = self._seq(orelse, header, exc, return_to, None)
+            for src in done:
+                self._edge(src, after)
+        else:
+            self._edge(header, after)
+        return [after]
+
+    def _with(self, stmt: ast.stmt, preds: List[int], exc: int,
+              return_to: int, loop: Optional[_LoopFrame]) -> List[int]:
+        items = tuple(stmt.items)  # type: ignore[attr-defined]
+        header = self._new(STMT, stmt, items=items)
+        for p in preds:
+            self._edge(p, header)
+        # The context expression itself may raise -- before __enter__
+        # succeeded, so straight to the enclosing handler.
+        self._edge(header, exc, EXC)
+        teardown = self._new(WITH_EXIT, stmt, items=items)
+        # __exit__ runs on both completion and body exceptions; after
+        # an exceptional teardown the exception continues outward.
+        body = stmt.body  # type: ignore[attr-defined]
+        out = self._seq(body, header, teardown, return_to, loop)
+        for src in out:
+            self._edge(src, teardown)
+        self._edge(teardown, exc, EXC)
+        return [teardown]
+
+    def _try(self, stmt: ast.Try, preds: List[int], exc: int,
+             return_to: int, loop: Optional[_LoopFrame]) -> List[int]:
+        finals = stmt.finalbody
+        if finals:
+            # Build the finally once; route every leaving edge through
+            # it.  Its out-edges fan to each continuation the in-edges
+            # could need -- conservative, never hides a path.
+            fin_entry = self._new(DISPATCH, stmt)
+            fin_out = self._seq(finals, fin_entry, exc, return_to, loop)
+            inner_exc: int = fin_entry
+            inner_return = fin_entry
+        else:
+            fin_entry = -1
+            fin_out = []
+            inner_exc = exc
+            inner_return = return_to
+
+        if stmt.handlers:
+            dispatch = self._new(DISPATCH, stmt)
+            body_exc = dispatch
+        else:
+            dispatch = -1
+            body_exc = inner_exc
+
+        body_out = self._seq(stmt.body, preds[0], body_exc,
+                             inner_return, loop, preds=preds)
+        if stmt.orelse:
+            body_out = self._seq(stmt.orelse, body_exc, body_exc,
+                                 inner_return, loop, preds=body_out)
+
+        out: List[int] = list(body_out)
+        if stmt.handlers:
+            bare = any(h.type is None or
+                       (isinstance(h.type, ast.Name)
+                        and h.type.id == "BaseException")
+                       for h in stmt.handlers)
+            for handler in stmt.handlers:
+                h_out = self._seq(handler.body, dispatch, inner_exc,
+                                  inner_return, loop)
+                out += h_out
+            if not bare:
+                # No handler may match: the exception propagates.
+                self._edge(dispatch, inner_exc, EXC)
+
+        if finals:
+            for src in out:
+                self._edge(src, fin_entry)
+            # The finally's continuations: fall through, re-raise, and
+            # any return/loop exits the protected region wanted.
+            after: List[int] = list(fin_out)
+            for src in fin_out:
+                self._edge(src, exc, EXC)
+                if return_to != self.exit:
+                    self._edge(src, return_to)
+                else:
+                    self._edge(src, self.exit)
+            return after
+        return out
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Construct the CFG of one (sync or async) function definition."""
+    return _Builder(func).build()
+
+
+def iter_functions(tree: ast.Module) -> Iterator[FunctionNode]:
+    """Every function/method definition in a module, at any nesting."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node  # type: ignore[misc]

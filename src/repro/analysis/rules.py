@@ -20,6 +20,9 @@ ID                severity  invariant
                             file-backed stores after the fork
 ``REP204``        error     serving hot paths never pickle numpy arrays;
                             array payloads ride the shm/raw-buffer transport
+``REP205``        error     no parent-only handle acquisition (socketpair,
+                            Process, shm create, os.fork) reachable from a
+                            fork worker through the module call graph
 ``REP301``        error     no bare/broad ``except`` that swallows in
                             ``storage/`` and ``gist/``
 ``REP302``        error     storage paths raise ``StorageError`` subclasses,
@@ -31,7 +34,23 @@ ID                severity  invariant
                             on decoded blocks) in query hot paths
 ``REP501``        error     page-file protocol implementers define every
                             protocol method with a matching signature
+``REP601``        error     raw fds (``os.open``/``os.pipe``) and socketpair
+                            sockets reach close on every CFG path
+``REP602``        error     owning ``SharedMemory`` segments reach ``unlink``
+                            (not just close), mmaps reach close, on every path
+``REP603``        error     forked ``Process`` handles reach join/terminate
+                            on every path
+``REP701``        error     WAL protocol ordering: images logged before
+                            applied, data file fsynced before log reset
+``REP702``        error     ShmRing slot headers mutate only through the
+                            sanctioned accessors; an acquired slot never
+                            stays ``WRITING`` past an exception
 ================  ========  =====================================================
+
+The REP6xx/REP7xx families and REP205 run on the CFG/dataflow engine
+(:mod:`repro.analysis.cfg` / :mod:`repro.analysis.dataflow`) rather
+than per-node matching; see DESIGN.md §15 for the lattice and call
+graph construction.
 """
 
 from __future__ import annotations
@@ -40,6 +59,10 @@ import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.amlint import ERROR, WARNING, Finding, ModuleSource
+from repro.analysis.cfg import CFG, build_cfg, iter_functions
+from repro.analysis.dataflow import (CallGraph, ForwardAnalysis,
+                                     ResourceSpec, call_name, calls_at,
+                                     find_leaks, name_matches)
 
 #: packages whose structure must be a pure function of (data, seed).
 _DETERMINISM_SCOPE = ("bulk/", "gist/", "geometry/")
@@ -262,14 +285,67 @@ class _FunctionStackVisitor(ast.NodeVisitor):
 # fork safety
 # ---------------------------------------------------------------------------
 
+def _fork_entrypoints(tree: ast.Module) -> Set[str]:
+    """Functions that run on the child side of a fork: module-level
+    ``_worker*`` defs plus any module-level def handed to a
+    ``Process(target=...)`` constructor anywhere in the module."""
+    defs = {node.name for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    entries = {name for name in defs if name.startswith("_worker")}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (dotted_name(node.func) or "").endswith("Process"):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "target":
+                continue
+            target = (dotted_name(kw.value) or "").split(".")[-1]
+            if target in defs:
+                entries.add(target)
+    return entries
+
+
+def _reaches_reopen(graph: CallGraph, entry: str) -> bool:
+    """Does any function reachable from ``entry`` call a reopen helper?
+    Matched by suffix so module-level aliases (``_reopen_files =
+    reopen_files``) count the way they always have."""
+    return any(name.endswith("reopen_files")
+               for name in graph.reachable_calls(entry))
+
+
+def _own_calls(func: ast.AST) -> List[ast.Call]:
+    """Call sites lexically inside ``func``, excluding nested defs
+    (those are their own call-graph nodes)."""
+    calls: List[ast.Call] = []
+
+    class _V(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            if node is not func:
+                return
+            self.generic_visit(node)
+
+        visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+        def visit_Call(self, node: ast.Call) -> None:
+            calls.append(node)
+            self.generic_visit(node)
+
+    _V().visit(func)
+    return calls
+
+
 class ForkReopenRule(Rule):
     """REP201: forked workers must reopen file-backed stores.
 
     A forked child inherits the parent's file descriptions — and their
     *shared offsets*.  Every ``_worker_*`` function in the fork-parallel
-    files must call a ``storage/fork.py`` reopen helper before touching
+    files must reach a ``storage/fork.py`` reopen helper before touching
     a store (conditionally is fine: workers that only read inherited
-    copy-on-write memory guard the call).
+    copy-on-write memory guard the call).  Reaching it through a helper
+    counts: the check walks the module call graph from the worker, not
+    just the worker's own body, so factoring the reopen into a setup
+    function neither hides a violation nor manufactures one.
     """
 
     id = "REP201"
@@ -277,21 +353,20 @@ class ForkReopenRule(Rule):
     scopes = _FORK_SCOPE
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
+        graph = CallGraph.build(module.tree)
         for node in module.tree.body:
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             if not node.name.startswith("_worker"):
                 continue
-            calls_reopen = any(
-                isinstance(sub, ast.Call)
-                and (dotted_name(sub.func) or "").endswith("reopen_files")
-                for sub in ast.walk(node))
-            if not calls_reopen:
-                yield self.finding(
-                    module, node,
-                    f"fork worker {node.name}() never calls a "
-                    f"reopen_files helper; inherited descriptors share "
-                    f"their file offset across workers")
+            if _reaches_reopen(graph, node.name):
+                continue
+            yield self.finding(
+                module, node,
+                f"fork worker {node.name}() never calls a "
+                f"reopen_files helper (directly or through any function "
+                f"it can reach); inherited descriptors share their file "
+                f"offset across workers")
 
 
 class ForkCaptureRule(Rule):
@@ -351,7 +426,9 @@ class DaemonReopenRule(Rule):
     ``serving/`` that runs on the child side of the fork — named
     ``_worker*`` by the repo convention, or handed to a
     ``Process(target=...)`` constructor defined in the same module —
-    must call a ``reopen_files`` helper before serving.
+    must reach a ``reopen_files`` helper before serving, where "reach"
+    is real call-graph reachability: the reopen may live in any helper
+    the entrypoint calls into.
     """
 
     id = "REP203"
@@ -359,35 +436,82 @@ class DaemonReopenRule(Rule):
     scopes = ("serving/",)
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
+        graph = CallGraph.build(module.tree)
         defs = {node.name: node for node in module.tree.body
                 if isinstance(node,
                               (ast.FunctionDef, ast.AsyncFunctionDef))}
-        entrypoints = {name for name in defs
-                       if name.startswith("_worker")}
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            if not (dotted_name(node.func) or "").endswith("Process"):
-                continue
-            for kw in node.keywords:
-                if kw.arg != "target":
-                    continue
-                target = (dotted_name(kw.value) or "").split(".")[-1]
-                if target in defs:
-                    entrypoints.add(target)
-        for name in sorted(entrypoints):
+        for name in sorted(_fork_entrypoints(module.tree)):
             func = defs[name]
-            calls_reopen = any(
-                isinstance(sub, ast.Call)
-                and (dotted_name(sub.func) or "").endswith("reopen_files")
-                for sub in ast.walk(func))
-            if not calls_reopen:
-                yield self.finding(
-                    module, func,
-                    f"daemon worker {name}() never calls a "
-                    f"reopen_files helper; a long-lived forked worker "
-                    f"sharing the parent's file offset corrupts "
-                    f"concurrent page reads")
+            if _reaches_reopen(graph, name):
+                continue
+            yield self.finding(
+                module, func,
+                f"daemon worker {name}() never calls a "
+                f"reopen_files helper (directly or through any function "
+                f"it can reach); a long-lived forked worker sharing the "
+                f"parent's file offset corrupts concurrent page reads")
+
+
+class ForkReachabilityRule(Rule):
+    """REP205: no parent-only acquisition reachable from a fork worker.
+
+    The name-heuristic rules (REP201/REP203) ask whether a worker
+    reopens what it inherited; this rule asks the dual question with
+    the same call graph: can a worker *reach* code that acquires a
+    parent-side handle?  A forked child that creates its own
+    ``socketpair``, forks again, constructs a ``Process``, or creates a
+    shm ring/segment is almost always a refactor accident — those
+    acquisitions belong to the coordinator, and a child-side copy
+    leaks a kernel object per request or double-forks the daemon.
+    ``SharedMemory(create=False)`` attaches — that is exactly what a
+    worker *should* do — so only creating acquisitions count.
+    """
+
+    id = "REP205"
+    title = "no parent-only handle acquisition reachable from fork workers"
+    scopes = ("serving/", "bulk/", "workload/")
+
+    def _parent_only(self, call: ast.Call) -> Optional[str]:
+        dotted = call_name(call)
+        if name_matches(dotted, ("socketpair",)):
+            return "socketpair()"
+        if dotted == "os.fork":
+            return "os.fork()"
+        if dotted.endswith("ShmRing.create"):
+            return "ShmRing.create()"
+        if name_matches(dotted, ("Process",)):
+            return "Process construction"
+        if name_matches(dotted, ("SharedMemory",)):
+            for kw in call.keywords:
+                if kw.arg == "create" and \
+                        isinstance(kw.value, ast.Constant) and \
+                        kw.value.value is True:
+                    return "SharedMemory(create=True)"
+        return None
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        entries = _fork_entrypoints(module.tree)
+        if not entries:
+            return
+        graph = CallGraph.build(module.tree)
+        reached_by: Dict[str, Set[str]] = {}
+        for entry in sorted(entries):
+            for name in graph.reachable([entry]):
+                reached_by.setdefault(name, set()).add(entry)
+        for name in sorted(reached_by):
+            for func in graph.defs.get(name, []):
+                for call in _own_calls(func):
+                    what = self._parent_only(call)
+                    if what is None:
+                        continue
+                    entries_str = ", ".join(
+                        f"{e}()" for e in sorted(reached_by[name]))
+                    yield self.finding(
+                        module, call,
+                        f"{what} in {name}() is reachable from fork "
+                        f"entrypoint {entries_str}; parent-only handle "
+                        f"acquisitions must stay on the coordinator "
+                        f"side of the fork")
 
 
 class HotPathPickleRule(Rule):
@@ -820,6 +944,302 @@ class ProtocolConformanceRule(Rule):
                             f"mismatch: {why}")
 
 
+# ---------------------------------------------------------------------------
+# resource lifecycle (CFG/dataflow)
+# ---------------------------------------------------------------------------
+
+class _Loc:
+    """A bare source location for findings not tied to one AST node."""
+
+    def __init__(self, line: int, col: int = 0) -> None:
+        self.lineno = line
+        self.col_offset = col
+
+
+def _path_phrase(path: str) -> str:
+    return {"exit": "on a normal path",
+            "raise_exit": "on an exception path",
+            "exit+raise_exit": "on normal and exception paths"}.get(
+                path, path)
+
+
+class _ResourceLifecycleRule(Rule):
+    """Shared machinery for the REP6xx family: run the resource-state
+    lattice (:mod:`repro.analysis.dataflow`) over every function's CFG
+    and report acquisitions that may reach an exit un-discharged.
+
+    The analysis is escape-aware — a handle that is returned, stored
+    into an object or container, or passed to another call transfers
+    its release duty and is never reported — and exception-aware: the
+    sanctioned ``BufferError`` teardown idiom (a ``close``/``unlink``
+    that itself raises) counts as discharged on its own raise edge.
+    """
+
+    specs: Tuple[ResourceSpec, ...] = ()
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for func in iter_functions(module.tree):
+            for leak in find_leaks(func, self.specs):
+                res = leak.resource
+                yield self.finding(
+                    module, _Loc(res.line),
+                    f"{res.kind} {res.var!r} acquired in {func.name}() "
+                    f"may never reach {res.duty} "
+                    f"({_path_phrase(leak.path)}); discharge it in a "
+                    f"finally/except cleanup on every path")
+
+
+#: os functions that read/write *through* a descriptor without taking
+#: ownership of it — passing an fd to these is a use, not an escape.
+_FD_USES = ("os.read", "os.write", "os.pread", "os.pwrite", "os.lseek",
+            "os.fsync", "os.fstat", "os.ftruncate", "os.fdatasync")
+
+
+class FdLifecycleRule(_ResourceLifecycleRule):
+    """REP601: raw descriptors reach ``close`` on every CFG path.
+
+    Tracks ``os.open`` / ``os.pipe`` descriptors and ``socketpair``
+    pairs.  File *objects* from ``open()`` are deliberately out of
+    scope — they own their descriptor and ``with`` handles them — the
+    raw-fd APIs are the ones with nothing watching their back.
+    """
+
+    id = "REP601"
+    title = "raw fds and socketpairs must reach close on every path"
+    scopes = ("serving/", "storage/", "bulk/", "workload/")
+
+    specs = (
+        ResourceSpec(kind="fd", acquires=("os.open",), releases=(),
+                     release_funcs=("os.close",), duty="os.close()",
+                     use_funcs=_FD_USES),
+        ResourceSpec(kind="pipe fd", acquires=("os.pipe",), releases=(),
+                     release_funcs=("os.close",), arity=2,
+                     duty="os.close()", use_funcs=_FD_USES),
+        ResourceSpec(kind="socket", acquires=("socketpair",),
+                     releases=("close",), arity=2, duty=".close()"),
+    )
+
+
+class SegmentLifecycleRule(_ResourceLifecycleRule):
+    """REP602: shm segments and mmaps reach unlink/close on every path.
+
+    A ``SharedMemory(create=True)`` segment is a *named kernel object*:
+    a missed ``unlink`` outlives the process as a ``/dev/shm`` entry
+    (the PR 9 leak class), so for owning acquisitions only ``unlink``
+    discharges the duty — ``close`` alone merely drops the mapping.
+    Attaching (``create=False``) carries no unlink duty and is not
+    tracked.  ``mmap.mmap`` maps discharge with ``close``.
+    """
+
+    id = "REP602"
+    title = "shm segments must reach unlink, mmaps close, on every path"
+    scopes = ("serving/", "storage/")
+
+    specs = (
+        ResourceSpec(kind="shm segment", acquires=("SharedMemory",),
+                     releases=("unlink",),
+                     require_kwarg=("create", True), duty=".unlink()"),
+        ResourceSpec(kind="mmap", acquires=("mmap.mmap",),
+                     releases=("close",), duty=".close()"),
+    )
+
+
+class ProcessLifecycleRule(_ResourceLifecycleRule):
+    """REP603: forked ``Process`` handles reach join on every path.
+
+    An unjoined child is a zombie holding its exit status (and, for
+    daemon workers, its inherited descriptors) until the parent exits.
+    ``terminate``/``kill`` count too: the repo's retire path terminates
+    then joins, and either call proves the handle was not forgotten.
+    """
+
+    id = "REP603"
+    title = "forked Process handles must reach join on every path"
+    scopes = ("serving/", "bulk/", "workload/")
+
+    specs = (
+        ResourceSpec(kind="process", acquires=("Process",),
+                     releases=("join", "terminate", "kill"),
+                     duty=".join()"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# protocol state machines (CFG/dataflow)
+# ---------------------------------------------------------------------------
+
+_WalState = Tuple[frozenset, frozenset]
+
+
+class _WalAnalysis(ForwardAnalysis):
+    """Tracks (logged?, fsynced?) as may-sets through one function."""
+
+    def initial(self) -> _WalState:
+        return (frozenset({"unlogged"}), frozenset({"unsynced"}))
+
+    def join(self, a: _WalState, b: _WalState) -> _WalState:
+        return (a[0] | b[0], a[1] | b[1])
+
+    def transfer(self, node, state):
+        log, sync = state
+        for call in calls_at(node):
+            dotted = call_name(call)
+            if dotted.endswith("append_transaction"):
+                log = frozenset({"logged"})
+                # append_transaction fsyncs the log before returning,
+                # so the log is durable from here on.
+                sync = frozenset({"synced"})
+            elif dotted.endswith("fsync"):
+                sync = frozenset({"synced"})
+            elif dotted.split(".")[-1] == "begin":
+                log = frozenset({"unlogged"})
+        out = (log, sync)
+        return out, out
+
+
+class WalDisciplineRule(Rule):
+    """REP701: the WAL commit protocol, as a dataflow state machine.
+
+    Two orderings make crash recovery sound, and both are invisible to
+    a per-node matcher because they are *orderings*:
+
+    - **log before apply** — in any function that is not itself the
+      redo machinery, a call to ``_apply_images``/``_write_raw`` must
+      be dominated by an ``append_transaction`` call: images reach the
+      durable log (which fsyncs internally) before any byte of the
+      data file moves.
+    - **fsync before reset** — truncating the log (``wal.reset()``)
+      while the data file may still be unsynced turns a crash into
+      silent data loss; an ``os.fsync`` must dominate the reset.
+
+    The redo machinery itself (apply/tear/recover/... by the REP104
+    naming convention) is exempt from the first check — it *is* the
+    sanctioned applier — but nothing is exempt from the second except
+    ``reset`` itself.
+    """
+
+    id = "REP701"
+    title = "WAL writes are logged before applied, fsynced before reset"
+    scopes = ("storage/wal",)
+
+    _APPLIERS = frozenset({"_apply_images", "_write_raw"})
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for func in iter_functions(module.tree):
+            stripped = func.name.lstrip("_")
+            check_apply = not stripped.startswith(
+                UnloggedWriteRule._EXEMPT_PREFIXES)
+            check_reset = not stripped.startswith(("reset", "clear"))
+            if not (check_apply or check_reset):
+                continue
+            cfg = build_cfg(func)
+            states = _WalAnalysis().run(cfg)
+            for node in cfg.stmt_nodes():
+                state = states.get(node.id)
+                if state is None:
+                    continue  # unreachable
+                log, sync = state
+                for call in calls_at(node):
+                    func_expr = call.func
+                    attr = (func_expr.attr
+                            if isinstance(func_expr, ast.Attribute)
+                            else "")
+                    if check_apply and attr in self._APPLIERS \
+                            and "unlogged" in log:
+                        yield self.finding(
+                            module, call,
+                            f"{attr}() in {func.name}() can run before "
+                            f"append_transaction() on some path; pages "
+                            f"must reach the durable log before the "
+                            f"data file")
+                    if check_reset and attr == "reset":
+                        chain = (dotted_name(func_expr.value) or "")
+                        if "wal" in chain.split(".") \
+                                and "unsynced" in sync:
+                            yield self.finding(
+                                module, call,
+                                f"wal.reset() in {func.name}() can run "
+                                f"before os.fsync() of the data file; "
+                                f"truncating the log first loses the "
+                                f"only durable copy of applied pages")
+
+
+class SlotDisciplineRule(Rule):
+    """REP702: ShmRing slot state moves only through the accessors.
+
+    Three sub-checks over ``serving/``:
+
+    - outside the shm module, nothing touches slot headers: no
+      ``_set_header``/``_set_state`` calls, no ``pack_into`` — the
+      FREE -> WRITING -> READY machine belongs to ``shm.py``;
+    - inside the shm module, raw ``pack_into`` lives only in
+      ``_set_header`` (the one sanctioned store);
+    - a slot flipped ``WRITING`` by ``_acquire`` must reach another
+      header store (``READY`` handoff or ``FREE`` rollback) on every
+      CFG path — a writer that raises mid-copy and leaves the slot
+      ``WRITING`` wedges the ring for the life of the segment.
+    """
+
+    id = "REP702"
+    title = "ShmRing slot headers mutate only through sanctioned accessors"
+    scopes = ("serving/",)
+
+    _ACCESSORS = frozenset({"_set_header", "_set_state"})
+    _SLOT_SPEC = ResourceSpec(
+        kind="ring slot", acquires=("_acquire",), releases=(),
+        release_funcs=("_set_header", "_set_state"),
+        duty="_set_header(READY)/_set_state(FREE)", no_escape=True)
+
+    @staticmethod
+    def _is_shm_module(relpath: str) -> bool:
+        return relpath.rsplit("/", 1)[-1].startswith("shm")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not self._is_shm_module(module.relpath):
+            yield from self._check_outside(module)
+            return
+        visitor = _FunctionStackVisitor()
+        visitor.visit(module.tree)
+        for node, stack in visitor.calls:
+            dotted = dotted_name(node.func) or ""
+            if dotted.endswith("pack_into") and \
+                    (not stack or stack[-1] != "_set_header"):
+                yield self.finding(
+                    module, node,
+                    "raw pack_into on the slot header outside "
+                    "_set_header(); all header stores go through the "
+                    "one sanctioned accessor")
+        for func in iter_functions(module.tree):
+            if func.name in ("_acquire",):
+                continue
+            for leak in find_leaks(func, (self._SLOT_SPEC,)):
+                yield self.finding(
+                    module, _Loc(leak.resource.line),
+                    f"slot acquired in {func.name}() may be left "
+                    f"WRITING {_path_phrase(leak.path)}; flip it READY "
+                    f"or roll it back to FREE before propagating")
+
+    def _check_outside(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_expr = node.func
+            attr = (func_expr.attr
+                    if isinstance(func_expr, ast.Attribute) else "")
+            dotted = dotted_name(func_expr) or ""
+            if attr in self._ACCESSORS:
+                yield self.finding(
+                    module, node,
+                    f"{attr}() call outside the shm module; slot "
+                    f"state is owned by ShmRing's accessors")
+            elif dotted.endswith("pack_into"):
+                yield self.finding(
+                    module, node,
+                    "raw struct pack_into in serving code outside the "
+                    "shm module; slot headers are not a wire format "
+                    "for general use")
+
+
 #: every rule amlint runs, in catalog order.
 ALL_RULES: List[Rule] = [
     WallClockRule(),
@@ -829,12 +1249,18 @@ ALL_RULES: List[Rule] = [
     ForkCaptureRule(),
     DaemonReopenRule(),
     HotPathPickleRule(),
+    ForkReachabilityRule(),
     BroadExceptRule(),
     TypedRaiseRule(),
     ZeroCopyRule(),
     CopyInDecodeRule(),
     EagerDequantizeRule(),
     ProtocolConformanceRule(),
+    FdLifecycleRule(),
+    SegmentLifecycleRule(),
+    ProcessLifecycleRule(),
+    WalDisciplineRule(),
+    SlotDisciplineRule(),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

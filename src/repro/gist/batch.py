@@ -40,7 +40,7 @@ DESIGN.md, "Batched query engine".
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,7 +83,7 @@ class _QueryState:
     __slots__ = ("qid", "q", "heap", "results", "topk", "tau",
                  "next_counter", "pending", "done")
 
-    def __init__(self, qid: int, q: np.ndarray, root_id: int, height: int):
+    def __init__(self, qid: int, q: np.ndarray, root_id: int, height: int) -> None:
         self.qid = qid
         self.q = q
         # The root item consumes counter 0, exactly like the sequential
@@ -98,7 +98,7 @@ class _QueryState:
         self.done = False
 
 
-def knn_search_batch(tree, queries, k: int, block_size: Optional[int] = None,
+def knn_search_batch(tree: Any, queries: np.ndarray, k: int, block_size: Optional[int] = None,
                      on_access: Optional[AccessCallback] = None,
                      ) -> List[List[Tuple[float, int]]]:
     """k-NN results for every query, bit-identical to ``knn_search``.
@@ -127,7 +127,7 @@ def knn_search_batch(tree, queries, k: int, block_size: Optional[int] = None,
     return results
 
 
-def _run_block(tree, queries: np.ndarray, k: int,
+def _run_block(tree: Any, queries: np.ndarray, k: int,
                on_access: Optional[AccessCallback],
                qid0: int) -> List[List[Tuple[float, int]]]:
     ext = tree.ext
@@ -191,7 +191,7 @@ def _run_block(tree, queries: np.ndarray, k: int,
     return [st.results for st in states]
 
 
-def _advance(state: _QueryState, ext, k: int) -> Optional[Tuple[int, int]]:
+def _advance(state: _QueryState, ext: Any, k: int) -> Optional[Tuple[int, int]]:
     """Run one query until it needs a node read; None when finished.
 
     Mirrors the sequential loop body statement for statement, with runs
@@ -254,7 +254,7 @@ def _advance(state: _QueryState, ext, k: int) -> Optional[Tuple[int, int]]:
         return state.pending
 
 
-def _expand_leaf(waiters: List[_QueryState], node, k: int) -> None:
+def _expand_leaf(waiters: List[_QueryState], node: Any, k: int) -> None:
     # rid_array reads the "rids" cache a zero-copy block decode (or the
     # bulk loader) left behind; materializing entry objects here would
     # cost more than the distance kernel below.
@@ -303,7 +303,7 @@ def _expand_leaf(waiters: List[_QueryState], node, k: int) -> None:
         st.tau, st.topk = _update_tau(st.topk, kept_d, k)
 
 
-def _expand_inner(waiters: List[_QueryState], node, ext) -> None:
+def _expand_inner(waiters: List[_QueryState], node: Any, ext: Any) -> None:
     if len(waiters) == 1:
         rows = ext.min_dists_node(node, waiters[0].q)[None]
         qblock = waiters[0].q[None]

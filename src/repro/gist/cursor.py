@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, Tuple
+from typing import Any, Iterator, Tuple
 
 import numpy as np
 
@@ -20,7 +20,7 @@ _NODE = 0
 _POINT = 1
 
 
-def nn_cursor(tree, query: np.ndarray) -> Iterator[Tuple[float, int]]:
+def nn_cursor(tree: Any, query: np.ndarray) -> Iterator[Tuple[float, int]]:
     """Yield ``(distance, rid)`` pairs in nondecreasing distance order.
 
     The traversal state lives in the generator; advancing it performs
@@ -68,7 +68,7 @@ def nn_cursor(tree, query: np.ndarray) -> Iterator[Tuple[float, int]]:
                            not lazy))
 
 
-def knn_until(tree, query: np.ndarray, stop) -> list:
+def knn_until(tree: Any, query: np.ndarray, stop: Any) -> list:
     """Collect neighbors until ``stop(results)`` returns True.
 
     ``stop`` receives the list of ``(distance, rid)`` results gathered

@@ -10,7 +10,7 @@ answers are instead of crashing mid-run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -37,7 +37,7 @@ class DegradationReport:
     #: in by :func:`repro.workload.runner.run_workload`.
     recall: Optional[float] = None
 
-    def record(self, page_id: int, level: Optional[int], error,
+    def record(self, page_id: int, level: Optional[int], error: Any,
                estimated_candidates_lost: int) -> QuarantinedPage:
         """Register a pruned page (idempotent per page id)."""
         entry = self.pages.get(page_id)

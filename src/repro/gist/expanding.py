@@ -16,12 +16,12 @@ initial radius from the tree's own geometry to keep rounds few.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
 
-def sphere_search(tree, center: np.ndarray,
+def sphere_search(tree: Any, center: np.ndarray,
                   radius: float) -> List[Tuple[float, int]]:
     """All stored keys within ``radius`` of ``center``, as (dist, rid).
 
@@ -58,7 +58,7 @@ def sphere_search(tree, center: np.ndarray,
     return results
 
 
-def _initial_radius(tree, k: int) -> float:
+def _initial_radius(tree: Any, k: int) -> float:
     """Radius guess: scale the root extent by the target selectivity.
 
     A ball holding ~k of n points in ``d`` dimensions has radius about
@@ -86,7 +86,7 @@ def _initial_radius(tree, k: int) -> float:
     return max(span * frac * 0.5, 1e-9)
 
 
-def knn_expanding(tree, query: np.ndarray, k: int,
+def knn_expanding(tree: Any, query: np.ndarray, k: int,
                   initial_radius: Optional[float] = None,
                   growth: float = 2.0,
                   max_rounds: int = 64) -> List[Tuple[float, int]]:

@@ -21,7 +21,7 @@ eager tight evaluation, so I/O counts reflect the tight predicate.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,20 +36,20 @@ class GiSTExtension:
     #: short identifier used in reports ("rtree", "xjb", ...)
     name: str = "abstract"
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         self.dim = dim
 
     # -- predicate construction --------------------------------------------
 
-    def pred_for_keys(self, keys: np.ndarray):
+    def pred_for_keys(self, keys: np.ndarray) -> Any:
         """Bounding predicate for a leaf node's ``(n, dim)`` key array."""
         raise NotImplementedError
 
-    def pred_for_preds(self, preds: Sequence):
+    def pred_for_preds(self, preds: Sequence) -> Any:
         """Bounding predicate covering child predicates (inner nodes)."""
         raise NotImplementedError
 
-    def pred_for_node(self, node: Node):
+    def pred_for_node(self, node: Node) -> Any:
         """Recompute a node's bounding predicate from its contents."""
         if node.is_leaf:
             return self.pred_for_keys(node.keys_array())
@@ -66,18 +66,18 @@ class GiSTExtension:
     # sequential ones — and (b) vectorizing extensions (JB/XJB) can
     # batch predicate construction across sibling nodes of a level.
 
-    def pred_for_keys_at(self, keys: np.ndarray, token: Tuple[int, int]):
+    def pred_for_keys_at(self, keys: np.ndarray, token: Tuple[int, int]) -> Any:
         """Positioned :meth:`pred_for_keys`; ``token`` is ``(level,
         index)`` of the node under construction.  Deterministic
         extensions ignore the token."""
         return self.pred_for_keys(keys)
 
-    def pred_for_preds_at(self, preds: Sequence, token: Tuple[int, int]):
+    def pred_for_preds_at(self, preds: Sequence, token: Tuple[int, int]) -> Any:
         """Positioned :meth:`pred_for_preds` (see
         :meth:`pred_for_keys_at`)."""
         return self.pred_for_preds(preds)
 
-    def pred_for_node_at(self, node: Node, token: Tuple[int, int]):
+    def pred_for_node_at(self, node: Node, token: Tuple[int, int]) -> Any:
         """Positioned :meth:`pred_for_node`.
 
         Routed through the node's cached stacked views
@@ -114,7 +114,7 @@ class GiSTExtension:
     # early.  Widened predicates must never shrink the covered region:
     # everything the old predicate admitted must stay admitted.
 
-    def adjust_pred_insert(self, pred, key: np.ndarray):
+    def adjust_pred_insert(self, pred: Any, key: np.ndarray) -> Any:
         """``pred`` widened to cover the freshly inserted ``key``.
 
         Returns ``pred`` unchanged when it already covers the key, a
@@ -122,7 +122,7 @@ class GiSTExtension:
         recompute (the safe default)."""
         return None
 
-    def adjust_pred_cover(self, pred, child_pred):
+    def adjust_pred_cover(self, pred: Any, child_pred: Any) -> Any:
         """``pred`` widened to cover an updated child predicate.
 
         Same contract as :meth:`adjust_pred_insert`; ``child_pred`` is
@@ -131,15 +131,15 @@ class GiSTExtension:
 
     # -- predicate algebra -----------------------------------------------------
 
-    def consistent(self, pred, query_rect) -> bool:
+    def consistent(self, pred: Any, query_rect: np.ndarray) -> bool:
         """May data under ``pred`` fall inside the query rectangle?"""
         raise NotImplementedError
 
-    def contains(self, pred, point) -> bool:
+    def contains(self, pred: Any, point: np.ndarray) -> bool:
         """Must ``pred`` cover ``point``?  Exact; drives DELETE descent."""
         raise NotImplementedError
 
-    def covers_pred(self, parent_pred, child_pred) -> bool:
+    def covers_pred(self, parent_pred: Any, child_pred: Any) -> bool:
         """Conservative check that ``parent_pred`` covers ``child_pred``.
 
         Used by validation and by the insert path to skip redundant
@@ -147,7 +147,7 @@ class GiSTExtension:
         """
         raise NotImplementedError
 
-    def penalty(self, pred, key: np.ndarray) -> float:
+    def penalty(self, pred: Any, key: np.ndarray) -> float:
         """Cost of routing ``key`` under ``pred`` (INSERT descent)."""
         raise NotImplementedError
 
@@ -165,7 +165,7 @@ class GiSTExtension:
 
     # -- distances -------------------------------------------------------------
 
-    def min_dist(self, pred, q: np.ndarray) -> float:
+    def min_dist(self, pred: Any, q: np.ndarray) -> float:
         """Lower bound on the distance from ``q`` to data under ``pred``."""
         raise NotImplementedError
 
@@ -192,7 +192,7 @@ class GiSTExtension:
     #: whether :meth:`refine_dist` tightens :meth:`min_dists_node` bounds
     has_refinement: bool = False
 
-    def refine_dist(self, pred, q: np.ndarray, lower_bound: float) -> float:
+    def refine_dist(self, pred: Any, q: np.ndarray, lower_bound: float) -> float:
         """Tighter lower bound, evaluated lazily at queue-pop time."""
         return lower_bound
 
@@ -210,7 +210,7 @@ class GiSTExtension:
         """
         return np.full(dists.shape, np.nan)
 
-    def routing_point(self, pred) -> np.ndarray:
+    def routing_point(self, pred: Any) -> np.ndarray:
         """A representative point for routing an orphaned subtree's entry
         during delete condensation (typically the predicate's center)."""
         raise NotImplementedError

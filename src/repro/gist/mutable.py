@@ -131,12 +131,12 @@ class MutableTree:
 
     # -- mutation ------------------------------------------------------------
 
-    def insert(self, key, rid: int) -> None:
+    def insert(self, key: np.ndarray, rid: int) -> None:
         """Durably add one ``(key, RID)`` pair."""
         key = np.asarray(key, dtype=np.float64)
         self._mutate(lambda: self.tree.insert(key, rid))
 
-    def delete(self, key, rid: int) -> bool:
+    def delete(self, key: np.ndarray, rid: int) -> bool:
         """Durably remove one ``(key, RID)`` pair; False if absent."""
         key = np.asarray(key, dtype=np.float64)
         return bool(self._mutate(lambda: self.tree.delete(key, rid)))

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,7 +43,7 @@ _NODE = 0
 _POINT = 1
 
 
-def knn_search(tree, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
+def knn_search(tree: Any, query: np.ndarray, k: int) -> List[Tuple[float, int]]:
     """The ``k`` nearest leaf keys to ``query`` as ``(distance, rid)``.
 
     Node reads go through the tree's counting read path.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -21,7 +21,7 @@ class Node:
 
     __slots__ = ("page_id", "level", "_entries", "cache")
 
-    def __init__(self, page_id: int, level: int, entries: Optional[List] = None):
+    def __init__(self, page_id: int, level: int, entries: Optional[List] = None) -> None:
         self.page_id = page_id
         self.level = level
         self._entries: Optional[List] = \
@@ -69,7 +69,7 @@ class Node:
 
     # -- mutation (cache-invalidating) --------------------------------------
 
-    def add_entry(self, entry) -> None:
+    def add_entry(self, entry: Any) -> None:
         self.entries.append(entry)
         self.cache.clear()
 
@@ -81,13 +81,13 @@ class Node:
         self.entries = list(entries)
         self.cache.clear()
 
-    def replace_entry(self, index: int, entry) -> None:
+    def replace_entry(self, index: int, entry: Any) -> None:
         self.entries[index] = entry
         self.cache.clear()
 
     # -- cached views -----------------------------------------------------------
 
-    def cached(self, key: str, build):
+    def cached(self, key: str, build: Any) -> Any:
         """Memoize ``build()`` under ``key`` until the node mutates.
 
         Extensions use this to keep stacked geometry arrays (MBR
@@ -142,7 +142,7 @@ class Node:
                 self.cache["qhalf"] = half
         return half
 
-    def quantized_block(self):
+    def quantized_block(self) -> Any:
         """The decoded ``QuantizedKeys`` block, or None if exact."""
         if not self.is_leaf:
             return None

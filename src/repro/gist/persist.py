@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Dict
+from typing import Any, Dict
 
 from repro.gist.entry import IndexEntry
 from repro.gist.node import Node
@@ -109,7 +109,7 @@ def read_superblock(raw: bytes, path: str) -> dict:
     if not isinstance(header, dict) or header.get("magic") != _MAGIC:
         raise PageCorruptError("not a saved GiST (bad magic)", path=path)
 
-    def _int_field(key, minimum):
+    def _int_field(key: str, minimum: int) -> int:
         value = header.get(key)
         if not isinstance(value, int) or value < minimum:
             raise PageCorruptError(
@@ -161,7 +161,7 @@ def read_superblock(raw: bytes, path: str) -> dict:
     return header
 
 
-def load_tree(extension=None, path: str = None) -> GiST:
+def load_tree(extension: Any = None, path: str = None) -> GiST:
     """Reload a tree saved by :func:`save_tree`.
 
     With ``extension=None`` the saved header's extension name and config
@@ -223,7 +223,7 @@ def load_tree(extension=None, path: str = None) -> GiST:
     return tree
 
 
-def _decode_slot(codec: NodeCodec, image: bytes, path: str):
+def _decode_slot(codec: NodeCodec, image: bytes, path: str) -> Any:
     """Decode one page image into a :class:`Node`; None if the slot is
     freed (page id -1).
 

@@ -118,7 +118,7 @@ class QueryPlanner:
     """
 
     def __init__(self, tree: Any, flat: Any,
-                 config: Optional[PlannerConfig] = None):
+                 config: Optional[PlannerConfig] = None) -> None:
         self.tree = tree
         self.flat = flat
         self.config = config or PlannerConfig()

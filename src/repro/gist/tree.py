@@ -14,7 +14,7 @@ workloads.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,9 +36,9 @@ MIN_FILL = 0.4
 class GiST:
     """A height-balanced multi-way search tree specialized by an extension."""
 
-    def __init__(self, extension: GiSTExtension, store=None,
+    def __init__(self, extension: GiSTExtension, store: Any = None,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 leaf_codec: Optional[LeafEntryCodec] = None):
+                 leaf_codec: Optional[LeafEntryCodec] = None) -> None:
         self.ext = extension
         self.store = store if store is not None else MemoryPageFile()
         self.page_size = page_size
@@ -153,7 +153,7 @@ class GiST:
         pids = [pid for pid, _ in requests]
         return dict(zip(pids, read_many(pids)))
 
-    def _quarantine(self, page_id: int, level: Optional[int], exc) -> None:
+    def _quarantine(self, page_id: int, level: Optional[int], exc: Any) -> None:
         self._quarantined.add(page_id)
         self.degradation.record(page_id, level, exc,
                                 self._estimate_candidates(level))
@@ -170,14 +170,14 @@ class GiST:
         inner_fill = max(2, round(TARGET_UTILIZATION * self.index_capacity))
         return leaf_fill * inner_fill ** level
 
-    def _new_node(self, level: int, entries=None) -> Node:
+    def _new_node(self, level: int, entries: Any = None) -> Node:
         node = Node(self.store.allocate(), level, entries)
         self.store.write(node)
         return node
 
     # -- queries ------------------------------------------------------------------
 
-    def search(self, query_rect) -> List[LeafEntry]:
+    def search(self, query_rect: np.ndarray) -> List[LeafEntry]:
         """All leaf entries whose keys fall inside ``query_rect``."""
         if self.root_id is None:
             return []
@@ -207,7 +207,7 @@ class GiST:
         """
         return knn_search(self, query, k)
 
-    def knn_batch(self, queries, k: int,
+    def knn_batch(self, queries: np.ndarray, k: int,
                   block_size: Optional[int] = None,
                   ) -> List[List[Tuple[float, int]]]:
         """:meth:`knn` for a whole ``(Q, dim)`` query block at once.
@@ -220,18 +220,18 @@ class GiST:
         from repro.gist.batch import knn_search_batch
         return knn_search_batch(self, queries, k, block_size=block_size)
 
-    def nn_cursor(self, query):
+    def nn_cursor(self, query: np.ndarray) -> Any:
         """Incremental nearest-neighbor iterator; see
         :func:`repro.gist.cursor.nn_cursor`."""
         from repro.gist.cursor import nn_cursor
         return nn_cursor(self, query)
 
-    def sphere_search(self, center, radius: float) -> List[Tuple[float, int]]:
+    def sphere_search(self, center: np.ndarray, radius: float) -> List[Tuple[float, int]]:
         """All keys within ``radius`` of ``center`` as (distance, rid)."""
         from repro.gist.expanding import sphere_search
         return sphere_search(self, center, radius)
 
-    def knn_expanding(self, query, k: int, **options
+    def knn_expanding(self, query: np.ndarray, k: int, **options: Any
                       ) -> List[Tuple[float, int]]:
         """Exact k-NN via the paper's expanding-sphere strategy
         (section 5); see :func:`repro.gist.expanding.knn_expanding`."""
@@ -240,14 +240,14 @@ class GiST:
 
     # -- insertion -------------------------------------------------------------------
 
-    def insert(self, key, rid: int) -> None:
+    def insert(self, key: np.ndarray, rid: int) -> None:
         """Add a ``(key, RID)`` pair (GiST INSERT template)."""
         key = np.asarray(key, dtype=np.float64)
         self._insert_entry(LeafEntry(key, rid), target_level=0,
                            routing_key=key)
         self.size += 1
 
-    def _insert_entry(self, entry, target_level: int,
+    def _insert_entry(self, entry: Any, target_level: int,
                       routing_key: np.ndarray) -> None:
         """Insert ``entry`` into a node at ``target_level``.
 
@@ -401,7 +401,7 @@ class GiST:
 
     # -- deletion ----------------------------------------------------------------------
 
-    def delete(self, key, rid: int) -> bool:
+    def delete(self, key: np.ndarray, rid: int) -> bool:
         """Remove one ``(key, RID)`` pair; returns whether it was found.
 
         On a lossy (quantized) leaf codec the stored key is a

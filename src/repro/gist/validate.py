@@ -16,7 +16,7 @@ Wired into the CLI as ``python -m repro fsck <index>``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -25,7 +25,7 @@ class TreeInvariantError(AssertionError):
     """A structural invariant was violated."""
 
 
-def validate_tree(tree, expected_size: int = None,
+def validate_tree(tree: Any, expected_size: Optional[int] = None,
                   check_fill: bool = True) -> None:
     """Raise :class:`TreeInvariantError` on any broken invariant."""
     if tree.root_id is None:
@@ -39,7 +39,7 @@ def validate_tree(tree, expected_size: int = None,
     seen_rids: List[int] = []
     leaf_depths = set()
 
-    def recurse(page_id: int, depth: int, expected_level) -> None:
+    def recurse(page_id: int, depth: int, expected_level: Any) -> None:
         node = tree._peek(page_id)
         if expected_level is not None and node.level != expected_level:
             raise TreeInvariantError(
@@ -260,7 +260,7 @@ def scrub_file(path: str) -> ScrubReport:
     return report
 
 
-def _check_bp(ext, pred, child, child_id: int) -> None:
+def _check_bp(ext: Any, pred: Any, child: Any, child_id: int) -> None:
     """A bounding predicate must hold for everything beneath it.
 
     Quantized leaves hold *reconstructions*: the predicate was fit to

@@ -77,7 +77,7 @@ DEFAULT_SLOT_BYTES = 1 << 20
 class _SocketShard:
     """Transport handle for one forked worker."""
 
-    def __init__(self, shard_id: int, channel: FramedChannel, process):
+    def __init__(self, shard_id: int, channel: FramedChannel, process: Any) -> None:
         self.shard_id = shard_id
         self.channel = channel
         self.sock = channel.sock
@@ -131,7 +131,7 @@ class _InlineShard:
     is testable without fork.
     """
 
-    def __init__(self, shard_id: int, server: ShardServer):
+    def __init__(self, shard_id: int, server: ShardServer) -> None:
         self.shard_id = shard_id
         self.server = server
         self.channel = None
@@ -176,7 +176,7 @@ class _Inflight:
 
     def __init__(self, idx: int, blobs: List[int],
                  results: List[Optional[List[int]]], misses: List[int],
-                 duplicates: List[Tuple[int, tuple]]):
+                 duplicates: List[Tuple[int, tuple]]) -> None:
         self.idx = idx
         self.blobs = blobs
         self.results = results
@@ -200,7 +200,7 @@ class _PipelineCtx:
 
     __slots__ = ("sel", "live", "inflight", "pending")
 
-    def __init__(self, sel: selectors.BaseSelector):
+    def __init__(self, sel: selectors.BaseSelector) -> None:
         self.sel = sel
         self.live: Dict[int, _SocketShard] = {}
         self.inflight: "deque[_Inflight]" = deque()
@@ -223,13 +223,13 @@ class ShardedService:
     :class:`~repro.amdb.profiler.ShardServeProfile`.
     """
 
-    def __init__(self, corpus, shards: List[Dict[str, Any]], dims: int,
+    def __init__(self, corpus: Any, shards: List[Dict[str, Any]], dims: int,
                  method: str, codec: str,
                  cache_size: int = 4096,
                  worker_cache: int = 2048, pool_pages: int = 256,
-                 heartbeat_ttl: float = 30.0, clock=time.monotonic,
+                 heartbeat_ttl: float = 30.0, clock: Any = time.monotonic,
                  transport: str = "auto", window: int = DEFAULT_WINDOW,
-                 slot_bytes: int = DEFAULT_SLOT_BYTES, tmpdir=None):
+                 slot_bytes: int = DEFAULT_SLOT_BYTES, tmpdir: Any = None) -> None:
         self.corpus = corpus
         self.shards = shards
         self.dims = dims
@@ -256,11 +256,11 @@ class ShardedService:
     # -- lifecycle -----------------------------------------------------------
 
     @classmethod
-    def build(cls, corpus, num_shards: int, method: str = "rtree",
+    def build(cls, corpus: Any, num_shards: int, method: str = "rtree",
               dims: int = INDEX_DIMENSIONS,
               page_size: int = DEFAULT_PAGE_SIZE, codec: str = "f64",
               workdir: Optional[str] = None, build_workers: int = 1,
-              **kwargs) -> "ShardedService":
+              **kwargs: Any) -> "ShardedService":
         """Build one tree per contiguous blob range.
 
         Every shard is a normal bulk load over its slice of the reduced
@@ -343,25 +343,32 @@ class ShardedService:
                 shard["tree"].store.flush()
                 parent_sock, child_sock = socket.socketpair()
                 rings = None
-                if use_shm:
-                    try:
-                        # window request slots in flight plus one being
-                        # written, per direction.
-                        rings = (
-                            ShmRing.create(self.window + 1,
-                                           self.slot_bytes),
-                            ShmRing.create(self.window + 1,
-                                           self.slot_bytes))
-                    except (OSError, ValueError):
-                        rings = None
-                state["shards"][shard["shard_id"]] = {
-                    "tree": shard["tree"], "conn": child_sock,
-                    "rings": rings,
-                    "lo": shard["lo"], "hi": shard["hi"]}
-                process = ctx.Process(target=_worker_main,
-                                      args=(shard["shard_id"],),
-                                      daemon=True)
-                process.start()
+                process = None
+                try:
+                    if use_shm:
+                        rings = self._create_rings()
+                    state["shards"][shard["shard_id"]] = {
+                        "tree": shard["tree"], "conn": child_sock,
+                        "rings": rings,
+                        "lo": shard["lo"], "hi": shard["hi"]}
+                    process = ctx.Process(target=_worker_main,
+                                          args=(shard["shard_id"],),
+                                          daemon=True)
+                    process.start()
+                except BaseException:
+                    # A failed fork must not strand this shard's kernel
+                    # objects: the sockets would hold fds and the rings
+                    # would hold named /dev/shm segments until process
+                    # exit (and the segments past it, absent unlink).
+                    for ring in rings or ():
+                        ring.unlink()
+                        ring.close()
+                    parent_sock.close()
+                    child_sock.close()
+                    if process is not None and process.is_alive():
+                        process.terminate()
+                        process.join()
+                    raise
                 child_sock.close()
                 channel: FramedChannel
                 if rings is not None:
@@ -376,6 +383,27 @@ class ShardedService:
             worker_mod._FORK_STATE = {}
         self.transport_used = modes.pop() if len(modes) == 1 else "mixed"
         return self
+
+    def _create_rings(self) -> Optional[Tuple[ShmRing, ShmRing]]:
+        """Both directions' slot rings, or None to fall back to framed.
+
+        Each direction carries ``window`` slots in flight plus one
+        being written.  Creating the pair is not atomic: a failure on
+        the second ring must unlink the first before falling back, or
+        the half-pair leaks a named ``/dev/shm`` segment that outlives
+        the process.
+        """
+        try:
+            tx = ShmRing.create(self.window + 1, self.slot_bytes)
+        except (OSError, ValueError):
+            return None
+        try:
+            rx = ShmRing.create(self.window + 1, self.slot_bytes)
+        except (OSError, ValueError):
+            tx.unlink()
+            tx.close()
+            return None
+        return tx, rx
 
     def kill_shard(self, shard_id: int) -> None:
         """Forcibly take one worker down (failure injection)."""
@@ -437,7 +465,7 @@ class ShardedService:
 
     # -- scatter / gather ----------------------------------------------------
 
-    def _shard_down(self, handle, exc: Exception) -> None:
+    def _shard_down(self, handle: Any, exc: Exception) -> None:
         shard = self.shards[handle.shard_id]
         self.registry.mark_dead(handle.shard_id, cause=str(exc))
         self.degradation.record(
@@ -449,7 +477,7 @@ class ShardedService:
         # close.
         handle.retire()
 
-    def _scatter_gather(self, msg: Dict[str, Any], profile=None,
+    def _scatter_gather(self, msg: Dict[str, Any], profile: Any = None,
                         _tokens: Optional[List[Tuple[Any, Optional[int]]]]
                         = None) -> Dict[int, Dict[str, Any]]:
         """One request to every live shard; partials from those that
@@ -524,7 +552,7 @@ class ShardedService:
         return parts
 
     def _merge(self, parts: Dict[int, Dict[str, Any]], k: int,
-               profile=None) -> Tuple[np.ndarray, np.ndarray]:
+               profile: Any = None) -> Tuple[np.ndarray, np.ndarray]:
         t0 = time.perf_counter()
         merged = merge_topk(
             [(parts[sid]["dists"], parts[sid]["rids"])
@@ -535,8 +563,8 @@ class ShardedService:
 
     # -- query surface -------------------------------------------------------
 
-    def knn_batch(self, queries, k: int,
-                  profile=None) -> List[List[Tuple[float, int]]]:
+    def knn_batch(self, queries: np.ndarray, k: int,
+                  profile: Any = None) -> List[List[Tuple[float, int]]]:
         """Global canonical top-``k`` per query across all live shards."""
         queries = np.asarray(queries, dtype=np.float64)
         tokens: List[Tuple[Any, Optional[int]]] = []
@@ -550,7 +578,7 @@ class ShardedService:
         return unpack_hits(*merged)
 
     def _plan_block(self, query_blobs: List[int], num_candidates: int,
-                    top_images: int):
+                    top_images: int) -> Any:
         """Coordinator-cache pass over one block: prefilled results,
         miss indices, and within-block duplicate back-references."""
         results: List[Optional[List[int]]] = [None] * len(query_blobs)
@@ -576,7 +604,7 @@ class ShardedService:
                        query_blobs: List[int], misses: List[int],
                        miss_blobs: List[int], merged_rids: np.ndarray,
                        num_candidates: int, top_images: int,
-                       profile=None) -> None:
+                       profile: Any = None) -> None:
         """Stage two for the merged partials: lossy refine against the
         exact in-memory reduced vectors, full-dimension rerank, cache
         fill — the same engine kernels the single-tree path uses."""
@@ -600,7 +628,7 @@ class ShardedService:
 
     def am_query_batch(self, query_blobs: Sequence[int], num_candidates: int,
                        top_images: Optional[int] = None,
-                       profile=None, _hint: Optional[Sequence[int]] = None
+                       profile: Any = None, _hint: Optional[Sequence[int]] = None
                        ) -> List[List[int]]:
         """A block of two-stage queries over the sharded fleet.
 
@@ -647,7 +675,7 @@ class ShardedService:
     def serve_stream(self, stream: Sequence[int], num_candidates: int,
                      top_images: Optional[int] = None,
                      request_size: int = 64,
-                     profile=None, window: Optional[int] = None,
+                     profile: Any = None, window: Optional[int] = None,
                      readahead: bool = True) -> List[List[int]]:
         """Drive a request stream in blocks, recording tail latency.
 
@@ -700,7 +728,7 @@ class ShardedService:
 
     def _serve_pipelined(self, blocks: List[List[int]],
                          num_candidates: int, top_images: Optional[int],
-                         profile, window: int,
+                         profile: Any, window: int,
                          readahead: bool) -> List[List[int]]:
         """Windowed scatter-gather: keep up to ``window`` blocks in
         flight, finish strictly in dispatch order, overlap every
@@ -760,7 +788,7 @@ class ShardedService:
 
     def _dispatch_block(self, ctx: _PipelineCtx, blocks: List[List[int]],
                         idx: int, fetch: int, num_candidates: int,
-                        top_images: int, profile,
+                        top_images: int, profile: Any,
                         readahead: bool) -> _Inflight:
         block = [int(b) for b in blocks[idx]]
         results, misses, duplicates = self._plan_block(
@@ -816,7 +844,7 @@ class ShardedService:
             profile.add("scatter", time.perf_counter() - t0)
         return inf
 
-    def _drain_channel(self, ctx: _PipelineCtx, handle, profile) -> None:
+    def _drain_channel(self, ctx: _PipelineCtx, handle: Any, profile: Any) -> None:
         """Route every frame already readable on one shard's channel.
 
         Workers answer in request order, so each reply belongs to the
@@ -849,7 +877,7 @@ class ShardedService:
             if not handle.pending():
                 return
 
-    def _pipeline_down(self, ctx: _PipelineCtx, handle,
+    def _pipeline_down(self, ctx: _PipelineCtx, handle: Any,
                        exc: Exception) -> None:
         """A shard died mid-window: unregister it, mark every block
         still awaiting it degraded, release its OS resources."""
@@ -868,7 +896,7 @@ class ShardedService:
 
     def _finish_block(self, inf: _Inflight, fetch: int,
                       num_candidates: int, top_images: int,
-                      profile) -> List[List[int]]:
+                      profile: Any) -> List[List[int]]:
         if inf.misses:
             if not inf.parts:
                 raise RuntimeError("no live shards answered")
@@ -904,7 +932,7 @@ class ShardedService:
                     total[key] = total.get(key, 0) + value
         return total
 
-    def gather_stats(self, profile=None) -> Dict[int, Dict[str, Any]]:
+    def gather_stats(self, profile: Any = None) -> Dict[int, Dict[str, Any]]:
         """Per-worker cache/pool/planner/transport counters from live
         shards."""
         parts = self._scatter_gather({"op": "stats"})

@@ -24,7 +24,7 @@ bit for bit).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,7 +32,7 @@ import numpy as np
 Hit = Tuple[float, int]
 
 
-def canonical_knn_batch(tree, queries: np.ndarray, k: int,
+def canonical_knn_batch(tree: Any, queries: np.ndarray, k: int,
                         block_size: Optional[int] = None) -> List[List[Hit]]:
     """Per-query top-``k`` of ``tree`` under the ``(distance, rid)``
     total order — the serving wire contract.
@@ -63,7 +63,7 @@ def canonical_knn_batch(tree, queries: np.ndarray, k: int,
     return out
 
 
-def _resolve_boundary(tree, query: np.ndarray, boundary: float,
+def _resolve_boundary(tree: Any, query: np.ndarray, boundary: float,
                       k: int) -> List[Hit]:
     """Canonical top-k when ties sit exactly at the k-th distance."""
     ring = tree.sphere_search(query, boundary)

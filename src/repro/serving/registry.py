@@ -52,7 +52,7 @@ class ShardRegistry:
     """
 
     def __init__(self, ttl: float = 30.0,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if ttl <= 0:
             raise ValueError("heartbeat ttl must be positive")
         self.ttl = ttl

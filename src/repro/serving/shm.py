@@ -212,17 +212,26 @@ class ShmRing:
                 f"{off} payload bytes exceed the {self.slot_bytes}-byte "
                 f"slot")
         slot = self._acquire(timeout)
-        self._seq += 1
-        base = self._payload_off + slot * self.slot_bytes
-        metas: List[ArrayMeta] = []
-        for arr, aoff in placed:
-            if arr.nbytes:
-                dst = np.frombuffer(self._shm.buf, dtype=np.uint8,
-                                    count=arr.nbytes, offset=base + aoff)
-                dst[:] = arr.reshape(-1).view(np.uint8)
-            metas.append((tuple(arr.shape), arr.dtype.str, aoff,
-                          arr.nbytes))
-        self._set_header(slot, READY, self._seq, off)
+        try:
+            self._seq += 1
+            base = self._payload_off + slot * self.slot_bytes
+            metas: List[ArrayMeta] = []
+            for arr, aoff in placed:
+                if arr.nbytes:
+                    dst = np.frombuffer(self._shm.buf, dtype=np.uint8,
+                                        count=arr.nbytes,
+                                        offset=base + aoff)
+                    dst[:] = arr.reshape(-1).view(np.uint8)
+                metas.append((tuple(arr.shape), arr.dtype.str, aoff,
+                              arr.nbytes))
+            self._set_header(slot, READY, self._seq, off)
+        except BaseException:
+            # A raise mid-copy (segment closed under us, torn buffer)
+            # must not leave the slot WRITING: nothing would ever hand
+            # it off or free it, and the ring wedges one slot smaller
+            # for the life of the segment.
+            self._set_state(slot, FREE)
+            raise
         return slot, self._seq, metas
 
     # -- consumer side -------------------------------------------------------

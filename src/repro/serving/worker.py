@@ -56,9 +56,9 @@ class ShardServer:
     platforms exercise the same code path as the real daemon.
     """
 
-    def __init__(self, shard_id: int, tree, reduced: np.ndarray,
+    def __init__(self, shard_id: int, tree: Any, reduced: np.ndarray,
                  lo: int, hi: int, cache_size: int = 2048,
-                 pool_pages: int = 256, page_size: Optional[int] = None):
+                 pool_pages: int = 256, page_size: Optional[int] = None) -> None:
         from repro.ams.flatfile import FlatFile
         from repro.gist.planner import QueryPlanner
 

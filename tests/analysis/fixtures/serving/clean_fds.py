@@ -1,0 +1,32 @@
+"""REP601 negative fixture: every descriptor path reaches its close."""
+
+import os
+import socket
+
+
+def close_in_finally(path, payload):
+    fd = os.open(path, os.O_WRONLY)
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)
+
+
+def close_both_legs():
+    parent, child = socket.socketpair()
+    try:
+        parent.sendall(b"ping")
+    finally:
+        # Nested so the second leg still closes if the first close
+        # raises — sequential closes leak the tail on that edge.
+        try:
+            parent.close()
+        finally:
+            child.close()
+    return True
+
+
+def handle_escapes(registry, path):
+    # The registry owns the fd now; the release duty went with it.
+    fd = os.open(path, os.O_RDONLY)
+    registry.adopt(fd)

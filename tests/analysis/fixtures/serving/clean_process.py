@@ -1,0 +1,42 @@
+"""REP603 negative fixture: every handle joins, escapes, or retires."""
+
+import multiprocessing
+
+from repro.storage.fork import reopen_files
+
+
+def serve(shard_id):
+    reopen_files(shard_id)
+    return shard_id
+
+
+def run_to_completion(shard_id):
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=serve, args=(shard_id,), daemon=True)
+    try:
+        process.start()
+    finally:
+        process.join()
+
+
+def terminate_on_failure(shard_id, channel):
+    # The coordinator's startup shape: any failure between fork and
+    # handshake tears the child down before propagating; success falls
+    # through to the join that reaps it.
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=serve, args=(shard_id,), daemon=True)
+    try:
+        process.start()
+        channel.handshake()
+    except BaseException:
+        process.terminate()
+        process.join()
+        raise
+    process.join()
+
+
+def handle_escapes_to_supervisor(supervisor, shard_id):
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=serve, args=(shard_id,), daemon=True)
+    process.start()
+    supervisor.adopt(process)

@@ -1,0 +1,48 @@
+"""REP602 negative fixture: segments unlink, maps close, on every path.
+
+Includes the sanctioned ``BufferError`` teardown idiom — a cleanup
+call that itself raises still counts as the discharge on that edge —
+and attach-mode ``SharedMemory`` which carries no unlink duty.
+"""
+
+import mmap
+from multiprocessing import shared_memory
+
+
+def probe_idiom(name):
+    probe = shared_memory.SharedMemory(name=name, create=True, size=16)
+    probe.close()
+    try:
+        probe.unlink()
+    except (OSError, FileNotFoundError):
+        pass
+    return True
+
+
+def buffer_teardown_idiom(name):
+    seg = shared_memory.SharedMemory(name=name, create=True, size=4096)
+    try:
+        seg.buf[:4] = b"ring"
+    finally:
+        try:
+            seg.unlink()
+        except BufferError:
+            # Live views pin the buffer; the name is gone either way.
+            pass
+
+
+def attach_mode_has_no_unlink_duty(name):
+    # create=False attaches to the parent's segment: closing is the
+    # child's whole duty and close alone is fine.
+    seg = shared_memory.SharedMemory(name=name, create=False)
+    view = bytes(seg.buf[:4])
+    seg.close()
+    return view
+
+
+def map_closes_in_finally(fileno, length):
+    mapping = mmap.mmap(fileno, length)
+    try:
+        mapping.resize(length * 2)
+    finally:
+        mapping.close()

@@ -1,0 +1,49 @@
+"""REP205 positive fixture: parent-only acquisitions inside the fork.
+
+Both workers dutifully reopen their stores (REP203 is satisfied), but
+each can *reach* code that acquires a parent-side handle — one through
+a helper that opens a fresh socketpair per request, one through a
+helper that creates a shm ring inside the child.
+"""
+
+import socket
+
+from repro.serving.shm import ShmRing
+from repro.storage.fork import reopen_files
+
+
+def _worker_main(shard_id):
+    reopen_files(shard_id)
+    _open_control_channel()
+
+
+def _open_control_channel():
+    # REP205: a forked child minting its own socketpair leaks a kernel
+    # object pair per request; the pair belongs to the coordinator.
+    parent, child = socket.socketpair()
+    try:
+        parent.sendall(b"ping")
+    finally:
+        try:
+            parent.close()
+        finally:
+            child.close()
+
+
+def serve_loop(ring_name):
+    reopen_files(ring_name)
+    _grow_ring(ring_name)
+
+
+def _grow_ring(name):
+    # REP205: ring creation on the child side of the fork — the segment
+    # would be invisible to the parent and never fsck'd away.
+    return ShmRing.create(8, 4096)
+
+
+def launch(ctx):
+    # Parent-side construction: NOT flagged — launch() is unreachable
+    # from any fork entrypoint.
+    process = ctx.Process(target=serve_loop, args=("ring0",), daemon=True)
+    process.start()
+    return process

@@ -1,0 +1,23 @@
+"""REP601 positive fixture: raw descriptors that miss close on a path.
+
+Lints as ``serving/leaky_fds.py`` (REP601 scopes on ``serving/``).
+"""
+
+import os
+import socket
+
+
+def leak_on_exception_path(path, payload):
+    # REP601: os.close sits after a call that may raise, with nothing
+    # catching — the fd leaks on the exception path.
+    fd = os.open(path, os.O_WRONLY)
+    os.write(fd, payload)
+    os.close(fd)
+
+
+def leak_one_pair_leg():
+    # REP601: only one leg of the pair is ever closed; the parent leg
+    # reaches neither a close nor an owner on any path.
+    parent, child = socket.socketpair()
+    child.close()
+    parent.sendall(b"ping")

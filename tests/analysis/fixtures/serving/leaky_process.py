@@ -1,0 +1,18 @@
+"""REP603 positive fixture: a forked handle nobody ever joins."""
+
+import multiprocessing
+
+from repro.storage.fork import reopen_files
+
+
+def serve(shard_id):
+    reopen_files(shard_id)
+    return shard_id
+
+
+def fire_and_forget(shard_id):
+    # REP603: started, never joined, never handed to anyone — a zombie
+    # holding its exit status until the parent dies.
+    ctx = multiprocessing.get_context("fork")
+    process = ctx.Process(target=serve, args=(shard_id,), daemon=True)
+    process.start()

@@ -1,0 +1,24 @@
+"""REP602 positive fixture: the PR-9 ``/dev/shm`` leak class.
+
+A ``SharedMemory(create=True)`` segment is a named kernel object; a
+path that closes without unlinking leaves the name (and its pages)
+behind after the process exits.
+"""
+
+import mmap
+from multiprocessing import shared_memory
+
+
+def close_is_not_unlink(name):
+    # REP602: close() drops the mapping but the named segment survives
+    # the process — the leak fsck's shm sweep kept finding in PR 9.
+    seg = shared_memory.SharedMemory(name=name, create=True, size=4096)
+    seg.buf[:4] = b"ring"
+    seg.close()
+
+
+def map_leaks_when_resize_raises(fileno, length):
+    # REP602: mmap.close() is unreachable on resize()'s raise edge.
+    mapping = mmap.mmap(fileno, length)
+    mapping.resize(length * 2)
+    mapping.close()

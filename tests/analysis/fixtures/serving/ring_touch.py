@@ -1,0 +1,11 @@
+"""REP702 positive fixture: header mutation from outside the shm module.
+
+Not a ``shm*`` basename, so accessor calls and raw pack_into are both
+off-limits here — slot state belongs to the ring.
+"""
+
+
+def recycle(ring, slot):
+    # REP702: flipping a slot FREE from the consumer side races the
+    # writer's own state machine.
+    ring._set_state(slot, 0)

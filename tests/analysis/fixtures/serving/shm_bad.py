@@ -1,0 +1,40 @@
+"""REP702 positive fixture: slot discipline broken inside a shm module.
+
+The basename starts with ``shm``, so this lints under the *inside*
+rules: raw header stores must live in ``_set_header`` and an acquired
+slot must reach READY or roll back to FREE on every path.
+"""
+
+import struct
+
+FREE, WRITING, READY = 0, 1, 2
+_HEADER = struct.Struct("<IIQ")
+
+
+class Ring:
+    def __init__(self, buf, slots):
+        self._buf = buf
+        self._slots = slots
+        self._seq = 0
+
+    def _acquire(self, timeout):
+        return 0
+
+    def _set_header(self, slot, state, seq, length):
+        _HEADER.pack_into(self._buf, slot * _HEADER.size,
+                          state, length, seq)
+
+    def _stamp_state(self, slot, state):
+        # REP702: a second raw store next to the sanctioned one — two
+        # writers of the same header drift the moment one changes.
+        _HEADER.pack_into(self._buf, slot * _HEADER.size, state, 0, 0)
+
+    def write(self, payload, timeout):
+        # REP702: the copy can raise after _acquire flipped the slot
+        # WRITING; with no rollback the ring wedges one slot smaller.
+        slot = self._acquire(timeout)
+        self._seq += 1
+        view = memoryview(self._buf)
+        view[_HEADER.size: _HEADER.size + len(payload)] = payload
+        self._set_header(slot, READY, self._seq, len(payload))
+        return slot

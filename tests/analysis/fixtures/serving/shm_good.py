@@ -1,0 +1,40 @@
+"""REP702 negative fixture: the sanctioned slot-state machine.
+
+Mirrors the real ring: one raw store inside ``_set_header``, state
+transitions only through the accessors, and the writer rolls a slot
+back to FREE if anything raises mid-copy.
+"""
+
+import struct
+
+FREE, WRITING, READY = 0, 1, 2
+_HEADER = struct.Struct("<IIQ")
+
+
+class Ring:
+    def __init__(self, buf, slots):
+        self._buf = buf
+        self._slots = slots
+        self._seq = 0
+
+    def _acquire(self, timeout):
+        return 0
+
+    def _set_header(self, slot, state, seq, length):
+        _HEADER.pack_into(self._buf, slot * _HEADER.size,
+                          state, length, seq)
+
+    def _set_state(self, slot, state):
+        self._set_header(slot, state, 0, 0)
+
+    def write(self, payload, timeout):
+        slot = self._acquire(timeout)
+        try:
+            self._seq += 1
+            view = memoryview(self._buf)
+            view[_HEADER.size: _HEADER.size + len(payload)] = payload
+            self._set_header(slot, READY, self._seq, len(payload))
+        except BaseException:
+            self._set_state(slot, FREE)
+            raise
+        return slot

@@ -1,0 +1,30 @@
+"""REP701 positive fixture: commit protocol orderings, both violated.
+
+Lints as ``storage/wal_bad.py`` so the ``storage/wal`` scope applies.
+"""
+
+import os
+
+
+class Store:
+    def __init__(self, wal, pages):
+        self.wal = wal
+        self.pages = pages
+
+    def commit(self, images):
+        # REP701: pages move before they reach the durable log — a
+        # crash between the two lines loses the only copy.
+        self.wal.begin()
+        self._apply_images(images)
+        self.wal.append_transaction(images)
+
+    def checkpoint(self):
+        # REP701: the log truncates before the data file is fsynced —
+        # a crash now has neither the log nor durable pages.
+        self.pages.flush()
+        self.wal.reset()
+        os.fsync(self.pages.fileno())
+
+    def _apply_images(self, images):
+        for page_no, image in images:
+            self.pages.write(page_no, image)

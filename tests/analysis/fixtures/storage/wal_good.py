@@ -1,0 +1,25 @@
+"""REP701 negative fixture: the real commit/checkpoint ordering."""
+
+import os
+
+
+class Store:
+    def __init__(self, wal, pages):
+        self.wal = wal
+        self.pages = pages
+
+    def commit(self, images):
+        # Log first (append_transaction fsyncs internally), then apply.
+        self.wal.begin()
+        self.wal.append_transaction(images)
+        self._apply_images(images)
+
+    def checkpoint(self):
+        # Data file durable first, then the log may truncate.
+        self.pages.flush()
+        os.fsync(self.pages.fileno())
+        self.wal.reset()
+
+    def _apply_images(self, images):
+        for page_no, image in images:
+            self.pages.write(page_no, image)

@@ -44,6 +44,12 @@ POSITIVE = [
     ("REP302", ["storage/bad_raise.py"], 3),
     ("REP401", ["storage/codecs.py"], 3),
     ("REP501", ["storage/__init__.py", "storage/badstore.py"], 2),
+    ("REP205", ["serving/forked_acquirer.py"], 2),
+    ("REP601", ["serving/leaky_fds.py"], 2),
+    ("REP602", ["serving/leaky_segment.py"], 2),
+    ("REP603", ["serving/leaky_process.py"], 1),
+    ("REP701", ["storage/wal_bad.py"], 2),
+    ("REP702", ["serving/shm_bad.py", "serving/ring_touch.py"], 3),
 ]
 
 NEGATIVE = [
@@ -60,6 +66,12 @@ NEGATIVE = [
     ("REP402", ["storage/diskfile.py"]),
     ("REP403", ["gist/good_dequant.py"]),
     ("REP501", ["storage/__init__.py", "storage/goodstore.py"]),
+    ("REP205", ["serving/forked_clean.py"]),
+    ("REP601", ["serving/clean_fds.py"]),
+    ("REP602", ["serving/clean_segment.py"]),
+    ("REP603", ["serving/clean_process.py"]),
+    ("REP701", ["storage/wal_good.py"]),
+    ("REP702", ["serving/shm_good.py"]),
 ]
 
 
@@ -228,6 +240,57 @@ def test_cli_lint_writes_json_artifact(tmp_path, capsys):
     assert rc == 1
     doc = json.loads(artifact.read_text())
     assert "REP401" in {f["rule"] for f in doc["findings"]}
+
+
+def test_cli_update_baseline_then_baseline_waives_everything(tmp_path,
+                                                             capsys):
+    from repro.cli import main
+    target = str(FIXTURES / "bulk" / "bad_wallclock.py")
+    baseline = tmp_path / "BASELINE.json"
+    assert main(["lint", target,
+                 "--update-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    doc = json.loads(baseline.read_text())
+    assert doc["tool"] == "amlint-baseline"
+    assert len(doc["fingerprints"]) > 0
+    # Every finding is baselined: the same lint now exits 0...
+    assert main(["lint", target, "--baseline", str(baseline)]) == 0
+    assert "waived" in capsys.readouterr().out
+    # ...but a file with findings outside the baseline still fails.
+    assert main(["lint", target,
+                 str(FIXTURES / "geometry" / "bad_rng.py"),
+                 "--baseline", str(baseline)]) == 1
+    capsys.readouterr()
+
+
+def test_baseline_fingerprints_survive_line_drift(tmp_path):
+    """Fingerprints carry no line numbers: shifting a finding down a
+    file does not make it 'new'."""
+    from repro.analysis.amlint import baseline_document, load_baseline
+    source = (FIXTURES / "bulk" / "bad_wallclock.py").read_text()
+    # A "fixtures" path component keeps the bulk/ scoping (see
+    # module_relpath); a bare tmp dir would fall back to the basename.
+    orig = tmp_path / "fixtures" / "bulk" / "w.py"
+    orig.parent.mkdir(parents=True)
+    orig.write_text(source)
+    baseline = tmp_path / "b.json"
+    baseline.write_text(baseline_document(lint_paths([str(orig)])))
+    orig.write_text("# a comment pushing every line down\n" + source)
+    from repro.analysis.amlint import apply_baseline
+    report = lint_paths([str(orig)])
+    filtered, waived = apply_baseline(report,
+                                      load_baseline(str(baseline)))
+    assert filtered.findings == []
+    assert waived == len(report.findings) > 0
+
+
+def test_missing_baseline_is_empty_and_bad_baseline_raises(tmp_path):
+    from repro.analysis.amlint import load_baseline
+    assert load_baseline(str(tmp_path / "nope.json")) == set()
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError):
+        load_baseline(str(bad))
 
 
 def test_repo_source_tree_is_lint_clean():

@@ -1,0 +1,164 @@
+"""CFG construction tests: exception edges, handler routing, ``with``
+desugaring, finally fan-out, loops, and unreachable-code pruning."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import (DISPATCH, EXC, STMT, WITH_EXIT, build_cfg,
+                                iter_functions)
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(iter_functions(tree))
+    return build_cfg(func)
+
+
+def stmt_node(cfg, line):
+    """The unique non-synthetic node whose statement starts at ``line``."""
+    nodes = [n for n in cfg.stmt_nodes()
+             if n.kind == STMT and n.line == line]
+    assert len(nodes) == 1, [(n.id, n.kind, n.line) for n in cfg.stmt_nodes()]
+    return nodes[0]
+
+
+def only(nodes):
+    assert len(nodes) == 1, nodes
+    return nodes[0]
+
+
+def test_every_statement_gets_an_exception_edge():
+    cfg = cfg_of("""
+        def f(a):
+            b = step(a)
+            return b
+    """)
+    assign = stmt_node(cfg, 3)
+    ret = stmt_node(cfg, 4)
+    assert (cfg.raise_exit, EXC) in assign.succ
+    assert (ret.id, "normal") in assign.succ
+    assert (cfg.raise_exit, EXC) in ret.succ
+    assert (cfg.exit, "normal") in ret.succ
+
+
+def test_exception_edges_route_into_handler_dispatch():
+    cfg = cfg_of("""
+        def f(a):
+            try:
+                risky(a)
+            except ValueError:
+                fallback(a)
+    """)
+    risky = stmt_node(cfg, 4)
+    exc_targets = [t for (t, kind) in risky.succ if kind == EXC]
+    dispatch = cfg.node(only(exc_targets))
+    assert dispatch.kind == DISPATCH
+    fallback = stmt_node(cfg, 6)
+    assert (fallback.id, "normal") in dispatch.succ
+    # A typed handler list may not match: the exception propagates.
+    assert (cfg.raise_exit, EXC) in dispatch.succ
+
+
+def test_bare_handler_suppresses_propagation():
+    cfg = cfg_of("""
+        def f(a):
+            try:
+                risky(a)
+            except BaseException:
+                pass
+    """)
+    risky = stmt_node(cfg, 4)
+    dispatch = cfg.node(only([t for (t, k) in risky.succ if k == EXC]))
+    assert (cfg.raise_exit, EXC) not in dispatch.succ
+
+
+def test_finally_reached_on_both_normal_and_exception_paths():
+    cfg = cfg_of("""
+        def f(a):
+            try:
+                risky(a)
+            finally:
+                cleanup(a)
+    """)
+    risky = stmt_node(cfg, 4)
+    cleanup = stmt_node(cfg, 6)
+    # The body's exception edge lands in the finally's entry dispatch,
+    # which flows into the cleanup statement.
+    exc_target = only([t for (t, k) in risky.succ if k == EXC])
+    assert cfg.node(exc_target).kind == DISPATCH
+    assert (cleanup.id, "normal") in cfg.node(exc_target).succ
+    # The finally's out-edges fan to re-raise and fall-through alike.
+    assert (cfg.raise_exit, EXC) in cleanup.succ
+    assert (cfg.exit, "normal") in cleanup.succ
+
+
+def test_with_desugars_header_body_teardown():
+    cfg = cfg_of("""
+        def f(path):
+            with open_ring(path) as ring:
+                ring.push(1)
+            done()
+    """)
+    header = stmt_node(cfg, 3)
+    assert [ast.unparse(e) for e in header.expressions()] == \
+        ["open_ring(path)"]
+    teardown = only([n for n in cfg.nodes.values()
+                     if n.kind == WITH_EXIT])
+    assert teardown.items  # carries the withitems it releases
+    push = stmt_node(cfg, 4)
+    # __exit__ runs on completion and on a raise in the body.
+    assert (teardown.id, "normal") in push.succ
+    assert (teardown.id, EXC) in push.succ
+    done = stmt_node(cfg, 5)
+    assert (done.id, "normal") in teardown.succ
+    assert (cfg.raise_exit, EXC) in teardown.succ
+    # The context expression may raise before __enter__ succeeded:
+    # straight out, not through the teardown.
+    assert (cfg.raise_exit, EXC) in header.succ
+
+
+def test_loop_back_edge_break_and_not_taken():
+    cfg = cfg_of("""
+        def f(items):
+            total = 0
+            for item in items:
+                if item > 9:
+                    break
+                total += item
+            return total
+    """)
+    header = stmt_node(cfg, 4)
+    brk = stmt_node(cfg, 6)
+    accum = stmt_node(cfg, 7)
+    ret = stmt_node(cfg, 8)
+    after = only([n for n in cfg.nodes.values()
+                  if n.kind == DISPATCH and n.stmt is None])
+    assert (header.id, "normal") in accum.succ  # back edge
+    assert (after.id, "normal") in brk.succ     # break exits the loop
+    assert (after.id, "normal") in header.succ  # loop may not run
+    assert (ret.id, "normal") in after.succ
+
+
+def test_code_after_return_is_unreachable():
+    cfg = cfg_of("""
+        def f(a):
+            return a
+            dead(a)
+    """)
+    assert {n.line for n in cfg.stmt_nodes()} == {3}
+
+
+def test_if_without_else_falls_through_the_header():
+    cfg = cfg_of("""
+        def f(flag):
+            if flag:
+                work()
+            done()
+    """)
+    header = stmt_node(cfg, 3)
+    work = stmt_node(cfg, 4)
+    done = stmt_node(cfg, 5)
+    assert [ast.unparse(e) for e in header.expressions()] == ["flag"]
+    assert (work.id, "normal") in header.succ
+    assert (done.id, "normal") in header.succ  # test False: skip body
+    assert (done.id, "normal") in work.succ

@@ -1,0 +1,219 @@
+"""Dataflow framework tests: reaching definitions at loop joins, the
+resource value-state lattice (exception edges, escapes, the sanctioned
+teardown idioms), and call-graph reachability."""
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg, iter_functions
+from repro.analysis.dataflow import (CallGraph, ReachingDefinitions,
+                                     ResourceSpec, call_name, find_leaks,
+                                     name_matches)
+
+FD = ResourceSpec(kind="fd", acquires=("os.open",), releases=(),
+                  release_funcs=("os.close",), duty="os.close()",
+                  use_funcs=("os.read", "os.write"))
+SOCK = ResourceSpec(kind="socket", acquires=("socketpair",),
+                    releases=("close",), arity=2, duty=".close()")
+SEG = ResourceSpec(kind="shm segment", acquires=("SharedMemory",),
+                   releases=("unlink",),
+                   require_kwarg=("create", True), duty=".unlink()")
+
+
+def func_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return next(iter_functions(tree))
+
+
+def leaks_of(source, specs):
+    return find_leaks(func_of(source), specs)
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions
+# ---------------------------------------------------------------------------
+
+def test_reaching_definitions_converge_at_loop_join():
+    func = func_of("""
+        def f(items):
+            x = seed()
+            for item in items:
+                x = step(x, item)
+            return x
+    """)
+    cfg = build_cfg(func)
+    at_exit = ReachingDefinitions().run(cfg)[cfg.exit]
+    # Both the pre-loop binding (zero iterations) and the loop-body
+    # rebinding (one or more) reach the return.
+    assert len(at_exit["x"]) == 2
+    assert len(at_exit["item"]) == 1
+
+
+def test_straightline_rebinding_kills_the_old_definition():
+    func = func_of("""
+        def f():
+            x = first()
+            x = second()
+            return x
+    """)
+    cfg = build_cfg(func)
+    at_exit = ReachingDefinitions().run(cfg)[cfg.exit]
+    assert len(at_exit["x"]) == 1
+
+
+# ---------------------------------------------------------------------------
+# resource lifecycle lattice
+# ---------------------------------------------------------------------------
+
+def test_use_between_acquire_and_release_leaks_the_exception_path():
+    leaks = leaks_of("""
+        def f(path, payload):
+            fd = os.open(path, 0)
+            os.write(fd, payload)
+            os.close(fd)
+    """, (FD,))
+    leak = leaks[0] if leaks else None
+    assert leak is not None and leak.path == "raise_exit", leaks
+    assert leak.resource.var == "fd"
+
+
+def test_finally_discharges_every_path():
+    assert leaks_of("""
+        def f(path, payload):
+            fd = os.open(path, 0)
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
+    """, (FD,)) == []
+
+
+def test_failed_acquire_never_existed_and_failed_release_counts():
+    # os.open's own exception edge carries the pre-state (no fd), and
+    # os.close's carries "released" even though close itself raised —
+    # so this function is clean on every path.
+    assert leaks_of("""
+        def f(path):
+            fd = os.open(path, 0)
+            os.close(fd)
+    """, (FD,)) == []
+
+
+def test_release_that_raises_still_counts_buffer_teardown():
+    assert leaks_of("""
+        def f(name):
+            seg = SharedMemory(name=name, create=True, size=4)
+            try:
+                touch(seg)
+            finally:
+                try:
+                    seg.unlink()
+                except BufferError:
+                    pass
+    """, (SEG,)) == []
+
+
+def test_attach_mode_is_not_tracked():
+    assert leaks_of("""
+        def f(name):
+            seg = SharedMemory(name=name, create=False)
+            return seg
+    """, (SEG,)) == []
+
+
+def test_escape_to_another_owner_transfers_the_duty():
+    assert leaks_of("""
+        def f(registry, path):
+            fd = os.open(path, 0)
+            registry.adopt(fd)
+    """, (FD,)) == []
+
+
+def test_conditional_release_is_a_may_leak():
+    leaks = leaks_of("""
+        def f(path, flag):
+            fd = os.open(path, 0)
+            if flag:
+                os.close(fd)
+    """, (FD,))
+    assert len(leaks) == 1
+    assert "exit" in leaks[0].path
+
+
+def test_pair_unpacking_tracks_each_leg_separately():
+    leaks = leaks_of("""
+        def f():
+            a, b = socketpair()
+            a.close()
+    """, (SOCK,))
+    assert [leak.resource.var for leak in leaks] == ["b"]
+
+
+def test_with_statement_releases_at_teardown():
+    assert leaks_of("""
+        def f(name):
+            with SharedMemory(name=name, create=True, size=4) as seg:
+                touch(seg)
+    """, (SEG,)) == []
+
+
+# ---------------------------------------------------------------------------
+# the module call graph
+# ---------------------------------------------------------------------------
+
+MODULE = textwrap.dedent("""
+    def _worker_main():
+        setup()
+
+    def setup():
+        reopen_files()
+
+    def coordinator():
+        socketpair()
+""")
+
+
+def test_reachability_follows_call_edges():
+    graph = CallGraph.build(ast.parse(MODULE))
+    assert graph.reachable(["_worker_main"]) == {"_worker_main", "setup"}
+    calls = graph.reachable_calls("_worker_main")
+    assert "reopen_files" in calls
+    assert "socketpair" not in calls
+
+
+def test_process_target_keyword_is_a_call_edge():
+    graph = CallGraph.build(ast.parse(textwrap.dedent("""
+        def launch(ctx):
+            ctx.Process(target=worker)
+
+        def worker():
+            pass
+    """)))
+    assert "worker" in graph.reachable(["launch"])
+
+
+def test_nested_defs_own_their_bodies():
+    graph = CallGraph.build(ast.parse(textwrap.dedent("""
+        def outer():
+            def inner():
+                risky()
+            return inner()
+    """)))
+    assert "risky" not in graph.edges["outer"]
+    assert "risky" in graph.edges["inner"]
+    # ...but reachability still flows through the call by name.
+    assert "risky" in graph.reachable_calls("outer")
+
+
+# ---------------------------------------------------------------------------
+# name helpers
+# ---------------------------------------------------------------------------
+
+def test_call_name_and_suffix_matching():
+    call = ast.parse("shared_memory.SharedMemory(create=True)",
+                     mode="eval").body
+    assert call_name(call) == "shared_memory.SharedMemory"
+    assert name_matches("shared_memory.SharedMemory", ("SharedMemory",))
+    assert not name_matches("MySharedMemory", ("SharedMemory",))
+    subscript = ast.parse("conns[0].close()", mode="eval").body
+    assert call_name(subscript) == "?.close"
